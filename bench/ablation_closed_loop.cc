@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation: closed-loop BCIs (extension; paper Secs. 2, 7).
+ *
+ * Replaces the raw-data uplink with an on-implant sense -> decode ->
+ * stimulate loop and asks the paper's question for the closed-loop
+ * regime: how far does each SoC scale, and which constraint binds —
+ * the ~0.18 s brain-reaction deadline or the thermal budget?
+ * Expected shape: the loop closes with >10x latency margin at every
+ * feasible scale, so the power budget remains the binding constraint
+ * (the paper's central claim carries over to closed-loop systems).
+ * The stimulator's ~1 mW tax slightly lowers the frontier of the
+ * small SoCs and is invisible on the large ones — the open-loop
+ * computation-centric uplink it replaces was already negligible.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench_util.hh"
+#include "core/closed_loop.hh"
+#include "core/comp_centric.hh"
+#include "core/experiments.hh"
+#include "core/soc_catalog.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mindful;
+    using namespace mindful::core;
+    bool csv = bench::csvOnly(argc, argv);
+
+    Table table("Closed-loop vs open-loop frontier (MLP decoder, "
+                "16-site stimulator)");
+    table.setHeader({"#", "SoC", "open-loop max n", "closed-loop max n",
+                     "loop latency @1024 (ms)", "deadline margin",
+                     "binding constraint"});
+
+    for (const auto &soc : wirelessSocs()) {
+        ImplantModel implant(soc);
+        CompCentricModel open(implant,
+                              experiments::speechModelBuilder(
+                                  experiments::SpeechModel::Mlp));
+        ClosedLoopStudy closed(implant,
+                               experiments::speechModelBuilder(
+                                   experiments::SpeechModel::Mlp));
+
+        auto at_1024 = closed.evaluate(1024);
+        double margin =
+            closed.config().reactionDeadline.inSeconds() /
+            at_1024.loopLatency.inSeconds();
+
+        // Which constraint fails first just beyond the frontier?
+        auto frontier = closed.maxChannels();
+        std::string binding = "-";
+        if (frontier > 0) {
+            auto beyond = closed.evaluate(frontier + 64);
+            if (!beyond.withinBudget)
+                binding = "power budget";
+            else if (!beyond.meetsDeadline)
+                binding = "reaction deadline";
+            else
+                binding = "RT sizing";
+        }
+
+        table.addRow({std::to_string(soc.id), soc.name,
+                      std::to_string(open.maxChannels()),
+                      std::to_string(frontier),
+                      Table::formatNumber(
+                          at_1024.loopLatency.inMilliseconds(), 2),
+                      Table::formatNumber(margin, 0) + "x", binding});
+    }
+    bench::emit(table, csv);
+    return 0;
+}

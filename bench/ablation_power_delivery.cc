@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Ablation: power delivery and physical partitioning (extensions;
+ * paper Secs. 7-8).
+ *
+ * Two constraints the core figures hold fixed:
+ *
+ *  1. Wireless power transfer — an implant must not only stay under
+ *     the 40 mW/cm^2 thermal cap but also *receive* its power through
+ *     the skull. This bench reports, per SoC and channel count under
+ *     high-margin scaling, which ceiling binds first: the thermal
+ *     budget or the SAR-limited inductive link. Expected shape: at
+ *     today's scales the thermal budget binds for large implants
+ *     while millimetre-scale implants are delivery-limited.
+ *
+ *  2. Multi-implant partitioning (SCALO-style) — when one implant
+ *     cannot stream n channels, several smaller ones can. The bench
+ *     prints the fewest implants that make each scale feasible and
+ *     the replication cost in total power and volumetric efficiency.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench_util.hh"
+#include "comm/wpt.hh"
+#include "core/comm_centric.hh"
+#include "core/event_centric.hh"
+#include "core/multi_implant.hh"
+#include "core/soc_catalog.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mindful;
+    using namespace mindful::core;
+    bool csv = bench::csvOnly(argc, argv);
+
+    // --- Part 1: thermal budget vs WPT delivery ceiling. -----------
+    comm::WptLink wpt;
+    Table delivery("Binding power ceiling under high-margin scaling "
+                   "(B = thermal budget, W = WPT delivery, - = both "
+                   "satisfied)");
+    std::vector<std::string> header{"#", "SoC"};
+    std::vector<std::uint64_t> counts{1024, 2048, 4096, 8192};
+    for (auto n : counts)
+        header.push_back("n=" + std::to_string(n));
+    header.push_back("WPT ceiling @1024 (mW)");
+    delivery.setHeader(header);
+
+    for (const auto &soc : wirelessSocs()) {
+        ImplantModel implant(soc);
+        CommCentricModel model(implant, CommScalingStrategy::HighMargin);
+        std::vector<std::string> row{std::to_string(soc.id), soc.name};
+        for (auto n : counts) {
+            auto point = model.project(n);
+            bool thermal_ok = point.safe();
+            bool wpt_ok =
+                wpt.canPower(point.totalArea, point.totalPower);
+            std::string cell;
+            if (!thermal_ok)
+                cell += 'B';
+            if (!wpt_ok)
+                cell += 'W';
+            if (cell.empty())
+                cell = "-";
+            row.push_back(cell);
+        }
+        auto at_1024 = model.project(1024);
+        row.push_back(Table::formatNumber(
+            wpt.maxDeliverablePower(at_1024.totalArea).inMilliwatts(),
+            1));
+        delivery.addRow(row);
+    }
+    bench::emit(delivery, csv);
+
+    // --- Part 1b: event-driven streaming as the escape hatch. -------
+    Table events("Spike-event streaming (on-implant detection): uplink "
+                 "and frontier vs raw streaming");
+    events.setHeader({"#", "SoC", "event uplink @4096 (Mbps)",
+                      "raw uplink @4096 (Mbps)", "event max n",
+                      "raw (high-margin) max n"});
+    for (const auto &soc : wirelessSocs()) {
+        ImplantModel implant(soc);
+        EventCentricModel model(implant);
+        CommCentricModel raw(implant, CommScalingStrategy::HighMargin);
+        auto point = model.evaluate(4096);
+        auto event_max = model.maxSafeChannels(65536);
+        auto raw_max = raw.maxSafeChannels(65536);
+        events.addRow(
+            {std::to_string(soc.id), soc.name,
+             Table::formatNumber(point.dataRate.inMegabitsPerSecond(), 2),
+             Table::formatNumber(
+                 point.rawDataRate.inMegabitsPerSecond(), 1),
+             event_max >= 65536 ? "> 65536" : std::to_string(event_max),
+             raw_max >= 65536 ? "> 65536" : std::to_string(raw_max)});
+    }
+    bench::emit(events, csv);
+
+    // --- Part 2: multi-implant partitioning. ------------------------
+    Table multi("Fewest implants for feasibility (high-margin raw "
+                "streaming) and the replication cost");
+    multi.setHeader({"#", "SoC", "n", "min implants", "total power (mW)",
+                     "sensing-area fraction"});
+    for (const auto &soc : wirelessSocs()) {
+        MultiImplantStudy study{ImplantModel(soc)};
+        for (std::uint64_t n : {8192u, 16384u}) {
+            auto minimum = study.minimumImplants(n, 32);
+            std::vector<std::string> row{std::to_string(soc.id), soc.name,
+                                         std::to_string(n)};
+            if (minimum == 0) {
+                row.insert(row.end(), {"> 32", "-", "-"});
+            } else {
+                auto point = study.evaluate(n, minimum);
+                row.push_back(std::to_string(minimum));
+                row.push_back(Table::formatNumber(
+                    point.totalPower.inMilliwatts(), 1));
+                row.push_back(Table::formatNumber(
+                    point.sensingAreaFraction, 2));
+            }
+            multi.addRow(row);
+        }
+    }
+    bench::emit(multi, csv);
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Ablation: decoder workload choice (extension beyond Fig. 10).
+ *
+ * Compares three on-implant decoding workloads under the identical
+ * power-budget machinery: the paper's two DNNs (MLP, DN-CNN) and the
+ * traditional Kalman-filter decoder the related work says "remains
+ * important". Expected shape: per unit of deadline the Kalman
+ * decoder is far cheaper (its 50 ms bin period is ~100x the DNN
+ * sampling deadline), so it reaches higher channel counts on every
+ * SoC — but its O(n^3) innovation-covariance work makes its MAC cost
+ * grow much faster than the DNNs', eroding that head start as NIs
+ * scale. Both observations quantify the paper's nuance: traditional
+ * algorithms remain relevant, yet do not change the long-term
+ * scaling conclusion.
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench_util.hh"
+#include "core/comp_centric.hh"
+#include "core/experiments.hh"
+#include "core/soc_catalog.hh"
+#include "core/workloads.hh"
+#include "accel/lower_bound.hh"
+#include "dnn/models.hh"
+#include "snn/cost_model.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mindful;
+    using namespace mindful::core;
+    bool csv = bench::csvOnly(argc, argv);
+
+    // Workload cost scaling, independent of any SoC.
+    Table cost("Decoder workload cost vs channel count (MACs per "
+               "inference / iteration)");
+    cost.setHeader({"n", "MLP", "DN-CNN", "Kalman"});
+    for (std::uint64_t n : {1024u, 2048u, 4096u, 8192u}) {
+        cost.addRow({std::to_string(n),
+                     std::to_string(dnn::buildSpeechMlp(n).totalMacs()),
+                     std::to_string(dnn::buildSpeechDnCnn(n).totalMacs()),
+                     std::to_string(kalmanIterationMacs(n))});
+    }
+    bench::emit(cost, csv);
+
+    // Event-driven SNN alternative (paper Sec. 7 future work): same
+    // MLP-like topology priced by spike activity instead of dense
+    // MACs, at the 2 kHz deadline with a 10-step window.
+    Table snn_table("Dense MAC lower bound vs event-driven SNN power "
+                    "(MLP-like topology, 2 kHz deadline)");
+    snn_table.setHeader({"n", "dense bound (mW)", "SNN @5% act. (mW)",
+                         "SNN @20% act. (mW)"});
+    {
+        accel::LowerBoundSolver solver(accel::nangate45());
+        snn::SnnCostModel snn_model;
+        const Time deadline = period(Frequency::kilohertz(2.0));
+        for (std::uint64_t n : {1024u, 2048u, 4096u}) {
+            std::vector<std::size_t> layers{
+                static_cast<std::size_t>(n / 2),
+                static_cast<std::size_t>(n / 8), 40};
+            std::vector<dnn::MacCensus> dense;
+            std::size_t fan_in = static_cast<std::size_t>(n);
+            std::size_t neurons = 0;
+            for (std::size_t width : layers) {
+                dense.push_back({width, fan_in});
+                fan_in = width;
+                neurons += width;
+            }
+            auto bound = solver.solveBest(dense, deadline);
+            std::vector<std::string> row{std::to_string(n)};
+            row.push_back(bound.feasible
+                              ? Table::formatNumber(
+                                    bound.power.inMilliwatts(), 2)
+                              : "infeasible");
+            for (double activity : {0.05, 0.20}) {
+                auto census = snn::SnnCostModel::expectedCensus(
+                    static_cast<std::size_t>(n), layers, activity, 10);
+                double synops_per_second =
+                    static_cast<double>(dnn::totalMacs(census)) /
+                    deadline.inSeconds();
+                row.push_back(Table::formatNumber(
+                    snn_model.power(synops_per_second, neurons)
+                        .inMilliwatts(),
+                    2));
+            }
+            snn_table.addRow(row);
+        }
+    }
+    bench::emit(snn_table, csv);
+
+    // Per-SoC feasibility frontier for each workload.
+    Table frontier("Max feasible channels per SoC and workload");
+    frontier.setHeader({"#", "SoC", "MLP", "DN-CNN", "Kalman"});
+    for (const auto &soc : wirelessSocs()) {
+        ImplantModel implant(soc);
+
+        CompCentricModel mlp(implant,
+                             experiments::speechModelBuilder(
+                                 experiments::SpeechModel::Mlp));
+        CompCentricModel cnn(implant,
+                             experiments::speechModelBuilder(
+                                 experiments::SpeechModel::DnCnn));
+
+        // Kalman: one iteration per 50 ms feature bin.
+        CompCentricConfig kalman_config;
+        kalman_config.applicationRate = Frequency::hertz(20.0);
+        CompCentricModel kalman(
+            implant,
+            [](std::uint64_t n) { return buildKalmanWorkload(n); },
+            kalman_config);
+
+        frontier.addRow({std::to_string(soc.id), soc.name,
+                         std::to_string(mlp.maxChannels()),
+                         std::to_string(cnn.maxChannels()),
+                         std::to_string(kalman.maxChannels())});
+    }
+    bench::emit(frontier, csv);
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration bench binaries.
+ *
+ * Every binary under bench/ regenerates one table or figure of the
+ * paper (DESIGN.md Sec. 4) and prints it in both human-readable and
+ * CSV form. Pass --csv to print CSV only (for external plotting).
+ */
+
+#ifndef MINDFUL_BENCH_BENCH_UTIL_HH
+#define MINDFUL_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "base/table.hh"
+
+namespace mindful::bench {
+
+/** True when the command line requests CSV-only output. */
+inline bool
+csvOnly(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--csv")
+            return true;
+    return false;
+}
+
+/** Print one table in the requested format. */
+inline void
+emit(const Table &table, bool csv)
+{
+    if (csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    std::cout << '\n';
+}
+
+} // namespace mindful::bench
+
+#endif // MINDFUL_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Artifact-style data export: writes every table/figure as CSV into
+ * ./data/ (mirroring the paper artifact's data/ output directory,
+ * Sec. A.5.1). Plot from these with any external tool.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "core/experiments.hh"
+
+namespace {
+
+void
+write(const std::filesystem::path &dir, const std::string &name,
+      const mindful::Table &table)
+{
+    auto path = dir / (name + ".csv");
+    std::ofstream file(path);
+    table.printCsv(file);
+    std::cout << "wrote " << path.string() << '\n';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mindful::core;
+    namespace fs = std::filesystem;
+
+    fs::path dir = argc > 1 ? fs::path(argv[1]) : fs::path("data");
+    fs::create_directories(dir);
+
+    write(dir, "table1", experiments::table1());
+    write(dir, "fig4_scaled_1024", experiments::fig4Table());
+    write(dir, "fig5_naive",
+          experiments::fig5Table(CommScalingStrategy::Naive));
+    write(dir, "fig5_high_margin",
+          experiments::fig5Table(CommScalingStrategy::HighMargin));
+    write(dir, "fig6_naive",
+          experiments::fig6Table(CommScalingStrategy::Naive));
+    write(dir, "fig6_high_margin",
+          experiments::fig6Table(CommScalingStrategy::HighMargin));
+    write(dir, "fig7_qam_efficiency", experiments::fig7Table());
+    write(dir, "fig9_accelerator", experiments::fig9Table());
+    write(dir, "fig10_mlp",
+          experiments::fig10Table(experiments::SpeechModel::Mlp));
+    write(dir, "fig10_dn_cnn",
+          experiments::fig10Table(experiments::SpeechModel::DnCnn));
+    write(dir, "fig11_partitioning", experiments::fig11Table());
+    for (int soc = 1; soc <= 8; ++soc)
+        write(dir, "fig12_soc" + std::to_string(soc),
+              experiments::fig12Table(soc));
+    return 0;
+}

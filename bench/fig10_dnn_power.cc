@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Regenerates Fig. 10: Psoc / Pbudget with the on-implant DNN MAC
+ * lower bound, for the MLP and DN-CNN speech decoders (Sec. 5.3).
+ * Expected shape: SoCs 3-5 cannot fit the MLP even at 1024 channels;
+ * the DN-CNN fits only the largest SoCs; feasible SoCs top out
+ * before ~2x the 1024-channel standard.
+ */
+
+#include "bench_util.hh"
+#include "core/experiments.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mindful;
+    using namespace mindful::core;
+    bool csv = bench::csvOnly(argc, argv);
+    bench::emit(experiments::fig10Table(experiments::SpeechModel::Mlp),
+                csv);
+    bench::emit(experiments::fig10Table(experiments::SpeechModel::DnCnn),
+                csv);
+    return 0;
+}

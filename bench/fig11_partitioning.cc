@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Regenerates Fig. 11: channel-count increase enabled by DNN
+ * partitioning between implant and wearable (Sec. 6.1). Expected
+ * shape: the MLP gains up to tens of percent; the DN-CNN gains
+ * nothing (its feature maps are too wide to cut).
+ */
+
+#include "bench_util.hh"
+#include "core/experiments.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mindful;
+    bench::emit(core::experiments::fig11Table(),
+                bench::csvOnly(argc, argv));
+    return 0;
+}

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Regenerates Fig. 12: feasible MLP model size on SoCs 1-8 after the
+ * cumulative ChDr / La / Tech / Dense optimizations (Sec. 6.2), at
+ * n = 2048, 4096, 8192. Expected shape: ChDr alone shrinks the model
+ * hard as n grows; La and especially Tech recover model size; Dense
+ * (halved sensing area = halved budget growth) gives some of it back.
+ */
+
+#include "bench_util.hh"
+#include "core/experiments.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mindful;
+    bool csv = bench::csvOnly(argc, argv);
+    for (int soc_id = 1; soc_id <= 8; ++soc_id)
+        bench::emit(core::experiments::fig12Table(soc_id), csv);
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Regenerates Fig. 4: every Table 1 design scaled to 1024 channels
+ * (Sec. 4.1) against the 40 mW/cm^2 power budget. The paper's claim:
+ * all designs fall below the budget line.
+ */
+
+#include "bench_util.hh"
+#include "core/experiments.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mindful;
+    bench::emit(core::experiments::fig4Table(),
+                bench::csvOnly(argc, argv));
+    return 0;
+}

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Regenerates Fig. 5: Psoc / Pbudget versus channel count for the
+ * naive and high-margin OOK scaling hypotheses (Sec. 5.1). Expected
+ * shape: the naive ratio is flat; the high-margin ratio grows and
+ * eventually exceeds 1 for every SoC.
+ */
+
+#include "bench_util.hh"
+#include "core/experiments.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mindful;
+    using namespace mindful::core;
+    bool csv = bench::csvOnly(argc, argv);
+    bench::emit(experiments::fig5Table(CommScalingStrategy::Naive), csv);
+    bench::emit(experiments::fig5Table(CommScalingStrategy::HighMargin),
+                csv);
+    return 0;
+}

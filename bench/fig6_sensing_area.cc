@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Regenerates Fig. 6: sensing-area fraction (volumetric efficiency)
+ * versus channel count for both OOK scaling hypotheses (Sec. 5.1).
+ * Expected shape: flat for naive, rising toward 1 for high-margin.
+ */
+
+#include "bench_util.hh"
+#include "core/experiments.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mindful;
+    using namespace mindful::core;
+    bool csv = bench::csvOnly(argc, argv);
+    bench::emit(experiments::fig6Table(CommScalingStrategy::Naive), csv);
+    bench::emit(experiments::fig6Table(CommScalingStrategy::HighMargin),
+                csv);
+    return 0;
+}

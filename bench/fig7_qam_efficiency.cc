@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Regenerates Fig. 7: the minimum QAM efficiency needed to keep each
+ * SoC inside its power budget versus channel count (Sec. 5.2), plus
+ * the paper's headline averages (20% efficiency -> ~2x channels,
+ * 100% -> ~4x).
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "bench_util.hh"
+#include "core/experiments.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mindful;
+    using namespace mindful::core;
+    bool csv = bench::csvOnly(argc, argv);
+    bench::emit(experiments::fig7Table(), csv);
+
+    Table summary("Average supported channels vs QAM efficiency");
+    summary.setHeader({"efficiency", "avg max channels", "gain vs 1024"});
+    for (double eta : {0.13, 0.15, 0.20, 0.50, 1.0}) {
+        auto s = experiments::qamSummary(eta);
+        summary.addRow({Table::formatNumber(eta * 100.0, 0) + "%",
+                        Table::formatNumber(s.averageMaxChannels, 0),
+                        Table::formatNumber(s.averageGain, 2) + "x"});
+    }
+    bench::emit(summary, csv);
+    return 0;
+}

@@ -1,0 +1,19 @@
+/**
+ * @file
+ * Regenerates Fig. 9: the twelve synthesized accelerator design
+ * points and their PE-power share (Sec. 5.3). Expected shape: PE
+ * share ~25% in designs 1-5, rising to ~80% by design 9 and ~95% by
+ * design 12 — PE power dominates at scale.
+ */
+
+#include "bench_util.hh"
+#include "core/experiments.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mindful;
+    bench::emit(core::experiments::fig9Table(),
+                bench::csvOnly(argc, argv));
+    return 0;
+}

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the heavy substrates: the
+ * synthetic cortex generator, the DSP chain, the accelerator
+ * simulator, the AWGN channel, the bio-heat solver, and the
+ * framework's own solvers. These quantify the cost of regenerating
+ * the paper's figures and catch performance regressions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "accel/lower_bound.hh"
+#include "accel/simulator.hh"
+#include "base/matrix.hh"
+#include "comm/channel_sim.hh"
+#include "comm/packetizer.hh"
+#include "core/comp_centric.hh"
+#include "core/experiments.hh"
+#include "core/qam_study.hh"
+#include "core/soc_catalog.hh"
+#include "dnn/models.hh"
+#include "ni/synthetic_cortex.hh"
+#include "signal/filters.hh"
+#include "signal/spike_detect.hh"
+#include "signal/spike_sorter.hh"
+#include "snn/lif.hh"
+#include "comm/wpt.hh"
+#include "thermal/bioheat.hh"
+
+namespace {
+
+using namespace mindful;
+
+void
+BM_SyntheticCortexGenerate(benchmark::State &state)
+{
+    ni::SyntheticCortexConfig config;
+    config.channels = static_cast<std::uint64_t>(state.range(0));
+    ni::SyntheticCortex cortex(config);
+    for (auto _ : state) {
+        auto rec = cortex.generate(1000);
+        benchmark::DoNotOptimize(rec.samples.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) * 1000);
+}
+BENCHMARK(BM_SyntheticCortexGenerate)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_SpikeBandFilter(benchmark::State &state)
+{
+    auto cascade =
+        signal::BiquadCascade::spikeBand(Frequency::kilohertz(8.0));
+    std::vector<double> trace(8000, 1.0);
+    for (auto _ : state) {
+        cascade.reset();
+        auto out = cascade.apply(trace);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 8000);
+}
+BENCHMARK(BM_SpikeBandFilter);
+
+void
+BM_ThresholdDetector(benchmark::State &state)
+{
+    Rng rng(1);
+    std::vector<double> trace(16000);
+    for (auto &v : trace)
+        v = rng.gaussian(0.0, 5.0);
+    signal::ThresholdDetector detector;
+    for (auto _ : state) {
+        auto events = detector.detect(trace);
+        benchmark::DoNotOptimize(events.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 16000);
+}
+BENCHMARK(BM_ThresholdDetector);
+
+void
+BM_AcceleratorSimulatorMlp(benchmark::State &state)
+{
+    auto net = dnn::buildSpeechMlp(128);
+    Rng rng(2);
+    net.initializeWeights(rng);
+    dnn::Tensor input(net.inputShape());
+    accel::AcceleratorSimulator sim(
+        {static_cast<std::uint64_t>(state.range(0)), accel::nangate45()});
+    for (auto _ : state) {
+        auto result = sim.run(net, input);
+        benchmark::DoNotOptimize(result.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * net.totalMacs()));
+}
+BENCHMARK(BM_AcceleratorSimulatorMlp)->Arg(16)->Arg(256);
+
+void
+BM_LowerBoundSolver(benchmark::State &state)
+{
+    auto census =
+        dnn::buildSpeechMlp(static_cast<std::uint64_t>(state.range(0)))
+            .census();
+    accel::LowerBoundSolver solver(accel::nangate45());
+    for (auto _ : state) {
+        auto bound =
+            solver.solveBest(census, Time::microseconds(500.0));
+        benchmark::DoNotOptimize(bound.macUnits);
+    }
+}
+BENCHMARK(BM_LowerBoundSolver)->Arg(1024)->Arg(8192);
+
+void
+BM_AwgnChannel16Qam(benchmark::State &state)
+{
+    comm::AwgnChannelSimulator sim(4);
+    for (auto _ : state) {
+        auto result = sim.measureBer(10.0, 10000);
+        benchmark::DoNotOptimize(result.bitErrors);
+    }
+    state.SetItemsProcessed(state.iterations() * 40000);
+}
+BENCHMARK(BM_AwgnChannel16Qam);
+
+void
+BM_PacketizerRoundTrip(benchmark::State &state)
+{
+    comm::Packetizer packetizer({10});
+    std::vector<std::uint32_t> samples(1024, 513);
+    for (auto _ : state) {
+        auto frame = packetizer.pack(1, samples);
+        auto unpacked = packetizer.unpack(frame);
+        benchmark::DoNotOptimize(unpacked.valid);
+    }
+    state.SetBytesProcessed(state.iterations() * 1280);
+}
+BENCHMARK(BM_PacketizerRoundTrip);
+
+void
+BM_BioHeatSolve(benchmark::State &state)
+{
+    thermal::BioHeatConfig config;
+    config.gridSpacing = 1e-3;
+    config.domainWidth = 25e-3;
+    config.domainDepth = 12e-3;
+    thermal::BioHeatSolver solver({}, config);
+    for (auto _ : state) {
+        auto result = solver.solve(Power::milliwatts(40.0),
+                                   Area::squareMillimetres(100.0));
+        benchmark::DoNotOptimize(result.peakRise);
+    }
+}
+BENCHMARK(BM_BioHeatSolve);
+
+void
+BM_MatrixInverse(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(3);
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j)
+            m(i, j) = rng.gaussian();
+        m(i, i) += static_cast<double>(n);
+    }
+    for (auto _ : state) {
+        Matrix inv = m.inverse();
+        benchmark::DoNotOptimize(inv(0, 0));
+    }
+}
+BENCHMARK(BM_MatrixInverse)->Arg(16)->Arg(64);
+
+void
+BM_QamStudyEvaluate(benchmark::State &state)
+{
+    core::QamStudy study(core::ImplantModel(core::socById(1)));
+    std::uint64_t n = 1024;
+    for (auto _ : state) {
+        auto point = study.evaluate(n);
+        benchmark::DoNotOptimize(point.minimumEfficiency);
+        n = n == 8192 ? 1024 : n + 256;
+    }
+}
+BENCHMARK(BM_QamStudyEvaluate);
+
+void
+BM_CompCentricEvaluate(benchmark::State &state)
+{
+    core::CompCentricModel model(
+        core::ImplantModel(core::socById(1)),
+        core::experiments::speechModelBuilder(
+            core::experiments::SpeechModel::Mlp));
+    for (auto _ : state) {
+        auto point =
+            model.evaluate(static_cast<std::uint64_t>(state.range(0)));
+        benchmark::DoNotOptimize(point.budgetUtilization);
+    }
+}
+BENCHMARK(BM_CompCentricEvaluate)->Arg(1024)->Arg(4096);
+
+void
+BM_SpikeSorterTrain(benchmark::State &state)
+{
+    Rng rng(4);
+    std::vector<signal::Snippet> snippets;
+    for (int i = 0; i < 200; ++i) {
+        signal::Snippet snippet(32);
+        for (auto &v : snippet)
+            v = rng.gaussian(0.0, 5.0) + (i % 2 ? 40.0 : -40.0);
+        snippets.push_back(std::move(snippet));
+    }
+    for (auto _ : state) {
+        signal::TemplateSpikeSorter sorter({2, 16, 6.0, 1});
+        sorter.train(snippets);
+        benchmark::DoNotOptimize(sorter.templates().data());
+    }
+}
+BENCHMARK(BM_SpikeSorterTrain);
+
+void
+BM_SnnStep(benchmark::State &state)
+{
+    Rng rng(6);
+    snn::SpikingNetwork net(256);
+    net.addLayer(128);
+    net.addLayer(32);
+    net.initializeWeights(rng, 1.5);
+    std::vector<std::uint8_t> input(256, 0);
+    for (auto &s : input)
+        s = rng.bernoulli(0.1);
+    for (auto _ : state) {
+        auto out = net.step(input, 1e-3);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnnStep);
+
+void
+BM_WptEfficiency(benchmark::State &state)
+{
+    comm::WptLink link;
+    double mm2 = 1.0;
+    for (auto _ : state) {
+        double eta = link.endToEndEfficiency(
+            Area::squareMillimetres(mm2));
+        benchmark::DoNotOptimize(eta);
+        mm2 = mm2 >= 400.0 ? 1.0 : mm2 + 1.0;
+    }
+}
+BENCHMARK(BM_WptEfficiency);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Regenerates Table 1: the published implanted-SoC design summary.
+ */
+
+#include "bench_util.hh"
+#include "core/experiments.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace mindful;
+    bench::emit(core::experiments::table1(), bench::csvOnly(argc, argv));
+    return 0;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Design-space exploration for a *custom* implant.
+ *
+ * The paper's framework is meant for architects designing the next
+ * SoC, not just re-analyzing published ones. This example defines a
+ * hypothetical next-generation implant from scratch and sweeps its
+ * design space:
+ *
+ *  - dataflow choice: raw streaming (naive / high-margin OOK), QAM
+ *    streaming at several implementation efficiencies, or on-implant
+ *    decoding (MLP / DN-CNN);
+ *  - channel count from 1024 to 16384;
+ *
+ * and prints, for each strategy, the largest safe channel count and
+ * the binding constraint — a concrete answer to "which architecture
+ * should my implant use at my target scale?".
+ *
+ * Build & run:  ./build/examples/design_space_explorer
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "core/comm_centric.hh"
+#include "core/comp_centric.hh"
+#include "core/experiments.hh"
+#include "core/event_centric.hh"
+#include "core/qam_study.hh"
+
+int
+main()
+{
+    using namespace mindful;
+    using namespace mindful::core;
+
+    // A hypothetical 2048-channel ECoG implant: 20 x 20 mm die,
+    // 30 mW measured at 2048 channels, 10 kHz sampling, 12-bit ADCs.
+    SocDesign custom;
+    custom.id = 100;
+    custom.name = "NextGen-2048";
+    custom.reference = "hypothetical";
+    custom.reportedChannels = 2048;
+    custom.reportedArea = Area::squareMillimetres(400.0);
+    custom.reportedPower = Power::milliwatts(30.0);
+    custom.samplingFrequency = Frequency::kilohertz(10.0);
+    custom.sampleBits = 12;
+    custom.wireless = true;
+    custom.sensingPowerFraction = 0.5;
+    custom.sensingAreaFraction = 0.45;
+
+    ImplantModel implant(custom);
+    std::cout << "Custom design normalized to 1024 channels: "
+              << implant.referenceArea() << ", "
+              << implant.referencePower() << " ("
+              << implant.referenceDataRate() << " uplink)\n\n";
+
+    Table table("Architecture frontier for " + custom.name);
+    table.setHeader({"architecture", "max safe channels",
+                     "binding constraint"});
+
+    // Raw streaming, naive scaling: never crosses the budget but
+    // wastes area (volumetric efficiency frozen) — report that.
+    CommCentricModel naive(implant, CommScalingStrategy::Naive);
+    table.addRow({"OOK streaming, naive tiling", "area-bound",
+                  "sensing area fraction stuck at " +
+                      Table::formatNumber(
+                          naive.project(1024).sensingAreaFraction, 2)});
+
+    CommCentricModel margin(implant, CommScalingStrategy::HighMargin);
+    constexpr std::uint64_t kScanCap = 65536;
+    std::uint64_t margin_max = margin.maxSafeChannels(kScanCap);
+    table.addRow({"OOK streaming, high-margin",
+                  margin_max >= kScanCap ? "> " + std::to_string(kScanCap)
+                                         : std::to_string(margin_max),
+                  "transceiver power vs budget"});
+
+    EventCentricModel events(implant);
+    std::uint64_t event_max = events.maxSafeChannels(kScanCap);
+    table.addRow({"spike-event streaming",
+                  event_max >= kScanCap ? "> " + std::to_string(kScanCap)
+                                        : std::to_string(event_max),
+                  "sensing power density"});
+
+    QamStudy qam(implant);
+    for (double eta : {0.15, 0.30, 1.0}) {
+        table.addRow(
+            {"QAM streaming @ " +
+                 Table::formatNumber(eta * 100.0, 0) + "% efficiency",
+             std::to_string(qam.maxChannels(eta)),
+             "QAM Eb/N0 + link budget"});
+    }
+
+    for (auto model : {experiments::SpeechModel::Mlp,
+                       experiments::SpeechModel::DnCnn}) {
+        CompCentricModel comp(implant,
+                              experiments::speechModelBuilder(model));
+        table.addRow({"on-implant " + experiments::toString(model),
+                      std::to_string(comp.maxChannels()),
+                      "MAC lower bound vs budget"});
+        table.addRow({"on-implant " + experiments::toString(model) +
+                          " + partitioning",
+                      std::to_string(comp.maxChannels(true)),
+                      "cut limited to " +
+                          std::to_string(comp.partitionCutLimit()) +
+                          " values/inference"});
+    }
+
+    table.print(std::cout);
+
+    // Drill into the computation-centric option: what fraction of
+    // the decoder survives at aggressive scales (Sec. 6.2)?
+    std::cout << '\n';
+    OptimizationStudy study(
+        implant, experiments::speechModelBuilder(
+                     experiments::SpeechModel::Mlp));
+    Table opt("Feasible MLP model size after cumulative optimizations");
+    opt.setHeader({"n", "ChDr", "La+ChDr", "La+ChDr+Tech",
+                   "La+ChDr+Tech+Dense"});
+    for (std::uint64_t n : {4096u, 8192u, 16384u}) {
+        std::vector<std::string> row{std::to_string(n)};
+        for (const auto &steps :
+             {OptimizationSteps::chDr(), OptimizationSteps::laChDr(),
+              OptimizationSteps::laChDrTech(),
+              OptimizationSteps::laChDrTechDense()}) {
+            auto outcome = study.evaluate(n, steps);
+            row.push_back(outcome.feasible
+                              ? Table::formatNumber(
+                                    outcome.modelSizeFraction * 100.0,
+                                    1) + "%"
+                              : "infeasible");
+        }
+        opt.addRow(row);
+    }
+    opt.print(std::cout);
+
+    return 0;
+}

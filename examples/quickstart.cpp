@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Quickstart: evaluate one implantable BCI SoC with MINDFUL.
+ *
+ * This walks the core API end to end in a few dozen lines:
+ *  1. describe a design (or pull one from the Table 1 catalog);
+ *  2. scale it to the 1024-channel standard (Sec. 4.1);
+ *  3. check it against the 40 mW/cm^2 power budget (Sec. 3.2);
+ *  4. project it beyond 1024 channels under the high-margin
+ *     communication-centric hypothesis (Sec. 5.1);
+ *  5. ask whether it could host an on-implant speech-decoder DNN
+ *     (Sec. 5.3).
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/comm_centric.hh"
+#include "core/comp_centric.hh"
+#include "core/experiments.hh"
+#include "core/soc_catalog.hh"
+
+int
+main()
+{
+    using namespace mindful;
+    using namespace mindful::core;
+
+    // 1. Start from a published design: BISC (Table 1, SoC 1), a
+    //    1024-channel subdural implant with wireless communication.
+    const SocDesign &bisc = socById(1);
+    std::cout << "Design: " << bisc.name << " (" << bisc.reference
+              << ")\n  reported: " << bisc.reportedChannels
+              << " channels, " << bisc.reportedArea << ", "
+              << bisc.reportedPower << " @ "
+              << bisc.samplingFrequency << "\n";
+
+    // 2. Scale to the 1024-channel standard (identity for BISC) and
+    //    wrap it in the analytical implant model.
+    ImplantModel implant(bisc);
+    std::cout << "  sensing throughput (Eq. 6): "
+              << implant.referenceDataRate() << "\n";
+
+    // 3. Thermal safety check (Eq. 3).
+    thermal::PowerBudget budget;
+    auto verdict =
+        budget.check(implant.referencePower(), implant.referenceArea());
+    std::cout << "  power budget: " << budget.budget(implant.referenceArea())
+              << ", utilization "
+              << Table::formatNumber(verdict.budgetUtilization * 100.0, 1)
+              << "% -> " << (verdict.safe ? "SAFE" : "UNSAFE") << "\n";
+
+    // 4. How far can raw-data streaming scale? (Sec. 5.1)
+    CommCentricModel streaming(implant, CommScalingStrategy::HighMargin);
+    std::cout << "\nHigh-margin raw streaming:\n";
+    for (std::uint64_t n : {1024u, 2048u, 4096u, 8192u}) {
+        auto point = streaming.project(n);
+        std::cout << "  n = " << n << ": Psoc " << point.totalPower
+                  << " / budget " << point.powerBudget << " ("
+                  << Table::formatNumber(point.budgetUtilization * 100, 0)
+                  << "%" << (point.safe() ? "" : ", OVER BUDGET")
+                  << ")\n";
+    }
+    std::cout << "  last safe channel count: "
+              << streaming.maxSafeChannels() << "\n";
+
+    // 5. Could BISC host the speech-decoder MLP instead? (Sec. 5.3)
+    CompCentricModel decoder(
+        implant,
+        experiments::speechModelBuilder(experiments::SpeechModel::Mlp));
+    auto at_1024 = decoder.evaluate(1024);
+    std::cout << "\nOn-implant MLP decoder @ 1024 channels:\n"
+              << "  accelerator: " << at_1024.bound.macUnits
+              << " MAC units (" << at_1024.computePower << ")\n"
+              << "  total " << at_1024.totalPower << " / budget "
+              << at_1024.powerBudget << " -> "
+              << (at_1024.feasible ? "feasible" : "infeasible") << "\n"
+              << "  max feasible channels: " << decoder.maxChannels()
+              << " (partitioned: " << decoder.maxChannels(true) << ")\n";
+
+    return 0;
+}

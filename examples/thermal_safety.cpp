@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Thermal safety from first principles.
+ *
+ * The whole framework rests on one number: 40 mW/cm^2 keeps cortical
+ * tissue within a 1-2 degC rise. This example re-derives that premise
+ * with the Pennes bio-heat solver:
+ *
+ *  1. sweep areal power density and report the peak tissue rise;
+ *  2. check every Table 1 design (scaled to 1024 channels) directly
+ *     in the tissue simulation rather than via the budget rule;
+ *  3. quantify the hotspot penalty tissue would pay if chip power
+ *     reached it unspread — the penalty silicon's high thermal
+ *     conductivity avoids (the paper's uniform-dissipation argument).
+ *
+ * Build & run:  ./build/examples/thermal_safety
+ */
+
+#include <iostream>
+
+#include "base/table.hh"
+#include "core/scaling.hh"
+#include "core/soc_catalog.hh"
+#include "thermal/bioheat.hh"
+#include "thermal/safety.hh"
+
+int
+main()
+{
+    using namespace mindful;
+    using namespace mindful::thermal;
+
+    BioHeatConfig config;
+    config.gridSpacing = 0.4e-3;
+    config.domainWidth = 30e-3;
+    config.domainDepth = 15e-3;
+    BioHeatSolver solver({}, config);
+
+    std::cout << "Tissue model: k = " << solver.tissue().conductivity
+              << " W/(m K), perfusion depth "
+              << solver.tissue().penetrationDepth() * 1e3 << " mm\n\n";
+
+    // 1. Density sweep on a BISC-sized (144 mm^2) implant.
+    Table sweep("Peak tissue temperature rise vs power density "
+                "(144 mm^2 implant)");
+    sweep.setHeader({"density (mW/cm^2)", "total power (mW)",
+                     "peak rise (degC)", "within 2 degC"});
+    Area area = Area::squareMillimetres(144.0);
+    for (double density : {10.0, 20.0, 40.0, 60.0, 80.0}) {
+        Power power =
+            PowerDensity::milliwattsPerSquareCentimetre(density) * area;
+        auto result = solver.solve(power, area);
+        sweep.addRow({Table::formatNumber(density, 0),
+                      Table::formatNumber(power.inMilliwatts(), 1),
+                      Table::formatNumber(result.peakRise.inCelsius(), 2),
+                      result.peakRise.inCelsius() <= 2.0 ? "yes" : "NO"});
+    }
+    sweep.print(std::cout);
+    std::cout << '\n';
+
+    // 2. Every catalogued design, simulated in tissue.
+    Table designs("Table 1 designs @ 1024 channels, simulated in tissue");
+    designs.setHeader({"SoC", "power (mW)", "area (mm^2)",
+                       "budget verdict", "tissue peak rise (degC)"});
+    PowerBudget budget;
+    for (const auto &soc : core::socCatalog()) {
+        auto point = core::scaleDesign(soc, core::kStandardChannels);
+        auto verdict = budget.check(point.power, point.area);
+        auto tissue = solver.solve(point.power, point.area);
+        designs.addRow(
+            {soc.name, Table::formatNumber(point.power.inMilliwatts(), 2),
+             Table::formatNumber(point.area.inSquareMillimetres(), 1),
+             verdict.safe ? "safe" : "OVER",
+             Table::formatNumber(tissue.peakRise.inCelsius(), 2)});
+    }
+    designs.print(std::cout);
+    std::cout << '\n';
+
+    // 3. Hypothetical unspread hotspot: what tissue would see if the
+    //    die did not laterally conduct its own power gradients.
+    Power p = PowerDensity::milliwattsPerSquareCentimetre(40.0) * area;
+    auto uniform = solver.solve(p, area);
+    auto hotspot = solver.solveProfile(p, area, {3.0, 1.5, 0.75, 0.4});
+    std::cout << "Uniform 40 mW/cm^2:      peak rise "
+              << Table::formatNumber(uniform.peakRise.inCelsius(), 2)
+              << " degC\n"
+              << "Centre-weighted profile: peak rise "
+              << Table::formatNumber(hotspot.peakRise.inCelsius(), 2)
+              << " degC ("
+              << Table::formatNumber(
+                     hotspot.peakRise / uniform.peakRise, 2)
+              << "x)\n"
+              << "-> tissue would pay a large hotspot penalty, but "
+                 "silicon conducts ~300x better than brain tissue and "
+                 "flattens on-chip gradients before they reach the "
+                 "cortex - the basis of the paper's uniform-"
+                 "dissipation assumption (Sec. 3.2).\n";
+    return 0;
+}

@@ -1,0 +1,25 @@
+#include "accel/mac_unit.hh"
+
+namespace mindful::accel {
+
+MacUnitParams
+nangate45()
+{
+    return {"nangate45", Time::nanoseconds(2.0), Power::milliwatts(0.05)};
+}
+
+MacUnitParams
+scaled12nm()
+{
+    return {"12nm", Time::nanoseconds(1.0), Power::milliwatts(0.026)};
+}
+
+MacUnitParams
+tsmc130()
+{
+    // One MAC step per 100 MHz cycle; dynamic power typical of an
+    // 8-bit MAC at 130 nm (used only by the Fig. 9 trend model).
+    return {"tsmc130", Time::nanoseconds(10.0), Power::microwatts(110.0)};
+}
+
+} // namespace mindful::accel

@@ -1,0 +1,54 @@
+#include "accel/synthesis_model.hh"
+
+#include "base/logging.hh"
+
+namespace mindful::accel {
+
+SynthesisModel::SynthesisModel(SynthesisCoefficients coeffs)
+    : _coeffs(coeffs)
+{
+    MINDFUL_ASSERT(_coeffs.macUnit.inWatts() > 0.0,
+                   "MAC component power must be positive");
+}
+
+Power
+SynthesisModel::pePower(std::uint64_t mac_seq) const
+{
+    return _coeffs.macUnit + _coeffs.relu + _coeffs.peFsm +
+           _coeffs.romPerWord * static_cast<double>(mac_seq);
+}
+
+SynthesisEstimate
+SynthesisModel::estimate(const AcceleratorDesignPoint &point) const
+{
+    MINDFUL_ASSERT(point.macHw > 0 && point.macOp > 0 && point.macSeq > 0,
+                   "design point parameters must be positive");
+    MINDFUL_ASSERT(point.macHw <= point.macOp,
+                   "more PEs than independent MAC_op is never exploitable");
+
+    SynthesisEstimate estimate;
+    estimate.pePower =
+        pePower(point.macSeq) * static_cast<double>(point.macHw);
+    Power overhead = _coeffs.dataflowBase +
+                     _coeffs.ioRegsPerOp * static_cast<double>(point.macOp) +
+                     _coeffs.controlPerPe * static_cast<double>(point.macHw);
+    estimate.layerPower = estimate.pePower + overhead;
+    estimate.peShare = estimate.pePower / estimate.layerPower;
+    return estimate;
+}
+
+std::vector<AcceleratorDesignPoint>
+SynthesisModel::paperDesignPoints()
+{
+    // The twelve configurations of the Fig. 9 table: designs 1-5 grow
+    // #MAC_op at fixed MAC_hw, 6-9 grow MAC_hw up to #MAC_op, and
+    // 10-12 scale everything together.
+    return {
+        {256, 4, 4},      {256, 4, 8},      {256, 4, 16},
+        {256, 4, 32},     {256, 4, 64},     {256, 8, 64},
+        {256, 16, 64},    {256, 32, 64},    {256, 64, 64},
+        {512, 128, 128},  {1024, 256, 256}, {2048, 512, 512},
+    };
+}
+
+} // namespace mindful::accel

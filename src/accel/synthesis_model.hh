@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Analytical accelerator synthesis-power model (paper Fig. 9).
+ *
+ * The paper synthesizes a DNN-layer accelerator (dataflow FSM +
+ * input/output registers around an array of PEs, each PE holding a
+ * MAC unit, a ReLU, a small FSM and a weight ROM) in 130 nm TSMC at
+ * 100 MHz, across twelve (MAC_seq, MAC_hw, #MAC_op) design points,
+ * and shows that PE power dominates total power at scale (~25% of
+ * layer power in small designs, ~80% once MAC_hw = #MAC_op, up to
+ * ~96% in the largest configurations).
+ *
+ * We cannot run Cadence Genus here, so this module substitutes an
+ * analytical component-level power model whose per-component
+ * coefficients are calibrated to reproduce those reported trends
+ * (DESIGN.md Sec. 3 item 1). The model is deliberately linear in the
+ * structural parameters — exactly the dependence a synthesis netlist
+ * would show before placement effects.
+ */
+
+#ifndef MINDFUL_ACCEL_SYNTHESIS_MODEL_HH
+#define MINDFUL_ACCEL_SYNTHESIS_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/mac_unit.hh"
+#include "base/units.hh"
+
+namespace mindful::accel {
+
+/** One synthesized configuration (a row of the Fig. 9 table). */
+struct AcceleratorDesignPoint
+{
+    std::uint64_t macSeq = 0; //!< accumulation steps per MAC_op
+    std::uint64_t macHw = 0;  //!< instantiated PEs
+    std::uint64_t macOp = 0;  //!< independent MAC_op in the layer
+};
+
+/** Power breakdown for one design point. */
+struct SynthesisEstimate
+{
+    Power pePower;    //!< total PE array power
+    Power layerPower; //!< full accelerator power
+    double peShare = 0.0; //!< pePower / layerPower
+};
+
+/** Calibrated per-component coefficients (130 nm, 100 MHz, 8-bit). */
+struct SynthesisCoefficients
+{
+    /** MAC unit inside one PE. */
+    Power macUnit = Power::microwatts(28.0);
+
+    /** ReLU activation inside one PE. */
+    Power relu = Power::microwatts(1.5);
+
+    /** Weight ROM, per stored weight word (MAC_seq words per PE). */
+    Power romPerWord = Power::microwatts(0.02);
+
+    /** PE-local control FSM. */
+    Power peFsm = Power::microwatts(3.0);
+
+    /** Fixed dataflow FSM + clocking of the layer wrapper. */
+    Power dataflowBase = Power::microwatts(350.0);
+
+    /** Input + output registers, per #MAC_op lane. */
+    Power ioRegsPerOp = Power::microwatts(2.5);
+
+    /** Multiplexing / control per instantiated PE. */
+    Power controlPerPe = Power::microwatts(1.5);
+};
+
+/** Evaluates the component model over design points. */
+class SynthesisModel
+{
+  public:
+    explicit SynthesisModel(SynthesisCoefficients coeffs = {});
+
+    const SynthesisCoefficients &coefficients() const { return _coeffs; }
+
+    /** Power of one PE holding @p mac_seq weights. */
+    Power pePower(std::uint64_t mac_seq) const;
+
+    /** Full breakdown for a design point. */
+    SynthesisEstimate estimate(const AcceleratorDesignPoint &point) const;
+
+    /** The twelve design points evaluated in Fig. 9. */
+    static std::vector<AcceleratorDesignPoint> paperDesignPoints();
+
+  private:
+    SynthesisCoefficients _coeffs;
+};
+
+} // namespace mindful::accel
+
+#endif // MINDFUL_ACCEL_SYNTHESIS_MODEL_HH

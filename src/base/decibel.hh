@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Decibel / linear conversions used by the link-budget models.
+ *
+ * RF papers mix dB, dBm, and linear quantities freely; keeping the
+ * conversions in one header with explicit names avoids the classic
+ * factor-of-10-vs-20 mistakes.
+ */
+
+#ifndef MINDFUL_BASE_DECIBEL_HH
+#define MINDFUL_BASE_DECIBEL_HH
+
+#include <cmath>
+
+#include "base/units.hh"
+
+namespace mindful {
+
+/** Convert a linear power ratio to decibels. */
+inline double
+toDecibels(double linear_ratio)
+{
+    return 10.0 * std::log10(linear_ratio);
+}
+
+/** Convert decibels to a linear power ratio. */
+inline double
+fromDecibels(double db)
+{
+    return std::pow(10.0, db / 10.0);
+}
+
+/** Convert absolute power to dBm (decibels relative to 1 mW). */
+inline double
+toDbm(Power p)
+{
+    return 10.0 * std::log10(p.inMilliwatts());
+}
+
+/** Convert dBm to absolute power. */
+inline Power
+fromDbm(double dbm)
+{
+    return Power::milliwatts(std::pow(10.0, dbm / 10.0));
+}
+
+} // namespace mindful
+
+#endif // MINDFUL_BASE_DECIBEL_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Status and error reporting for the MINDFUL libraries.
+ *
+ * The conventions follow the gem5 logging idiom:
+ *  - panic():  an internal invariant was violated (a library bug);
+ *              aborts so a debugger or core dump can capture state.
+ *  - fatal():  the caller supplied an impossible configuration (a user
+ *              error); exits with status 1.
+ *  - warn():   something is suspicious but execution can continue.
+ *  - inform(): plain status output for the user.
+ */
+
+#ifndef MINDFUL_BASE_LOGGING_HH
+#define MINDFUL_BASE_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace mindful {
+
+/** Verbosity levels accepted by setLogLevel(). */
+enum class LogLevel {
+    Silent,   //!< suppress inform() and warn()
+    Warning,  //!< show warn() only
+    Info      //!< show warn() and inform()
+};
+
+/** Set the process-wide verbosity. Defaults to LogLevel::Info. */
+void setLogLevel(LogLevel level);
+
+/** Current process-wide verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Concatenate any streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an internal error and abort. Use for library bugs only. */
+#define MINDFUL_PANIC(...) \
+    ::mindful::detail::panicImpl(__FILE__, __LINE__, \
+                                 ::mindful::detail::concat(__VA_ARGS__))
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+#define MINDFUL_FATAL(...) \
+    ::mindful::detail::fatalImpl(__FILE__, __LINE__, \
+                                 ::mindful::detail::concat(__VA_ARGS__))
+
+/** Emit a warning that execution continues past. */
+#define MINDFUL_WARN(...) \
+    ::mindful::detail::warnImpl(::mindful::detail::concat(__VA_ARGS__))
+
+/** Emit an informational status message. */
+#define MINDFUL_INFORM(...) \
+    ::mindful::detail::informImpl(::mindful::detail::concat(__VA_ARGS__))
+
+/**
+ * Assert an invariant that must hold if the library is correct.
+ * Active in all build types (these models are cheap relative to the
+ * cost of silently producing wrong design-space conclusions).
+ */
+#define MINDFUL_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            MINDFUL_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+} // namespace mindful
+
+#endif // MINDFUL_BASE_LOGGING_HH

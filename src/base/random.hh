@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deterministic random number generation for the simulation substrates.
+ *
+ * All stochastic components (neural signal generation, AWGN channel
+ * noise, Monte-Carlo BER measurement) draw from an explicitly seeded
+ * Rng so that every experiment in this repository is reproducible
+ * bit-for-bit.
+ */
+
+#ifndef MINDFUL_BASE_RANDOM_HH
+#define MINDFUL_BASE_RANDOM_HH
+
+#include <cstdint>
+#include <random>
+
+namespace mindful {
+
+/** Thin, explicitly-seeded wrapper around std::mt19937_64. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x4d494e44ull) : _engine(seed) {}
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return std::uniform_real_distribution<double>(0.0, 1.0)(_engine);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(_engine);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(_engine);
+    }
+
+    /** Standard normal draw scaled to the given mean / stddev. */
+    double
+    gaussian(double mean = 0.0, double stddev = 1.0)
+    {
+        return std::normal_distribution<double>(mean, stddev)(_engine);
+    }
+
+    /** Poisson draw with the given mean. */
+    std::uint32_t
+    poisson(double mean)
+    {
+        return std::poisson_distribution<std::uint32_t>(mean)(_engine);
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    bernoulli(double p)
+    {
+        return std::bernoulli_distribution(p)(_engine);
+    }
+
+    /** Raw 64-bit draw (for hashing / sub-seeding). */
+    std::uint64_t bits() { return _engine(); }
+
+    std::mt19937_64 &engine() { return _engine; }
+
+  private:
+    std::mt19937_64 _engine;
+};
+
+} // namespace mindful
+
+#endif // MINDFUL_BASE_RANDOM_HH

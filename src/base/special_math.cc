@@ -1,0 +1,156 @@
+#include "base/special_math.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace mindful {
+
+double
+qFunction(double x)
+{
+    // Q(x) = 0.5 * erfc(x / sqrt(2)); erfc keeps precision for large x
+    // where 1 - Phi(x) would underflow to zero catastrophically.
+    return 0.5 * std::erfc(x / std::sqrt(2.0));
+}
+
+namespace {
+
+/**
+ * Acklam-style rational initial estimate of the standard normal
+ * quantile, refined below by Newton steps against erfc.
+ */
+double
+normalQuantileEstimate(double p)
+{
+    // Coefficients from Peter Acklam's algorithm (relative error
+    // below 1.15e-9 on its own).
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+
+    const double p_low = 0.02425;
+    const double p_high = 1.0 - p_low;
+
+    if (p < p_low) {
+        double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0]*q + c[1])*q + c[2])*q + c[3])*q + c[4])*q + c[5]) /
+               ((((d[0]*q + d[1])*q + d[2])*q + d[3])*q + 1.0);
+    }
+    if (p <= p_high) {
+        double q = p - 0.5;
+        double r = q * q;
+        return (((((a[0]*r + a[1])*r + a[2])*r + a[3])*r + a[4])*r + a[5])*q /
+               (((((b[0]*r + b[1])*r + b[2])*r + b[3])*r + b[4])*r + 1.0);
+    }
+    double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0]*q + c[1])*q + c[2])*q + c[3])*q + c[4])*q + c[5]) /
+           ((((d[0]*q + d[1])*q + d[2])*q + d[3])*q + 1.0);
+}
+
+} // namespace
+
+double
+qFunctionInverse(double p)
+{
+    MINDFUL_ASSERT(p > 0.0 && p < 1.0,
+                   "qFunctionInverse requires p in (0,1), got ", p);
+
+    // Q(x) = p  <=>  x = -Phi^{-1}(p)  (quantile of the upper tail).
+    double x = -normalQuantileEstimate(p);
+
+    // Newton refinement on f(x) = Q(x) - p; f'(x) = -phi(x).
+    for (int i = 0; i < 4; ++i) {
+        double err = qFunction(x) - p;
+        double pdf =
+            std::exp(-0.5 * x * x) / std::sqrt(2.0 * M_PI);
+        if (pdf <= std::numeric_limits<double>::min())
+            break;
+        x += err / pdf;
+    }
+    return x;
+}
+
+double
+erfcInverse(double p)
+{
+    MINDFUL_ASSERT(p > 0.0 && p < 2.0,
+                   "erfcInverse requires p in (0,2), got ", p);
+    // erfc(x) = 2 Q(x sqrt(2))  =>  erfc^{-1}(p) = Q^{-1}(p/2) / sqrt(2).
+    return qFunctionInverse(p / 2.0) / std::sqrt(2.0);
+}
+
+double
+bisect(const std::function<double(double)> &fn, double lo, double hi,
+       double tol, int max_iter)
+{
+    MINDFUL_ASSERT(lo <= hi, "bisect: inverted bracket [", lo, ", ", hi, "]");
+
+    double flo = fn(lo);
+    double fhi = fn(hi);
+    if (flo == 0.0)
+        return lo;
+    if (fhi == 0.0)
+        return hi;
+    MINDFUL_ASSERT(std::signbit(flo) != std::signbit(fhi),
+                   "bisect: fn(lo) and fn(hi) have the same sign");
+
+    for (int i = 0; i < max_iter && (hi - lo) > tol; ++i) {
+        double mid = 0.5 * (lo + hi);
+        double fmid = fn(mid);
+        if (fmid == 0.0)
+            return mid;
+        if (std::signbit(fmid) == std::signbit(flo)) {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+std::int64_t
+binarySearchFirstTrue(std::int64_t lo, std::int64_t hi,
+                      const std::function<bool(std::int64_t)> &pred)
+{
+    std::int64_t result = hi + 1;
+    while (lo <= hi) {
+        std::int64_t mid = lo + (hi - lo) / 2;
+        if (pred(mid)) {
+            result = mid;
+            hi = mid - 1;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    return result;
+}
+
+std::int64_t
+binarySearchLastTrue(std::int64_t lo, std::int64_t hi,
+                     const std::function<bool(std::int64_t)> &pred)
+{
+    std::int64_t result = lo - 1;
+    while (lo <= hi) {
+        std::int64_t mid = lo + (hi - lo) / 2;
+        if (pred(mid)) {
+            result = mid;
+            lo = mid + 1;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    return result;
+}
+
+} // namespace mindful

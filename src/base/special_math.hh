@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Special functions and small numeric helpers.
+ *
+ * The communication models need the Gaussian Q-function and its
+ * inverse (for BER equations), and several modules need robust
+ * ceiling division and bracketed root finding.
+ */
+
+#ifndef MINDFUL_BASE_SPECIAL_MATH_HH
+#define MINDFUL_BASE_SPECIAL_MATH_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace mindful {
+
+/**
+ * Gaussian tail probability Q(x) = P[N(0,1) > x].
+ *
+ * Implemented via std::erfc for full double-precision accuracy over
+ * the whole real line.
+ */
+double qFunction(double x);
+
+/**
+ * Inverse of the Gaussian Q-function.
+ *
+ * @param p tail probability in (0, 1).
+ * @return x such that Q(x) = p, accurate to ~1e-12 relative.
+ */
+double qFunctionInverse(double p);
+
+/** Inverse complementary error function on (0, 2). */
+double erfcInverse(double p);
+
+/** Ceiling integer division for non-negative operands. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0 : (num + den - 1) / den;
+}
+
+/**
+ * Find a root of @p fn on the bracket [lo, hi] by bisection.
+ *
+ * Requires fn(lo) and fn(hi) to have opposite signs (or one of them
+ * to be zero). Runs until the bracket is narrower than @p tol or
+ * @p max_iter iterations have elapsed.
+ *
+ * @return the midpoint of the final bracket.
+ */
+double bisect(const std::function<double(double)> &fn, double lo, double hi,
+              double tol = 1e-12, int max_iter = 200);
+
+/**
+ * Smallest integer n in [lo, hi] for which @p pred(n) is true, under
+ * the assumption that pred is monotone (false ... false true ... true).
+ *
+ * @return hi + 1 when pred is false over the whole range.
+ */
+std::int64_t
+binarySearchFirstTrue(std::int64_t lo, std::int64_t hi,
+                      const std::function<bool(std::int64_t)> &pred);
+
+/**
+ * Largest integer n in [lo, hi] for which @p pred(n) is true, under
+ * the assumption that pred is monotone (true ... true false ... false).
+ *
+ * @return lo - 1 when pred is false over the whole range.
+ */
+std::int64_t
+binarySearchLastTrue(std::int64_t lo, std::int64_t hi,
+                     const std::function<bool(std::int64_t)> &pred);
+
+} // namespace mindful
+
+#endif // MINDFUL_BASE_SPECIAL_MATH_HH

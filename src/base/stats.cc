@@ -1,0 +1,98 @@
+#include "base/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mindful {
+
+void
+RunningStats::add(double x)
+{
+    ++_count;
+    double delta = x - _mean;
+    _mean += delta / static_cast<double>(_count);
+    _m2 += delta * (x - _mean);
+    _min = std::min(_min, x);
+    _max = std::max(_max, x);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other._count == 0)
+        return;
+    if (_count == 0) {
+        *this = other;
+        return;
+    }
+    double total = static_cast<double>(_count + other._count);
+    double delta = other._mean - _mean;
+    _m2 += other._m2 + delta * delta *
+           (static_cast<double>(_count) * static_cast<double>(other._count)) /
+           total;
+    _mean += delta * static_cast<double>(other._count) / total;
+    _count += other._count;
+    _min = std::min(_min, other._min);
+    _max = std::max(_max, other._max);
+}
+
+double
+RunningStats::variance() const
+{
+    return _count < 2 ? 0.0 : _m2 / static_cast<double>(_count);
+}
+
+double
+RunningStats::sampleVariance() const
+{
+    return _count < 2 ? 0.0 : _m2 / static_cast<double>(_count - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : _lo(lo), _width((hi - lo) / static_cast<double>(bins)),
+      _counts(bins, 0)
+{
+    MINDFUL_ASSERT(hi > lo, "Histogram range must be non-empty");
+    MINDFUL_ASSERT(bins > 0, "Histogram needs at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    ++_total;
+    if (x < _lo) {
+        ++_underflow;
+        return;
+    }
+    auto idx = static_cast<std::size_t>((x - _lo) / _width);
+    if (idx >= _counts.size()) {
+        ++_overflow;
+        return;
+    }
+    ++_counts[idx];
+}
+
+double
+Histogram::binCentre(std::size_t i) const
+{
+    return _lo + (static_cast<double>(i) + 0.5) * _width;
+}
+
+double
+Histogram::binFraction(std::size_t i) const
+{
+    return _total == 0
+               ? 0.0
+               : static_cast<double>(_counts.at(i)) /
+                     static_cast<double>(_total);
+}
+
+} // namespace mindful

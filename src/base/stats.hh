@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Streaming statistics accumulators.
+ *
+ * Used by the Monte-Carlo channel simulator, the neural signal
+ * generator tests, and the benchmark harnesses to summarize series
+ * without storing them.
+ */
+
+#ifndef MINDFUL_BASE_STATS_HH
+#define MINDFUL_BASE_STATS_HH
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace mindful {
+
+/**
+ * Welford-style running mean / variance / extrema accumulator.
+ *
+ * Numerically stable for long streams; O(1) memory.
+ */
+class RunningStats
+{
+  public:
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel reduction). */
+    void merge(const RunningStats &other);
+
+    std::size_t count() const { return _count; }
+    double mean() const { return _mean; }
+
+    /** Population variance (n divisor); 0 for fewer than 2 samples. */
+    double variance() const;
+
+    /** Sample variance (n - 1 divisor); 0 for fewer than 2 samples. */
+    double sampleVariance() const;
+
+    double stddev() const;
+    double min() const { return _min; }
+    double max() const { return _max; }
+    double sum() const { return _mean * static_cast<double>(_count); }
+
+  private:
+    std::size_t _count = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-range linear histogram.
+ *
+ * Values below the range land in an underflow bucket, above it in an
+ * overflow bucket, so totals are never silently lost.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower edge of the first bin.
+     * @param hi upper edge of the last bin; must exceed @p lo.
+     * @param bins number of bins; must be positive.
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+
+    std::size_t bins() const { return _counts.size(); }
+    std::size_t binCount(std::size_t i) const { return _counts.at(i); }
+    std::size_t underflow() const { return _underflow; }
+    std::size_t overflow() const { return _overflow; }
+    std::size_t total() const { return _total; }
+
+    /** Centre value of bin @p i. */
+    double binCentre(std::size_t i) const;
+
+    /** Fraction of all samples (including under/overflow) in bin i. */
+    double binFraction(std::size_t i) const;
+
+  private:
+    double _lo;
+    double _width;
+    std::vector<std::size_t> _counts;
+    std::size_t _underflow = 0;
+    std::size_t _overflow = 0;
+    std::size_t _total = 0;
+};
+
+} // namespace mindful
+
+#endif // MINDFUL_BASE_STATS_HH

@@ -1,0 +1,124 @@
+#include "base/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace mindful {
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    MINDFUL_ASSERT(!header.empty(), "Table header must not be empty");
+    _header = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    MINDFUL_ASSERT(row.size() == _header.size(),
+                   "Table row width ", row.size(),
+                   " != header width ", _header.size());
+    _rows.push_back(std::move(row));
+}
+
+void
+Table::addNumericRow(const std::vector<double> &row, int precision)
+{
+    std::vector<std::string> formatted;
+    formatted.reserve(row.size());
+    for (double v : row)
+        formatted.push_back(formatNumber(v, precision));
+    addRow(std::move(formatted));
+}
+
+std::string
+Table::formatNumber(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    std::string s = os.str();
+    // Trim trailing zeros (and a dangling decimal point) for clean
+    // tables; "2.500" -> "2.5", "4.000" -> "4".
+    if (s.find('.') != std::string::npos) {
+        while (!s.empty() && s.back() == '0')
+            s.pop_back();
+        if (!s.empty() && s.back() == '.')
+            s.pop_back();
+    }
+    return s;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(_header.size(), 0);
+    for (std::size_t c = 0; c < _header.size(); ++c)
+        widths[c] = _header[c].size();
+    for (const auto &row : _rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto rule = [&] {
+        os << '+';
+        for (auto w : widths)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << ' ' << std::setw(static_cast<int>(widths[c]))
+               << std::left << cells[c] << " |";
+        os << '\n';
+    };
+
+    if (!_title.empty())
+        os << _title << '\n';
+    rule();
+    line(_header);
+    rule();
+    for (const auto &row : _rows)
+        line(row);
+    rule();
+}
+
+namespace {
+
+std::string
+csvEscape(const std::string &field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (char ch : field) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            os << csvEscape(cells[c]);
+        }
+        os << '\n';
+    };
+    emit(_header);
+    for (const auto &row : _rows)
+        emit(row);
+}
+
+} // namespace mindful

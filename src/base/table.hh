@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Plain-text table and CSV emission.
+ *
+ * Every benchmark binary regenerates one table or figure of the
+ * paper; Table renders the rows legibly on a terminal and can also
+ * dump them as CSV for external plotting.
+ */
+
+#ifndef MINDFUL_BASE_TABLE_HH
+#define MINDFUL_BASE_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mindful {
+
+/** Column-aligned text table with an optional title and CSV export. */
+class Table
+{
+  public:
+    explicit Table(std::string title = "") : _title(std::move(title)) {}
+
+    /** Set the column headers; resets any existing rows' alignment. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a fully-formatted row. Must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /**
+     * Append a row of doubles formatted with @p precision significant
+     * decimal digits.
+     */
+    void addNumericRow(const std::vector<double> &row, int precision = 3);
+
+    std::size_t rows() const { return _rows.size(); }
+    std::size_t columns() const { return _header.size(); }
+
+    /** Render as an aligned text table. */
+    void print(std::ostream &os) const;
+
+    /** Render as RFC-4180-style CSV (quoting fields with commas). */
+    void printCsv(std::ostream &os) const;
+
+    /** Format a double with fixed precision (helper for callers). */
+    static std::string formatNumber(double v, int precision = 3);
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace mindful
+
+#endif // MINDFUL_BASE_TABLE_HH

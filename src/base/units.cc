@@ -1,0 +1,73 @@
+#include "base/units.hh"
+
+#include <ostream>
+
+namespace mindful {
+
+namespace {
+
+/** Print a value with a short unit suffix, trimming noise digits. */
+std::ostream &
+printUnit(std::ostream &os, double value, const char *unit)
+{
+    os << value << ' ' << unit;
+    return os;
+}
+
+} // namespace
+
+std::ostream &
+operator<<(std::ostream &os, Power p)
+{
+    return printUnit(os, p.inMilliwatts(), "mW");
+}
+
+std::ostream &
+operator<<(std::ostream &os, Area a)
+{
+    return printUnit(os, a.inSquareMillimetres(), "mm^2");
+}
+
+std::ostream &
+operator<<(std::ostream &os, PowerDensity d)
+{
+    return printUnit(os, d.inMilliwattsPerSquareCentimetre(), "mW/cm^2");
+}
+
+std::ostream &
+operator<<(std::ostream &os, Energy e)
+{
+    return printUnit(os, e.inPicojoules(), "pJ");
+}
+
+std::ostream &
+operator<<(std::ostream &os, EnergyPerBit eb)
+{
+    return printUnit(os, eb.inPicojoulesPerBit(), "pJ/b");
+}
+
+std::ostream &
+operator<<(std::ostream &os, Frequency f)
+{
+    return printUnit(os, f.inKilohertz(), "kHz");
+}
+
+std::ostream &
+operator<<(std::ostream &os, Time t)
+{
+    return printUnit(os, t.inMicroseconds(), "us");
+}
+
+std::ostream &
+operator<<(std::ostream &os, DataRate r)
+{
+    return printUnit(os, r.inMegabitsPerSecond(), "Mbps");
+}
+
+std::ostream &
+operator<<(std::ostream &os, TemperatureDelta dt)
+{
+    return printUnit(os, dt.inKelvin(), "degC");
+}
+
+} // namespace mindful

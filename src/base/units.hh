@@ -1,0 +1,420 @@
+/**
+ * @file
+ * Strong unit types for the quantities the MINDFUL framework trades in.
+ *
+ * Every quantity is stored internally in SI base units (watts, square
+ * metres, joules, hertz, bits per second, seconds) and exposed through
+ * named factory functions and accessors in the units BCI papers use
+ * (mW, mm^2, mW/cm^2, pJ/b, kHz, Mbps). Mixing units without an
+ * explicit conversion is therefore a compile error, which removes the
+ * single largest class of mistakes in power-budget arithmetic.
+ */
+
+#ifndef MINDFUL_BASE_UNITS_HH
+#define MINDFUL_BASE_UNITS_HH
+
+#include <cmath>
+#include <compare>
+#include <iosfwd>
+
+#include "base/logging.hh"
+
+namespace mindful {
+
+namespace detail {
+
+/**
+ * CRTP base for a double-backed quantity. Provides the arithmetic
+ * that is dimensionally valid for any quantity: addition and
+ * subtraction with itself, scaling by dimensionless factors, and
+ * dimensionless ratios.
+ */
+template <typename Derived>
+class Quantity
+{
+  public:
+    constexpr Quantity() = default;
+
+    /** Raw value in the canonical (SI) unit. */
+    constexpr double raw() const { return _value; }
+
+    constexpr Derived
+    operator+(Derived other) const
+    {
+        return Derived::fromRaw(_value + other.raw());
+    }
+
+    constexpr Derived
+    operator-(Derived other) const
+    {
+        return Derived::fromRaw(_value - other.raw());
+    }
+
+    constexpr Derived operator-() const { return Derived::fromRaw(-_value); }
+
+    constexpr Derived
+    operator*(double k) const
+    {
+        return Derived::fromRaw(_value * k);
+    }
+
+    constexpr Derived
+    operator/(double k) const
+    {
+        return Derived::fromRaw(_value / k);
+    }
+
+    /** Ratio of two like quantities is dimensionless. */
+    constexpr double
+    operator/(Derived other) const
+    {
+        return _value / other.raw();
+    }
+
+    Derived &
+    operator+=(Derived other)
+    {
+        _value += other.raw();
+        return static_cast<Derived &>(*this);
+    }
+
+    Derived &
+    operator-=(Derived other)
+    {
+        _value -= other.raw();
+        return static_cast<Derived &>(*this);
+    }
+
+    Derived &
+    operator*=(double k)
+    {
+        _value *= k;
+        return static_cast<Derived &>(*this);
+    }
+
+    constexpr auto operator<=>(const Quantity &) const = default;
+    constexpr bool operator==(const Quantity &) const = default;
+
+    bool isFinite() const { return std::isfinite(_value); }
+
+  protected:
+    constexpr explicit Quantity(double value) : _value(value) {}
+
+    double _value = 0.0;
+};
+
+} // namespace detail
+
+/** Dimensionless scalar on the left of a scaling product. */
+template <typename Derived>
+constexpr Derived
+operator*(double k, const detail::Quantity<Derived> &q)
+{
+    return Derived::fromRaw(k * q.raw());
+}
+
+#define MINDFUL_QUANTITY_BOILERPLATE(Name) \
+  public: \
+    constexpr Name() = default; \
+    static constexpr Name fromRaw(double v) { return Name(v); } \
+  private: \
+    constexpr explicit Name(double v) : Quantity(v) {} \
+    friend class detail::Quantity<Name>;
+
+/** Electrical power; canonical unit: watt. */
+class Power : public detail::Quantity<Power>
+{
+    MINDFUL_QUANTITY_BOILERPLATE(Power)
+
+  public:
+    static constexpr Power watts(double w) { return Power(w); }
+    static constexpr Power milliwatts(double mw) { return Power(mw * 1e-3); }
+    static constexpr Power microwatts(double uw) { return Power(uw * 1e-6); }
+    static constexpr Power nanowatts(double nw) { return Power(nw * 1e-9); }
+
+    constexpr double inWatts() const { return _value; }
+    constexpr double inMilliwatts() const { return _value * 1e3; }
+    constexpr double inMicrowatts() const { return _value * 1e6; }
+};
+
+/** Chip surface area; canonical unit: square metre. */
+class Area : public detail::Quantity<Area>
+{
+    MINDFUL_QUANTITY_BOILERPLATE(Area)
+
+  public:
+    static constexpr Area squareMetres(double m2) { return Area(m2); }
+    static constexpr Area squareCentimetres(double cm2)
+    {
+        return Area(cm2 * 1e-4);
+    }
+    static constexpr Area squareMillimetres(double mm2)
+    {
+        return Area(mm2 * 1e-6);
+    }
+    static constexpr Area squareMicrometres(double um2)
+    {
+        return Area(um2 * 1e-12);
+    }
+
+    constexpr double inSquareMetres() const { return _value; }
+    constexpr double inSquareCentimetres() const { return _value * 1e4; }
+    constexpr double inSquareMillimetres() const { return _value * 1e6; }
+    constexpr double inSquareMicrometres() const { return _value * 1e12; }
+};
+
+/** Areal power density; canonical unit: watt per square metre. */
+class PowerDensity : public detail::Quantity<PowerDensity>
+{
+    MINDFUL_QUANTITY_BOILERPLATE(PowerDensity)
+
+  public:
+    static constexpr PowerDensity wattsPerSquareMetre(double v)
+    {
+        return PowerDensity(v);
+    }
+    static constexpr PowerDensity milliwattsPerSquareCentimetre(double v)
+    {
+        // 1 mW/cm^2 = 1e-3 W / 1e-4 m^2 = 10 W/m^2.
+        return PowerDensity(v * 10.0);
+    }
+
+    constexpr double inWattsPerSquareMetre() const { return _value; }
+    constexpr double inMilliwattsPerSquareCentimetre() const
+    {
+        return _value / 10.0;
+    }
+};
+
+/** Energy; canonical unit: joule. */
+class Energy : public detail::Quantity<Energy>
+{
+    MINDFUL_QUANTITY_BOILERPLATE(Energy)
+
+  public:
+    static constexpr Energy joules(double j) { return Energy(j); }
+    static constexpr Energy millijoules(double mj) { return Energy(mj*1e-3); }
+    static constexpr Energy microjoules(double uj) { return Energy(uj*1e-6); }
+    static constexpr Energy nanojoules(double nj) { return Energy(nj * 1e-9); }
+    static constexpr Energy picojoules(double pj) { return Energy(pj*1e-12); }
+
+    constexpr double inJoules() const { return _value; }
+    constexpr double inNanojoules() const { return _value * 1e9; }
+    constexpr double inPicojoules() const { return _value * 1e12; }
+};
+
+/** Energy spent per transmitted bit; canonical unit: joule per bit. */
+class EnergyPerBit : public detail::Quantity<EnergyPerBit>
+{
+    MINDFUL_QUANTITY_BOILERPLATE(EnergyPerBit)
+
+  public:
+    static constexpr EnergyPerBit joulesPerBit(double v)
+    {
+        return EnergyPerBit(v);
+    }
+    static constexpr EnergyPerBit picojoulesPerBit(double v)
+    {
+        return EnergyPerBit(v * 1e-12);
+    }
+    static constexpr EnergyPerBit nanojoulesPerBit(double v)
+    {
+        return EnergyPerBit(v * 1e-9);
+    }
+
+    constexpr double inJoulesPerBit() const { return _value; }
+    constexpr double inPicojoulesPerBit() const { return _value * 1e12; }
+};
+
+/** Frequency; canonical unit: hertz. */
+class Frequency : public detail::Quantity<Frequency>
+{
+    MINDFUL_QUANTITY_BOILERPLATE(Frequency)
+
+  public:
+    static constexpr Frequency hertz(double hz) { return Frequency(hz); }
+    static constexpr Frequency kilohertz(double khz)
+    {
+        return Frequency(khz * 1e3);
+    }
+    static constexpr Frequency megahertz(double mhz)
+    {
+        return Frequency(mhz * 1e6);
+    }
+    static constexpr Frequency gigahertz(double ghz)
+    {
+        return Frequency(ghz * 1e9);
+    }
+
+    constexpr double inHertz() const { return _value; }
+    constexpr double inKilohertz() const { return _value * 1e-3; }
+    constexpr double inMegahertz() const { return _value * 1e-6; }
+};
+
+/** Time interval; canonical unit: second. */
+class Time : public detail::Quantity<Time>
+{
+    MINDFUL_QUANTITY_BOILERPLATE(Time)
+
+  public:
+    static constexpr Time seconds(double s) { return Time(s); }
+    static constexpr Time milliseconds(double ms) { return Time(ms * 1e-3); }
+    static constexpr Time microseconds(double us) { return Time(us * 1e-6); }
+    static constexpr Time nanoseconds(double ns) { return Time(ns * 1e-9); }
+
+    constexpr double inSeconds() const { return _value; }
+    constexpr double inMilliseconds() const { return _value * 1e3; }
+    constexpr double inMicroseconds() const { return _value * 1e6; }
+    constexpr double inNanoseconds() const { return _value * 1e9; }
+};
+
+/** Data rate; canonical unit: bit per second. */
+class DataRate : public detail::Quantity<DataRate>
+{
+    MINDFUL_QUANTITY_BOILERPLATE(DataRate)
+
+  public:
+    static constexpr DataRate bitsPerSecond(double v) { return DataRate(v); }
+    static constexpr DataRate kilobitsPerSecond(double v)
+    {
+        return DataRate(v * 1e3);
+    }
+    static constexpr DataRate megabitsPerSecond(double v)
+    {
+        return DataRate(v * 1e6);
+    }
+
+    constexpr double inBitsPerSecond() const { return _value; }
+    constexpr double inMegabitsPerSecond() const { return _value * 1e-6; }
+};
+
+/** Temperature difference; canonical unit: kelvin. */
+class TemperatureDelta : public detail::Quantity<TemperatureDelta>
+{
+    MINDFUL_QUANTITY_BOILERPLATE(TemperatureDelta)
+
+  public:
+    static constexpr TemperatureDelta kelvin(double k)
+    {
+        return TemperatureDelta(k);
+    }
+
+    constexpr double inKelvin() const { return _value; }
+    constexpr double inCelsius() const { return _value; }
+};
+
+#undef MINDFUL_QUANTITY_BOILERPLATE
+
+// --- Dimensioned cross products ------------------------------------------
+
+/** P / A -> power density. */
+constexpr PowerDensity
+operator/(Power p, Area a)
+{
+    return PowerDensity::wattsPerSquareMetre(p.inWatts() /
+                                             a.inSquareMetres());
+}
+
+/** rho * A -> power (the power-budget product, Eq. 3). */
+constexpr Power
+operator*(PowerDensity rho, Area a)
+{
+    return Power::watts(rho.inWattsPerSquareMetre() * a.inSquareMetres());
+}
+
+constexpr Power
+operator*(Area a, PowerDensity rho)
+{
+    return rho * a;
+}
+
+/** P / rho -> minimum area to dissipate P at density rho. */
+constexpr Area
+operator/(Power p, PowerDensity rho)
+{
+    return Area::squareMetres(p.inWatts() / rho.inWattsPerSquareMetre());
+}
+
+/** R * Eb -> transmit power (Eq. 9). */
+constexpr Power
+operator*(DataRate r, EnergyPerBit eb)
+{
+    return Power::watts(r.inBitsPerSecond() * eb.inJoulesPerBit());
+}
+
+constexpr Power
+operator*(EnergyPerBit eb, DataRate r)
+{
+    return r * eb;
+}
+
+/** P / R -> energy per bit. */
+constexpr EnergyPerBit
+operator/(Power p, DataRate r)
+{
+    return EnergyPerBit::joulesPerBit(p.inWatts() / r.inBitsPerSecond());
+}
+
+/** P * t -> energy. */
+constexpr Energy
+operator*(Power p, Time t)
+{
+    return Energy::joules(p.inWatts() * t.inSeconds());
+}
+
+constexpr Energy
+operator*(Time t, Power p)
+{
+    return p * t;
+}
+
+/** E / t -> power. */
+constexpr Power
+operator/(Energy e, Time t)
+{
+    return Power::watts(e.inJoules() / t.inSeconds());
+}
+
+/** E / P -> time. */
+constexpr Time
+operator/(Energy e, Power p)
+{
+    return Time::seconds(e.inJoules() / p.inWatts());
+}
+
+/** 1 / f -> period. */
+constexpr Time
+period(Frequency f)
+{
+    return Time::seconds(1.0 / f.inHertz());
+}
+
+/** 1 / t -> frequency. */
+constexpr Frequency
+rate(Time t)
+{
+    return Frequency::hertz(1.0 / t.inSeconds());
+}
+
+/** bits * f -> data rate (Eq. 6 building block). */
+constexpr DataRate
+operator*(Frequency f, double bits)
+{
+    return DataRate::bitsPerSecond(f.inHertz() * bits);
+}
+
+// --- Stream output --------------------------------------------------------
+
+std::ostream &operator<<(std::ostream &os, Power p);
+std::ostream &operator<<(std::ostream &os, Area a);
+std::ostream &operator<<(std::ostream &os, PowerDensity d);
+std::ostream &operator<<(std::ostream &os, Energy e);
+std::ostream &operator<<(std::ostream &os, EnergyPerBit eb);
+std::ostream &operator<<(std::ostream &os, Frequency f);
+std::ostream &operator<<(std::ostream &os, Time t);
+std::ostream &operator<<(std::ostream &os, DataRate r);
+std::ostream &operator<<(std::ostream &os, TemperatureDelta dt);
+
+} // namespace mindful
+
+#endif // MINDFUL_BASE_UNITS_HH

@@ -1,0 +1,151 @@
+#include "comm/channel_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mindful::comm {
+
+QamConstellation::QamConstellation(unsigned bits_per_symbol)
+    : _bits(bits_per_symbol), _iBits((bits_per_symbol + 1) / 2),
+      _qBits(bits_per_symbol / 2)
+{
+    MINDFUL_ASSERT(bits_per_symbol >= 1 && bits_per_symbol <= 16,
+                   "bits per symbol must lie in [1, 16]");
+
+    // Unit-spacing PAM levels +-1, +-3, ... have per-axis mean energy
+    // (L^2 - 1) / 3; scale so the symbol mean energy equals k.
+    auto axis_energy = [](unsigned bits) {
+        if (bits == 0)
+            return 0.0;
+        double levels = std::pow(2.0, static_cast<double>(bits));
+        return (levels * levels - 1.0) / 3.0;
+    };
+    double unit_energy = axis_energy(_iBits) + axis_energy(_qBits);
+    _scale = std::sqrt(static_cast<double>(_bits) / unit_energy);
+}
+
+std::uint32_t
+QamConstellation::binaryToGray(std::uint32_t value)
+{
+    return value ^ (value >> 1);
+}
+
+std::uint32_t
+QamConstellation::grayToBinary(std::uint32_t value)
+{
+    std::uint32_t binary = 0;
+    for (; value; value >>= 1)
+        binary ^= value;
+    return binary;
+}
+
+double
+QamConstellation::mapAxis(std::uint32_t bits, unsigned axis_bits) const
+{
+    // Incoming bits are the Gray label; recover the level index.
+    std::uint32_t level = grayToBinary(bits);
+    double levels = std::pow(2.0, static_cast<double>(axis_bits));
+    return _scale * (2.0 * static_cast<double>(level) - (levels - 1.0));
+}
+
+std::uint32_t
+QamConstellation::sliceAxis(double amplitude, unsigned axis_bits) const
+{
+    double levels = std::pow(2.0, static_cast<double>(axis_bits));
+    double index = (amplitude / _scale + (levels - 1.0)) / 2.0;
+    auto level = static_cast<std::int64_t>(std::llround(index));
+    level = std::clamp<std::int64_t>(level, 0,
+                                     static_cast<std::int64_t>(levels) - 1);
+    return binaryToGray(static_cast<std::uint32_t>(level));
+}
+
+std::pair<double, double>
+QamConstellation::modulate(std::uint32_t symbol_bits) const
+{
+    MINDFUL_ASSERT(symbol_bits < (1u << _bits),
+                   "symbol value exceeds constellation");
+    std::uint32_t i_bits = symbol_bits >> _qBits;
+    std::uint32_t q_bits = symbol_bits & ((1u << _qBits) - 1u);
+    double i = mapAxis(i_bits, _iBits);
+    double q = _qBits ? mapAxis(q_bits, _qBits) : 0.0;
+    return {i, q};
+}
+
+std::uint32_t
+QamConstellation::demodulate(double i, double q) const
+{
+    std::uint32_t i_bits = sliceAxis(i, _iBits);
+    std::uint32_t q_bits = _qBits ? sliceAxis(q, _qBits) : 0;
+    return (i_bits << _qBits) | q_bits;
+}
+
+double
+QamConstellation::meanSymbolEnergy() const
+{
+    return static_cast<double>(_bits);
+}
+
+AwgnChannelSimulator::AwgnChannelSimulator(unsigned bits_per_symbol,
+                                           std::uint64_t seed)
+    : _constellation(bits_per_symbol), _rng(seed)
+{
+}
+
+BerMeasurement
+AwgnChannelSimulator::measureBer(double eb_n0_linear, std::uint64_t symbols)
+{
+    MINDFUL_ASSERT(eb_n0_linear > 0.0, "Eb/N0 must be positive");
+    MINDFUL_ASSERT(symbols > 0, "need at least one symbol");
+
+    const unsigned k = _constellation.bitsPerSymbol();
+    // Eb = 1 by construction, so N0 = 1 / (Eb/N0); per-axis noise
+    // variance is N0 / 2.
+    const double sigma = std::sqrt(0.5 / eb_n0_linear);
+
+    BerMeasurement measurement;
+    for (std::uint64_t s = 0; s < symbols; ++s) {
+        auto tx_bits = static_cast<std::uint32_t>(
+            _rng.uniformInt(0, (1 << k) - 1));
+        auto [i, q] = _constellation.modulate(tx_bits);
+        i += _rng.gaussian(0.0, sigma);
+        q += _rng.gaussian(0.0, sigma);
+        std::uint32_t rx_bits = _constellation.demodulate(i, q);
+
+        std::uint32_t diff = tx_bits ^ rx_bits;
+        measurement.bitErrors +=
+            static_cast<std::uint64_t>(__builtin_popcount(diff));
+        measurement.bitsSent += k;
+    }
+    return measurement;
+}
+
+OokChannelSimulator::OokChannelSimulator(std::uint64_t seed) : _rng(seed)
+{
+}
+
+BerMeasurement
+OokChannelSimulator::measureBer(double eb_n0_linear, std::uint64_t bits)
+{
+    MINDFUL_ASSERT(eb_n0_linear > 0.0, "Eb/N0 must be positive");
+    MINDFUL_ASSERT(bits > 0, "need at least one bit");
+
+    // Mark amplitude A with E[energy/bit] = A^2 / 2 = Eb = 1, so
+    // A = sqrt(2); per-sample noise variance N0 / 2 = 1 / (2 Eb/N0).
+    const double amplitude = std::sqrt(2.0);
+    const double sigma = std::sqrt(0.5 / eb_n0_linear);
+    const double threshold = amplitude / 2.0;
+
+    BerMeasurement measurement;
+    measurement.bitsSent = bits;
+    for (std::uint64_t i = 0; i < bits; ++i) {
+        bool tx = _rng.bernoulli(0.5);
+        double rx = (tx ? amplitude : 0.0) + _rng.gaussian(0.0, sigma);
+        bool decoded = rx > threshold;
+        measurement.bitErrors += decoded != tx;
+    }
+    return measurement;
+}
+
+} // namespace mindful::comm

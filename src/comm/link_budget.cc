@@ -1,0 +1,30 @@
+#include "comm/link_budget.hh"
+
+#include "base/decibel.hh"
+#include "base/logging.hh"
+
+namespace mindful::comm {
+
+double
+LinkBudget::noiseSpectralDensity() const
+{
+    MINDFUL_ASSERT(temperatureKelvin > 0.0,
+                   "receiver temperature must be positive");
+    return kBoltzmann * temperatureKelvin * fromDecibels(noiseFigureDb);
+}
+
+double
+LinkBudget::totalLossLinear() const
+{
+    return fromDecibels(pathLossDb + marginDb + implementationLossDb);
+}
+
+EnergyPerBit
+LinkBudget::requiredTxEnergyPerBit(double eb_n0_linear) const
+{
+    MINDFUL_ASSERT(eb_n0_linear > 0.0, "Eb/N0 must be positive");
+    return EnergyPerBit::joulesPerBit(
+        eb_n0_linear * noiseSpectralDensity() * totalLossLinear());
+}
+
+} // namespace mindful::comm

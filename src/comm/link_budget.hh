@@ -1,0 +1,64 @@
+/**
+ * @file
+ * RF link budget for the implant-to-wearable uplink (paper Sec. 5.2).
+ *
+ * The paper's QAM analysis assumes BER = 1e-6, 60 dB path loss and a
+ * 20 dB margin for biological tissue (skull) and implant-to-wearable
+ * distance. This module turns a required receiver Eb/N0 into the
+ * *transmit* energy per bit the implant must radiate:
+ *
+ *     Eb_tx = (Eb/N0)_req * N0 * L_path * L_margin * L_impl
+ *
+ * with N0 = k_B * T * F the receiver noise density (body temperature,
+ * noise figure F) and L_impl an implementation-loss term covering
+ * real transceiver non-idealities.
+ */
+
+#ifndef MINDFUL_COMM_LINK_BUDGET_HH
+#define MINDFUL_COMM_LINK_BUDGET_HH
+
+#include "base/units.hh"
+
+namespace mindful::comm {
+
+/** Boltzmann constant [J/K]. */
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/** Link parameters between implanted and wearable SoCs. */
+struct LinkBudget
+{
+    /** Through-tissue path loss [dB] (paper: 60 dB). */
+    double pathLossDb = 60.0;
+
+    /** Additional biological margin [dB] (paper: 20 dB). */
+    double marginDb = 20.0;
+
+    /** Receiver noise figure [dB]. */
+    double noiseFigureDb = 5.0;
+
+    /** Transceiver implementation loss [dB]. Defaults to zero: the
+     *  QAM-efficiency knob of the Sec. 5.2 study is the
+     *  implementation-quality parameter, so the budget itself stays
+     *  ideal. */
+    double implementationLossDb = 0.0;
+
+    /** Receiver physical temperature [K] (body temperature). */
+    double temperatureKelvin = 310.0;
+
+    /** Receiver noise spectral density N0 [W/Hz], including F. */
+    double noiseSpectralDensity() const;
+
+    /** Total link attenuation (path + margin + implementation) as a
+     *  linear power ratio. */
+    double totalLossLinear() const;
+
+    /**
+     * Transmit energy per bit needed to present the receiver with
+     * the given (linear) Eb/N0.
+     */
+    EnergyPerBit requiredTxEnergyPerBit(double eb_n0_linear) const;
+};
+
+} // namespace mindful::comm
+
+#endif // MINDFUL_COMM_LINK_BUDGET_HH

@@ -1,0 +1,60 @@
+#include "comm/transceiver.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace mindful::comm {
+
+QamTransceiver::QamTransceiver(Frequency symbol_rate, LinkBudget link,
+                               double target_ber)
+    : _symbolRate(symbol_rate), _link(link), _targetBer(target_ber)
+{
+    MINDFUL_ASSERT(symbol_rate.inHertz() > 0.0,
+                   "symbol rate must be positive");
+    MINDFUL_ASSERT(target_ber > 0.0 && target_ber < 0.5,
+                   "target BER must lie in (0, 0.5)");
+}
+
+unsigned
+QamTransceiver::requiredBitsPerSymbol(DataRate rate) const
+{
+    MINDFUL_ASSERT(rate.inBitsPerSecond() > 0.0,
+                   "data rate must be positive");
+    double symbols = _symbolRate.inHertz();
+    auto bits = static_cast<unsigned>(
+        std::ceil(rate.inBitsPerSecond() / symbols - 1e-12));
+    return std::max(1u, bits);
+}
+
+EnergyPerBit
+QamTransceiver::txEnergyPerBit(unsigned bits_per_symbol) const
+{
+    QamModulation qam(bits_per_symbol);
+    double eb_n0 = qam.requiredEbN0(_targetBer);
+    return _link.requiredTxEnergyPerBit(eb_n0);
+}
+
+Power
+QamTransceiver::transmitPower(DataRate rate, double eta) const
+{
+    MINDFUL_ASSERT(eta > 0.0 && eta <= 1.0,
+                   "QAM efficiency must lie in (0, 1]");
+    unsigned k = requiredBitsPerSymbol(rate);
+    return rate * txEnergyPerBit(k) * (1.0 / eta);
+}
+
+double
+QamTransceiver::minimumEfficiency(DataRate rate,
+                                  Power power_allowance) const
+{
+    if (power_allowance.inWatts() <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    // Pcomm = R * Eb_tx / eta <= allowance  =>  eta >= R * Eb_tx / P.
+    unsigned k = requiredBitsPerSymbol(rate);
+    Power ideal = rate * txEnergyPerBit(k);
+    return ideal / power_allowance;
+}
+
+} // namespace mindful::comm

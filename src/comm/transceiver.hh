@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Transceiver power models combining modulation and link budget.
+ *
+ * QamTransceiver models the paper's advanced-modulation scenario
+ * (Sec. 5.2): the symbol rate (antenna bandwidth) is frozen at its
+ * 1024-channel value and higher data rates are reached by adding
+ * bits per symbol, paying the QAM Eb/N0 penalty through the link
+ * budget and a power-amplifier/implementation efficiency eta:
+ *
+ *     Pcomm = R_b * Eb_tx(k) / eta
+ */
+
+#ifndef MINDFUL_COMM_TRANSCEIVER_HH
+#define MINDFUL_COMM_TRANSCEIVER_HH
+
+#include "comm/link_budget.hh"
+#include "comm/modulation.hh"
+
+namespace mindful::comm {
+
+/** QAM uplink with a fixed symbol rate and a configurable target BER. */
+class QamTransceiver
+{
+  public:
+    /**
+     * @param symbol_rate fixed symbol (baud) rate of the antenna.
+     * @param link        link-budget parameters.
+     * @param target_ber  required bit error rate (paper: 1e-6).
+     */
+    QamTransceiver(Frequency symbol_rate, LinkBudget link,
+                   double target_ber = 1e-6);
+
+    Frequency symbolRate() const { return _symbolRate; }
+    const LinkBudget &link() const { return _link; }
+    double targetBer() const { return _targetBer; }
+
+    /** Fewest bits per symbol able to carry @p rate. */
+    unsigned requiredBitsPerSymbol(DataRate rate) const;
+
+    /** Required *transmit* energy per bit at k bits per symbol. */
+    EnergyPerBit txEnergyPerBit(unsigned bits_per_symbol) const;
+
+    /**
+     * Communication power for @p rate at QAM efficiency @p eta
+     * (bits per symbol chosen automatically).
+     */
+    Power transmitPower(DataRate rate, double eta) const;
+
+    /**
+     * Minimum QAM efficiency that keeps the transmit power within
+     * @p power_allowance at data rate @p rate — the Fig. 7 quantity.
+     * Returns +infinity when the allowance is non-positive.
+     */
+    double minimumEfficiency(DataRate rate, Power power_allowance) const;
+
+  private:
+    Frequency _symbolRate;
+    LinkBudget _link;
+    double _targetBer;
+};
+
+} // namespace mindful::comm
+
+#endif // MINDFUL_COMM_TRANSCEIVER_HH

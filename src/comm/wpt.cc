@@ -1,0 +1,85 @@
+#include "comm/wpt.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "base/logging.hh"
+
+namespace mindful::comm {
+
+WptLink::WptLink(WptLinkConfig config) : _config(config)
+{
+    MINDFUL_ASSERT(_config.txCoilRadius > 0.0,
+                   "transmit coil radius must be positive");
+    MINDFUL_ASSERT(_config.separation > 0.0,
+                   "coil separation must be positive");
+    MINDFUL_ASSERT(_config.qTx > 0.0 && _config.qRx > 0.0,
+                   "coil quality factors must be positive");
+    MINDFUL_ASSERT(_config.rectifierEfficiency > 0.0 &&
+                       _config.rectifierEfficiency <= 1.0,
+                   "rectifier efficiency must lie in (0, 1]");
+    MINDFUL_ASSERT(_config.maxTxPower.inWatts() > 0.0,
+                   "SAR-limited transmit power must be positive");
+}
+
+double
+WptLink::receiveCoilRadius(Area implant_area)
+{
+    MINDFUL_ASSERT(implant_area.inSquareMetres() > 0.0,
+                   "implant area must be positive");
+    return std::sqrt(implant_area.inSquareMetres() / std::numbers::pi);
+}
+
+double
+WptLink::coupling(double rx_radius) const
+{
+    MINDFUL_ASSERT(rx_radius > 0.0, "receive coil radius must be positive");
+    const double rt = _config.txCoilRadius;
+    const double d = _config.separation;
+    double k = (rt * rt * rx_radius * rx_radius) /
+               (std::sqrt(rt * rx_radius) *
+                std::pow(d * d + rt * rt, 1.5));
+    // The loop approximation exceeds 1 only for overlapping coils.
+    return std::min(k, 0.99);
+}
+
+double
+WptLink::linkEfficiency(double rx_radius) const
+{
+    double k = coupling(rx_radius);
+    double figure = k * k * _config.qTx * _config.qRx;
+    double denom = 1.0 + std::sqrt(1.0 + figure);
+    return figure / (denom * denom);
+}
+
+double
+WptLink::endToEndEfficiency(Area implant_area) const
+{
+    return linkEfficiency(receiveCoilRadius(implant_area)) *
+           _config.rectifierEfficiency;
+}
+
+Power
+WptLink::deliveredPower(Area implant_area, Power tx_power) const
+{
+    MINDFUL_ASSERT(tx_power.inWatts() >= 0.0,
+                   "transmit power must be non-negative");
+    MINDFUL_ASSERT(tx_power <= _config.maxTxPower,
+                   "transmit power exceeds the SAR cap");
+    return tx_power * endToEndEfficiency(implant_area);
+}
+
+Power
+WptLink::maxDeliverablePower(Area implant_area) const
+{
+    return deliveredPower(implant_area, _config.maxTxPower);
+}
+
+bool
+WptLink::canPower(Area implant_area, Power demand) const
+{
+    return demand <= maxDeliverablePower(implant_area);
+}
+
+} // namespace mindful::comm

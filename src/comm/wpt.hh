@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Wireless power transfer (WPT) link model.
+ *
+ * The paper's future considerations (Sec. 8) note that implants are
+ * increasingly powered by WPT, which "raises questions about power
+ * efficiency and heat generation": even if an SoC fits the thermal
+ * budget, the inductive link must actually *deliver* that much power
+ * through the skull. This module implements the standard two-coil
+ * inductive model:
+ *
+ *   - coupling between coaxial circular coils of radii r_tx / r_rx
+ *     separated by d:  k ~ r_tx^2 r_rx^2 /
+ *                          (sqrt(r_tx r_rx) (d^2 + r_tx^2)^{3/2})
+ *   - optimal-load link efficiency:
+ *         eta = k^2 Q_tx Q_rx / (1 + sqrt(1 + k^2 Q_tx Q_rx))^2
+ *   - delivered power = P_tx * eta * eta_rectifier, with P_tx capped
+ *     by tissue-exposure (SAR) limits.
+ *
+ * The receive coil is assumed to wrap the implant perimeter, so the
+ * deliverable power is a function of implant area — a second,
+ * independent ceiling next to the 40 mW/cm^2 thermal budget.
+ */
+
+#ifndef MINDFUL_COMM_WPT_HH
+#define MINDFUL_COMM_WPT_HH
+
+#include "base/units.hh"
+
+namespace mindful::comm {
+
+/** Two-coil inductive link parameters. */
+struct WptLinkConfig
+{
+    /** External (wearable) coil radius [m]. */
+    double txCoilRadius = 15e-3;
+
+    /** Coil separation: scalp + skull + dura [m]. */
+    double separation = 8e-3;
+
+    /** Quality factor of the external coil. */
+    double qTx = 100.0;
+
+    /** Quality factor of the implanted coil (thin, constrained). */
+    double qRx = 30.0;
+
+    /** Rectifier + power-management efficiency on the implant. */
+    double rectifierEfficiency = 0.8;
+
+    /** Transmit power cap from tissue-exposure (SAR) limits. */
+    Power maxTxPower = Power::milliwatts(250.0);
+};
+
+/** Evaluates deliverable power for implant geometries. */
+class WptLink
+{
+  public:
+    explicit WptLink(WptLinkConfig config = {});
+
+    const WptLinkConfig &config() const { return _config; }
+
+    /** Receive-coil radius for an implant of the given area. */
+    static double receiveCoilRadius(Area implant_area);
+
+    /** Coil coupling coefficient k in (0, 1). */
+    double coupling(double rx_radius) const;
+
+    /** Optimal-load link efficiency in (0, 1), before the rectifier. */
+    double linkEfficiency(double rx_radius) const;
+
+    /** End-to-end efficiency including the rectifier. */
+    double endToEndEfficiency(Area implant_area) const;
+
+    /** Power deliverable to an implant of @p area at @p tx_power. */
+    Power deliveredPower(Area implant_area, Power tx_power) const;
+
+    /** Deliverable power at the SAR-limited maximum transmit power. */
+    Power maxDeliverablePower(Area implant_area) const;
+
+    /**
+     * True if the link can power a load of @p demand on an implant of
+     * @p area within the SAR cap.
+     */
+    bool canPower(Area implant_area, Power demand) const;
+
+  private:
+    WptLinkConfig _config;
+};
+
+} // namespace mindful::comm
+
+#endif // MINDFUL_COMM_WPT_HH

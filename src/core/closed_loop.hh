@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Closed-loop BCI study (extension; paper Secs. 2, 7).
+ *
+ * The paper focuses on open-loop applications and plans to "extend
+ * this work to accommodate closed-loop BCIs" (Sec. 7). A closed-loop
+ * implant senses, decodes, and *stimulates* on-device, replacing the
+ * outbound raw-data stream with a local loop that must close within
+ * the brain's reaction time (~0.18 s, the real-time definition the
+ * paper quotes from MasterMind/MindCrypt). Two constraints replace
+ * the communication story:
+ *
+ *  - latency: acquisition window + decode + stimulation setup must
+ *    fit the reaction deadline;
+ *  - power: the stimulator joins sensing + computation under the same
+ *    40 mW/cm^2 budget (telemetry shrinks to a status trickle).
+ */
+
+#ifndef MINDFUL_CORE_CLOSED_LOOP_HH
+#define MINDFUL_CORE_CLOSED_LOOP_HH
+
+#include "core/comp_centric.hh"
+
+namespace mindful::core {
+
+/** Electrical stimulation back-end parameters. */
+struct StimulatorSpec
+{
+    /** Stimulation sites on the implant. */
+    std::size_t sites = 16;
+
+    /** Pulse rate per active site [Hz]. */
+    double pulseRateHz = 200.0;
+
+    /** Energy of one charge-balanced biphasic pulse. */
+    Energy energyPerPulse = Energy::microjoules(1.0);
+
+    /** Average fraction of sites active. */
+    double activeFraction = 0.25;
+
+    /** Fixed stimulation front-end overhead (drivers, DACs). */
+    Power staticOverhead = Power::microwatts(150.0);
+
+    /** Time to configure and launch a stimulation pattern. */
+    Time setupLatency = Time::milliseconds(2.0);
+
+    /** Mean stimulation power. */
+    Power meanPower() const;
+};
+
+/** Loop timing / deadline parameters. */
+struct ClosedLoopConfig
+{
+    /** Brain reaction time: the end-to-end loop deadline (Sec. 2). */
+    Time reactionDeadline = Time::milliseconds(180.0);
+
+    /** Decoder input sampling rate (window acquisition clock). */
+    Frequency applicationRate = Frequency::kilohertz(2.0);
+
+    /** MAC technology for the on-implant decoder. */
+    accel::MacUnitParams mac = accel::nangate45();
+
+    /** Residual telemetry (status uplink) as values per second. */
+    double telemetryValuesPerSecond = 100.0;
+};
+
+/** One evaluated closed-loop design point. */
+struct ClosedLoopPoint
+{
+    std::uint64_t channels = 0;
+
+    accel::AcceleratorBound bound;
+
+    Power sensingPower;
+    Power computePower;
+    Power stimulationPower;
+    Power digitalPower;
+    Power telemetryPower;
+    Power totalPower;
+    Power powerBudget;
+    double budgetUtilization = 0.0;
+
+    Time acquisitionLatency; //!< decoder input window duration
+    Time decodeLatency;      //!< accelerator execution time
+    Time stimulationLatency; //!< pattern setup
+    Time loopLatency;        //!< sum of the above
+
+    bool meetsDeadline = false;
+    bool withinBudget = false;
+
+    bool
+    feasible() const
+    {
+        return bound.feasible && meetsDeadline && withinBudget;
+    }
+};
+
+/** Closed-loop evaluator for one implant + decoder family. */
+class ClosedLoopStudy
+{
+  public:
+    ClosedLoopStudy(ImplantModel implant, ModelBuilder decoder,
+                    StimulatorSpec stimulator = {},
+                    ClosedLoopConfig config = {});
+
+    const ImplantModel &implant() const { return _implant; }
+    const StimulatorSpec &stimulator() const { return _stimulator; }
+    const ClosedLoopConfig &config() const { return _config; }
+
+    ClosedLoopPoint evaluate(std::uint64_t channels) const;
+
+    /** Largest feasible channel count (scanned at @p step). */
+    std::uint64_t maxChannels(std::uint64_t max_channels = 16384,
+                              std::uint64_t step = 32) const;
+
+  private:
+    ImplantModel _implant;
+    ModelBuilder _decoder;
+    StimulatorSpec _stimulator;
+    ClosedLoopConfig _config;
+};
+
+} // namespace mindful::core
+
+#endif // MINDFUL_CORE_CLOSED_LOOP_HH

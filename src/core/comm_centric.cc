@@ -1,0 +1,80 @@
+#include "core/comm_centric.hh"
+
+#include "base/logging.hh"
+
+namespace mindful::core {
+
+CommCentricModel::CommCentricModel(ImplantModel implant,
+                                   CommScalingStrategy strategy)
+    : _implant(std::move(implant)), _strategy(strategy)
+{
+}
+
+CommCentricPoint
+CommCentricModel::project(std::uint64_t channels) const
+{
+    MINDFUL_ASSERT(channels > 0, "channel count must be positive");
+
+    const double ratio = static_cast<double>(channels) /
+                         static_cast<double>(_implant.referenceChannels());
+
+    CommCentricPoint point;
+    point.channels = channels;
+    point.sensingPower = _implant.sensingPower(channels);
+    point.sensingArea = _implant.sensingArea(channels);
+    point.dataRate = _implant.sensingThroughput(channels);
+
+    switch (_strategy) {
+      case CommScalingStrategy::Naive:
+        // Each channel carries its own non-sensing slice: everything
+        // scales linearly from the reference point.
+        point.nonSensingPower = _implant.nonSensingPower() * ratio;
+        point.nonSensingArea = _implant.nonSensingArea() * ratio;
+        break;
+      case CommScalingStrategy::HighMargin:
+        // The transceiver absorbs the higher rate at constant Eb:
+        // comm power tracks the data rate, digital power and all
+        // non-sensing area stay frozen at their reference values.
+        point.nonSensingPower =
+            _implant.digitalPower() + _implant.commPower() * ratio;
+        point.nonSensingArea = _implant.nonSensingArea();
+        break;
+      default:
+        MINDFUL_PANIC("unknown comm scaling strategy");
+    }
+
+    point.totalPower = point.sensingPower + point.nonSensingPower;
+    point.totalArea = point.sensingArea + point.nonSensingArea;
+    point.powerBudget = _implant.powerBudget(point.totalArea);
+    point.budgetUtilization = point.totalPower / point.powerBudget;
+    point.sensingAreaFraction = point.sensingArea / point.totalArea;
+    return point;
+}
+
+std::vector<CommCentricPoint>
+CommCentricModel::sweep(const std::vector<std::uint64_t> &channel_counts)
+    const
+{
+    std::vector<CommCentricPoint> points;
+    points.reserve(channel_counts.size());
+    for (std::uint64_t n : channel_counts)
+        points.push_back(project(n));
+    return points;
+}
+
+std::uint64_t
+CommCentricModel::maxSafeChannels(std::uint64_t max_channels,
+                                  std::uint64_t step) const
+{
+    MINDFUL_ASSERT(step > 0, "scan step must be positive");
+    std::uint64_t last_safe = 0;
+    for (std::uint64_t n = step; n <= max_channels; n += step) {
+        if (project(n).safe())
+            last_safe = n;
+        else if (n > _implant.referenceChannels())
+            break; // utilization grows monotonically past this point
+    }
+    return last_safe;
+}
+
+} // namespace mindful::core

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Communication-centric scaling with energy-efficient (OOK)
+ * modulation (paper Sec. 5.1, Figs. 5-6).
+ *
+ * Two opposing hypotheses about how a raw-data-streaming implant
+ * grows beyond 1024 channels:
+ *
+ *  - Naive: every added channel brings its own non-sensing slice
+ *    (transceiver + digital), so all power and area components scale
+ *    linearly — equivalent to tiling more implants. Psoc/Pbudget
+ *    stays constant, but volumetric efficiency never improves.
+ *
+ *  - High-margin: the existing transceiver/antenna absorb the higher
+ *    data rate at constant Eb, so non-sensing *area* is frozen while
+ *    comm *power* grows with the data rate. Volumetric efficiency
+ *    improves, but Psoc eventually overruns the (slower-growing)
+ *    budget.
+ */
+
+#ifndef MINDFUL_CORE_COMM_CENTRIC_HH
+#define MINDFUL_CORE_COMM_CENTRIC_HH
+
+#include <vector>
+
+#include "core/scaling.hh"
+
+namespace mindful::core {
+
+/** Scaling hypothesis of Sec. 5.1. */
+enum class CommScalingStrategy { Naive, HighMargin };
+
+/** One projected design point of Figs. 5-6. */
+struct CommCentricPoint
+{
+    std::uint64_t channels = 0;
+
+    Power sensingPower;
+    Power nonSensingPower;
+    Power totalPower;
+
+    Area sensingArea;
+    Area nonSensingArea;
+    Area totalArea;
+
+    Power powerBudget;
+
+    /** Psoc / Pbudget (Fig. 5 bar height). */
+    double budgetUtilization = 0.0;
+
+    /** Asensing / Asoc (Fig. 6 series). */
+    double sensingAreaFraction = 0.0;
+
+    /** OOK uplink data rate at this point. */
+    DataRate dataRate;
+
+    bool
+    safe() const
+    {
+        return budgetUtilization <= 1.0;
+    }
+};
+
+/** Projects one implant under one strategy. */
+class CommCentricModel
+{
+  public:
+    CommCentricModel(ImplantModel implant, CommScalingStrategy strategy);
+
+    const ImplantModel &implant() const { return _implant; }
+    CommScalingStrategy strategy() const { return _strategy; }
+
+    /** Project the design to @p channels. */
+    CommCentricPoint project(std::uint64_t channels) const;
+
+    /** Project over a sweep of channel counts. */
+    std::vector<CommCentricPoint>
+    sweep(const std::vector<std::uint64_t> &channel_counts) const;
+
+    /**
+     * Largest channel count with Psoc <= Pbudget (scan granularity
+     * @p step). The naive strategy never crosses the budget (its
+     * utilization is channel-independent), so the scan cap
+     * @p max_channels is returned in that case.
+     */
+    std::uint64_t maxSafeChannels(std::uint64_t max_channels = 65536,
+                                  std::uint64_t step = 64) const;
+
+  private:
+    ImplantModel _implant;
+    CommScalingStrategy _strategy;
+};
+
+} // namespace mindful::core
+
+#endif // MINDFUL_CORE_COMM_CENTRIC_HH

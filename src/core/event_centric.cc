@@ -1,0 +1,82 @@
+#include "core/event_centric.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mindful::core {
+
+EventCentricModel::EventCentricModel(ImplantModel implant,
+                                     EventStreamConfig config)
+    : _implant(std::move(implant)), _config(config)
+{
+    MINDFUL_ASSERT(_config.meanSpikeRateHz > 0.0,
+                   "mean spike rate must be positive");
+    MINDFUL_ASSERT(_config.detectionOpsPerSample >= 0.0,
+                   "detection cost must be non-negative");
+}
+
+unsigned
+EventCentricModel::bitsPerEvent(std::uint64_t channels) const
+{
+    MINDFUL_ASSERT(channels > 0, "channel count must be positive");
+    auto id_bits = static_cast<unsigned>(std::ceil(
+        std::log2(static_cast<double>(channels) + 1.0)));
+    auto snippet_bits = static_cast<unsigned>(
+        _config.snippetSamples * _implant.sampleBits());
+    return id_bits + _config.timestampBits + snippet_bits;
+}
+
+EventCentricPoint
+EventCentricModel::evaluate(std::uint64_t channels) const
+{
+    MINDFUL_ASSERT(channels > 0, "channel count must be positive");
+
+    EventCentricPoint point;
+    point.channels = channels;
+    point.eventRate =
+        static_cast<double>(channels) * _config.meanSpikeRateHz;
+    point.bitsPerEvent = bitsPerEvent(channels);
+    point.dataRate = DataRate::bitsPerSecond(
+        point.eventRate * static_cast<double>(point.bitsPerEvent));
+    point.rawDataRate = _implant.sensingThroughput(channels);
+
+    // Detection: a few fixed-point ops on every raw sample, charged
+    // at MAC-op energy (it is the same datapath class).
+    double ops_per_second =
+        static_cast<double>(channels) *
+        _implant.samplingFrequency().inHertz() *
+        _config.detectionOpsPerSample;
+    point.detectionPower = Power::watts(
+        ops_per_second * _config.mac.energyPerMac().inJoules());
+
+    point.sensingPower = _implant.sensingPower(channels);
+    point.digitalPower = _implant.digitalPower();
+    point.commPower = point.dataRate * _implant.commEnergyPerBit();
+    point.totalPower = point.sensingPower + point.detectionPower +
+                       point.commPower + point.digitalPower;
+
+    // Non-sensing area frozen, as in the other beyond-1024 studies.
+    Area total_area =
+        _implant.sensingArea(channels) + _implant.nonSensingArea();
+    point.powerBudget = _implant.powerBudget(total_area);
+    point.budgetUtilization = point.totalPower / point.powerBudget;
+    return point;
+}
+
+std::uint64_t
+EventCentricModel::maxSafeChannels(std::uint64_t max_channels,
+                                   std::uint64_t step) const
+{
+    MINDFUL_ASSERT(step > 0, "scan step must be positive");
+    std::uint64_t best = 0;
+    for (std::uint64_t n = step; n <= max_channels; n += step) {
+        if (evaluate(n).safe())
+            best = n;
+        else if (n > _implant.referenceChannels())
+            break;
+    }
+    return best;
+}
+
+} // namespace mindful::core

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Event-centric dataflow: on-implant spike detection + event
+ * streaming (extension; paper Secs. 2.3, 6.2, related work).
+ *
+ * Between "stream everything" (communication-centric) and "decode
+ * everything" (computation-centric) sits the architecture the paper
+ * cites via NOEMA and Jang et al.: detect spikes on the implant and
+ * transmit only events — a (channel id, timestamp, optional waveform
+ * snippet) tuple per spike — exploiting the sparsity that also
+ * underlies the channel-dropout optimization. Detection itself is a
+ * few fixed-point ops per sample (NEO + threshold), so its power is
+ * linear in the raw sample rate, while the uplink shrinks from
+ * d*n*f to n * spike_rate * bits_per_event.
+ */
+
+#ifndef MINDFUL_CORE_EVENT_CENTRIC_HH
+#define MINDFUL_CORE_EVENT_CENTRIC_HH
+
+#include "accel/mac_unit.hh"
+#include "core/scaling.hh"
+
+namespace mindful::core {
+
+/** Event-streaming parameters. */
+struct EventStreamConfig
+{
+    /** Mean detected spike rate per channel [Hz]. */
+    double meanSpikeRateHz = 20.0;
+
+    /** Timestamp field width per event [bits]. */
+    unsigned timestampBits = 16;
+
+    /** Waveform samples shipped with each event (0 = event-only;
+     *  16 supports off-implant spike sorting). */
+    std::size_t snippetSamples = 16;
+
+    /** Fixed-point ops per raw sample for detection (NEO + compare
+     *  + threshold update), charged at MAC-op energy. */
+    double detectionOpsPerSample = 3.0;
+
+    /** Energy/latency proxy for one detection op. */
+    accel::MacUnitParams mac = accel::nangate45();
+};
+
+/** One evaluated event-centric design point. */
+struct EventCentricPoint
+{
+    std::uint64_t channels = 0;
+
+    /** Events per second across the array. */
+    double eventRate = 0.0;
+
+    /** Bits per transmitted event at this channel count. */
+    unsigned bitsPerEvent = 0;
+
+    DataRate dataRate;     //!< event uplink
+    DataRate rawDataRate;  //!< what raw streaming would need
+
+    Power sensingPower;
+    Power detectionPower;
+    Power commPower;
+    Power digitalPower;
+    Power totalPower;
+    Power powerBudget;
+    double budgetUtilization = 0.0;
+
+    bool
+    safe() const
+    {
+        return budgetUtilization <= 1.0;
+    }
+};
+
+/** Event-streaming evaluator for one implant. */
+class EventCentricModel
+{
+  public:
+    EventCentricModel(ImplantModel implant, EventStreamConfig config = {});
+
+    const ImplantModel &implant() const { return _implant; }
+    const EventStreamConfig &config() const { return _config; }
+
+    /** Bits per event: channel id + timestamp + snippet payload. */
+    unsigned bitsPerEvent(std::uint64_t channels) const;
+
+    EventCentricPoint evaluate(std::uint64_t channels) const;
+
+    /** Largest safe channel count (scan up to @p max_channels);
+     *  returns max_channels when the density never crosses the cap. */
+    std::uint64_t maxSafeChannels(std::uint64_t max_channels = 65536,
+                                  std::uint64_t step = 64) const;
+
+  private:
+    ImplantModel _implant;
+    EventStreamConfig _config;
+};
+
+} // namespace mindful::core
+
+#endif // MINDFUL_CORE_EVENT_CENTRIC_HH

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Experiment runners: one per table / figure of the paper.
+ *
+ * Each runner returns structured results (consumed by the tests) and
+ * can render them as a Table (consumed by the bench binaries, which
+ * regenerate the paper's rows/series). The experiment-to-module map
+ * lives in DESIGN.md Sec. 4.
+ */
+
+#ifndef MINDFUL_CORE_EXPERIMENTS_HH
+#define MINDFUL_CORE_EXPERIMENTS_HH
+
+#include <string>
+#include <vector>
+
+#include "accel/synthesis_model.hh"
+#include "base/table.hh"
+#include "core/comm_centric.hh"
+#include "core/optimization.hh"
+#include "core/qam_study.hh"
+
+namespace mindful::core::experiments {
+
+// --- Table 1 ---------------------------------------------------------
+
+/** The published-design summary exactly as catalogued. */
+Table table1();
+
+// --- Fig. 4: designs scaled to 1024 channels -------------------------
+
+struct Fig4Row
+{
+    ScaledDesignPoint point;
+    Power budget;
+    bool safe = false;
+};
+
+std::vector<Fig4Row> fig4Rows();
+Table fig4Table();
+
+// --- Figs. 5-6: communication-centric OOK scaling --------------------
+
+struct CommSweepSeries
+{
+    int socId = 0;
+    std::string name;
+    CommScalingStrategy strategy;
+    std::vector<CommCentricPoint> points;
+};
+
+/** Default Fig. 5 sweep: n = 1024, 2048, 4096, 8192. */
+std::vector<std::uint64_t> fig5Channels();
+
+/** Default Fig. 6 sweep: n = 1024..8192 step 1024. */
+std::vector<std::uint64_t> fig6Channels();
+
+std::vector<CommSweepSeries>
+commCentricSweep(CommScalingStrategy strategy,
+                 const std::vector<std::uint64_t> &channels);
+
+Table fig5Table(CommScalingStrategy strategy);
+Table fig6Table(CommScalingStrategy strategy);
+
+// --- Fig. 7: minimum QAM efficiency ----------------------------------
+
+struct QamSeries
+{
+    int socId = 0;
+    std::string name;
+    std::vector<QamPoint> points;
+};
+
+/** Default Fig. 7 sweep: n = 1024..6144 step 256. */
+std::vector<std::uint64_t> fig7Channels();
+
+std::vector<QamSeries>
+qamSweep(const std::vector<std::uint64_t> &channels,
+         QamStudyConfig config = {});
+
+/** Average (over wireless SoCs) max channel count at efficiency eta. */
+struct QamSummary
+{
+    double efficiency = 0.0;
+    double averageMaxChannels = 0.0;
+
+    /** averageMaxChannels / 1024 — the paper's "2x / 4x" statements. */
+    double averageGain = 0.0;
+};
+
+QamSummary qamSummary(double efficiency, QamStudyConfig config = {});
+
+Table fig7Table();
+
+// --- Fig. 9: accelerator synthesis study -----------------------------
+
+struct Fig9Row
+{
+    int design = 0;
+    accel::AcceleratorDesignPoint point;
+    accel::SynthesisEstimate estimate;
+};
+
+std::vector<Fig9Row> fig9Rows();
+Table fig9Table();
+
+// --- Figs. 10-12: computation-centric studies -------------------------
+
+/** The two evaluated decoder families (Sec. 5.3). */
+enum class SpeechModel { Mlp, DnCnn };
+
+std::string toString(SpeechModel model);
+
+/** Builder producing the scaled model for a channel count. */
+ModelBuilder speechModelBuilder(SpeechModel model);
+
+struct DnnPowerSeries
+{
+    int socId = 0;
+    std::string name;
+    SpeechModel model;
+    std::vector<CompCentricPoint> points;
+
+    /** Largest feasible channel count for this SoC/model. */
+    std::uint64_t maxChannels = 0;
+};
+
+/** Default Fig. 10 sweep: n = 1024..7168 step 1024. */
+std::vector<std::uint64_t> fig10Channels();
+
+std::vector<DnnPowerSeries>
+dnnPowerSweep(SpeechModel model,
+              const std::vector<std::uint64_t> &channels);
+
+Table fig10Table(SpeechModel model);
+
+// --- Fig. 11: DNN partitioning gains ----------------------------------
+
+struct PartitionGainRow
+{
+    int socId = 0;
+    std::string name;
+    SpeechModel model;
+    std::uint64_t maxChannelsFull = 0;
+    std::uint64_t maxChannelsPartitioned = 0;
+
+    /** maxPartitioned / maxFull (>= 1 when partitioning helps). */
+    double gain = 1.0;
+};
+
+std::vector<PartitionGainRow> partitionGains(SpeechModel model);
+Table fig11Table();
+
+// --- Fig. 12: combined optimizations ----------------------------------
+
+struct OptimizationSeries
+{
+    int socId = 0;
+    std::string name;
+    std::uint64_t channels = 0;
+
+    /** Outcomes in Fig. 12 bar order:
+     *  ChDr, La+ChDr, La+ChDr+Tech, La+ChDr+Tech+Dense. */
+    std::vector<OptimizationOutcome> outcomes;
+};
+
+/** Default Fig. 12 channel counts: 2048, 4096, 8192. */
+std::vector<std::uint64_t> fig12Channels();
+
+std::vector<OptimizationSeries>
+optimizationSweep(int soc_id, SpeechModel model = SpeechModel::Mlp);
+
+Table fig12Table(int soc_id);
+
+} // namespace mindful::core::experiments
+
+#endif // MINDFUL_CORE_EXPERIMENTS_HH

@@ -1,0 +1,100 @@
+#include "core/multi_implant.hh"
+
+#include "base/logging.hh"
+#include "base/special_math.hh"
+
+namespace mindful::core {
+
+MultiImplantStudy::MultiImplantStudy(ImplantModel implant,
+                                     MultiImplantConfig config)
+    : _implant(std::move(implant)), _config(config)
+{
+    MINDFUL_ASSERT(_config.commOverheadPerExtraImplant >= 0.0,
+                   "comm overhead must be non-negative");
+}
+
+MultiImplantPoint
+MultiImplantStudy::evaluate(std::uint64_t total_channels,
+                            std::uint32_t implants) const
+{
+    MINDFUL_ASSERT(total_channels > 0, "channel count must be positive");
+    MINDFUL_ASSERT(implants > 0, "need at least one implant");
+
+    MultiImplantPoint point;
+    point.totalChannels = total_channels;
+    point.implants = implants;
+    point.channelsPerImplant = ceilDiv(total_channels, implants);
+
+    const std::uint64_t n = point.channelsPerImplant;
+
+    // Per implant: linear sensing (Eq. 5), frozen non-sensing area,
+    // frozen digital power, comm power tracking its own data rate
+    // (high-margin hypothesis) inflated by the shared-medium penalty.
+    const double comm_penalty =
+        1.0 + _config.commOverheadPerExtraImplant *
+                  static_cast<double>(implants - 1);
+    const double rate_ratio =
+        static_cast<double>(n) /
+        static_cast<double>(_implant.referenceChannels());
+
+    Power sensing = _implant.sensingPower(n);
+    Power comm = _implant.commPower() * rate_ratio * comm_penalty;
+    Power digital = _implant.digitalPower();
+    point.perImplantPower = sensing + comm + digital;
+
+    Area per_area = _implant.sensingArea(n) + _implant.nonSensingArea();
+    point.perImplantBudget = _implant.powerBudget(per_area);
+    point.perImplantUtilization =
+        point.perImplantPower / point.perImplantBudget;
+    point.feasible = point.perImplantUtilization <= 1.0;
+
+    point.totalPower =
+        point.perImplantPower * static_cast<double>(implants);
+    point.totalArea = per_area * static_cast<double>(implants);
+    point.sensingAreaFraction =
+        _implant.sensingArea(n) * static_cast<double>(implants) /
+        point.totalArea;
+    point.aggregateRate = _implant.sensingThroughput(n * implants);
+    return point;
+}
+
+std::vector<MultiImplantPoint>
+MultiImplantStudy::sweep(std::uint64_t total_channels,
+                         std::uint32_t max_implants) const
+{
+    std::vector<MultiImplantPoint> points;
+    points.reserve(max_implants);
+    for (std::uint32_t count = 1; count <= max_implants; ++count)
+        points.push_back(evaluate(total_channels, count));
+    return points;
+}
+
+std::uint32_t
+MultiImplantStudy::minimumImplants(std::uint64_t total_channels,
+                                   std::uint32_t max_implants) const
+{
+    for (std::uint32_t count = 1; count <= max_implants; ++count)
+        if (evaluate(total_channels, count).feasible)
+            return count;
+    return 0;
+}
+
+std::uint32_t
+MultiImplantStudy::bestImplantCount(std::uint64_t total_channels,
+                                    std::uint32_t max_implants) const
+{
+    std::uint32_t best = 0;
+    double best_power = 0.0;
+    for (std::uint32_t count = 1; count <= max_implants; ++count) {
+        auto point = evaluate(total_channels, count);
+        if (!point.feasible)
+            continue;
+        if (best == 0 || point.totalPower.inWatts() < best_power) {
+            best = count;
+            best_power = point.totalPower.inWatts();
+        }
+    }
+    return best;
+}
+
+} // namespace mindful::core

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Multi-implant scaling study (extension; paper Sec. 7 related work).
+ *
+ * The paper notes that some systems scale "by employing multiple
+ * implanted SoCs" (SCALO) and that the naive design "is effectively
+ * equivalent to scaling the number of implanted SoCs". This study
+ * makes the trade-off explicit: to sense N total channels, deploy
+ * `count` implants of N/count channels each. Every implant carries a
+ * full non-sensing block (transceiver + digital), each must satisfy
+ * the 40 mW/cm^2 density cap *individually*, and sharing the wireless
+ * medium costs a coordination overhead on the transmit energy:
+ *
+ *     Eb_eff = Eb * (1 + overhead * (count - 1))
+ *
+ * More implants buy per-implant feasibility (each chip is smaller and
+ * cooler) at the price of replicated overhead power/area and worse
+ * volumetric efficiency — quantifying when "many small" beats "one
+ * large".
+ */
+
+#ifndef MINDFUL_CORE_MULTI_IMPLANT_HH
+#define MINDFUL_CORE_MULTI_IMPLANT_HH
+
+#include <vector>
+
+#include "core/scaling.hh"
+
+namespace mindful::core {
+
+/** Study knobs. */
+struct MultiImplantConfig
+{
+    /** Fractional Eb penalty per additional implant sharing the
+     *  uplink (TDMA guard intervals, re-sync, interference). */
+    double commOverheadPerExtraImplant = 0.05;
+};
+
+/** One evaluated (total channels, implant count) configuration. */
+struct MultiImplantPoint
+{
+    std::uint64_t totalChannels = 0;
+    std::uint32_t implants = 0;
+    std::uint64_t channelsPerImplant = 0;
+
+    Power perImplantPower;
+    Power perImplantBudget;
+    double perImplantUtilization = 0.0;
+
+    Power totalPower;
+    Area totalArea;
+    double sensingAreaFraction = 0.0;
+    DataRate aggregateRate;
+
+    /** Every implant individually within its budget. */
+    bool feasible = false;
+};
+
+/** Evaluates implant-count choices for one base design. */
+class MultiImplantStudy
+{
+  public:
+    explicit MultiImplantStudy(ImplantModel implant,
+                               MultiImplantConfig config = {});
+
+    const ImplantModel &implant() const { return _implant; }
+
+    /** Evaluate @p implants implants covering @p total_channels. */
+    MultiImplantPoint evaluate(std::uint64_t total_channels,
+                               std::uint32_t implants) const;
+
+    /** Sweep counts 1..max_implants at fixed total channels. */
+    std::vector<MultiImplantPoint>
+    sweep(std::uint64_t total_channels,
+          std::uint32_t max_implants = 16) const;
+
+    /**
+     * Fewest implants making @p total_channels feasible (0 when even
+     * @p max_implants implants cannot).
+     */
+    std::uint32_t minimumImplants(std::uint64_t total_channels,
+                                  std::uint32_t max_implants = 16) const;
+
+    /**
+     * Lowest-total-power feasible count (0 when none is feasible).
+     */
+    std::uint32_t bestImplantCount(std::uint64_t total_channels,
+                                   std::uint32_t max_implants = 16) const;
+
+  private:
+    ImplantModel _implant;
+    MultiImplantConfig _config;
+};
+
+} // namespace mindful::core
+
+#endif // MINDFUL_CORE_MULTI_IMPLANT_HH

@@ -1,0 +1,42 @@
+#include "core/partition.hh"
+
+#include "base/logging.hh"
+
+namespace mindful::core {
+
+PartitionPlan
+earliestViableCut(const dnn::Network &network, std::uint64_t max_elements)
+{
+    MINDFUL_ASSERT(max_elements > 0, "cut volume limit must be positive");
+    MINDFUL_ASSERT(network.layerCount() > 0, "network must not be empty");
+
+    PartitionPlan plan;
+    plan.onImplantLayers = network.layerCount();
+
+    auto census = network.census();
+    std::uint64_t total_macs = dnn::totalMacs(census);
+
+    std::uint64_t prefix_macs = 0;
+    for (std::size_t i = 0; i + 1 < network.layerCount(); ++i) {
+        prefix_macs += census[i].totalMacs();
+        if (network.outputElements(i) <= max_elements) {
+            // A zero-MAC prefix would leave the wearable the whole
+            // network, which is the communication-centric case, not
+            // a partition; require at least one MAC on the implant.
+            if (prefix_macs == 0)
+                continue;
+            plan.viable = true;
+            plan.onImplantLayers = i + 1;
+            plan.cutElements = network.outputElements(i);
+            plan.onImplantMacFraction =
+                total_macs
+                    ? static_cast<double>(prefix_macs) /
+                          static_cast<double>(total_macs)
+                    : 1.0;
+            return plan;
+        }
+    }
+    return plan;
+}
+
+} // namespace mindful::core

@@ -1,0 +1,81 @@
+#include "core/qam_study.hh"
+
+#include "base/logging.hh"
+
+namespace mindful::core {
+
+namespace {
+
+comm::QamTransceiver
+makeTransceiver(const ImplantModel &implant, const QamStudyConfig &config)
+{
+    // Symbol rate = reference data rate with 1 bit per symbol: the
+    // OOK antenna bandwidth the QAM implementation must reuse.
+    Frequency symbol_rate =
+        Frequency::hertz(implant.referenceDataRate().inBitsPerSecond());
+    return comm::QamTransceiver(symbol_rate, config.link, config.targetBer);
+}
+
+} // namespace
+
+QamStudy::QamStudy(ImplantModel implant, QamStudyConfig config)
+    : _implant(std::move(implant)), _config(config),
+      _transceiver(makeTransceiver(_implant, _config))
+{
+}
+
+QamPoint
+QamStudy::evaluate(std::uint64_t channels) const
+{
+    MINDFUL_ASSERT(channels > 0, "channel count must be positive");
+
+    QamPoint point;
+    point.channels = channels;
+    point.dataRate = _implant.sensingThroughput(channels);
+    point.bitsPerSymbol = _transceiver.requiredBitsPerSymbol(point.dataRate);
+    point.idealTxPower =
+        point.dataRate * _transceiver.txEnergyPerBit(point.bitsPerSymbol);
+
+    // Advanced modulation reuses the existing non-sensing area
+    // (Sec. 5.2), so the budget grows only through sensing area.
+    Area total_area =
+        _implant.sensingArea(channels) + _implant.nonSensingArea();
+    Power budget = _implant.powerBudget(total_area);
+    point.commAllowance = budget - _implant.sensingPower(channels) -
+                          _implant.digitalPower();
+
+    point.minimumEfficiency =
+        _transceiver.minimumEfficiency(point.dataRate, point.commAllowance);
+    return point;
+}
+
+std::vector<QamPoint>
+QamStudy::sweep(const std::vector<std::uint64_t> &channel_counts) const
+{
+    std::vector<QamPoint> points;
+    points.reserve(channel_counts.size());
+    for (std::uint64_t n : channel_counts)
+        points.push_back(evaluate(n));
+    return points;
+}
+
+std::uint64_t
+QamStudy::maxChannels(double eta, std::uint64_t max_channels,
+                      std::uint64_t step) const
+{
+    MINDFUL_ASSERT(eta > 0.0 && eta <= 1.0,
+                   "QAM efficiency must lie in (0, 1]");
+    MINDFUL_ASSERT(step > 0, "scan step must be positive");
+
+    // The required efficiency is not monotone within a bits-per-
+    // symbol interval (allowance grows with n), so scan and keep the
+    // largest feasible point.
+    std::uint64_t best = 0;
+    for (std::uint64_t n = step; n <= max_channels; n += step) {
+        if (evaluate(n).feasibleAt(eta))
+            best = n;
+    }
+    return best;
+}
+
+} // namespace mindful::core

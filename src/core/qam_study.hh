@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Advanced-modulation feasibility study (paper Sec. 5.2, Fig. 7).
+ *
+ * The antenna bandwidth — hence the symbol rate — is frozen at the
+ * 1024-channel value; every further 1024 channels add one bit per
+ * symbol. For each channel count the study derives the required
+ * Eb/N0 from the Gray-QAM BER equation at BER = 1e-6, runs it
+ * through the 60 dB + 20 dB link budget, and reports the minimum
+ * *QAM efficiency* (power-amplifier/implementation efficiency)
+ * needed to keep the whole SoC inside its power budget.
+ */
+
+#ifndef MINDFUL_CORE_QAM_STUDY_HH
+#define MINDFUL_CORE_QAM_STUDY_HH
+
+#include <vector>
+
+#include "comm/transceiver.hh"
+#include "core/scaling.hh"
+
+namespace mindful::core {
+
+/** Study parameters (paper nominal values). */
+struct QamStudyConfig
+{
+    comm::LinkBudget link; //!< 60 dB path loss + 20 dB margin default
+    double targetBer = 1e-6;
+};
+
+/** One evaluated channel count. */
+struct QamPoint
+{
+    std::uint64_t channels = 0;
+    unsigned bitsPerSymbol = 0;
+
+    /** Required uplink data rate d * n * f. */
+    DataRate dataRate;
+
+    /** Radiated power at 100% efficiency. */
+    Power idealTxPower;
+
+    /** Budget left for the transmitter after sensing + digital. */
+    Power commAllowance;
+
+    /** Fig. 7 y-value; > 1 (or infinite) means infeasible even at
+     *  an ideal implementation. */
+    double minimumEfficiency = 0.0;
+
+    bool
+    feasibleAt(double efficiency) const
+    {
+        return minimumEfficiency <= efficiency;
+    }
+};
+
+/** Fig. 7 evaluation for one implant. */
+class QamStudy
+{
+  public:
+    explicit QamStudy(ImplantModel implant, QamStudyConfig config = {});
+
+    const ImplantModel &implant() const { return _implant; }
+    const QamStudyConfig &config() const { return _config; }
+    const comm::QamTransceiver &transceiver() const { return _transceiver; }
+
+    /** Evaluate one channel count. */
+    QamPoint evaluate(std::uint64_t channels) const;
+
+    /** Evaluate a sweep. */
+    std::vector<QamPoint>
+    sweep(const std::vector<std::uint64_t> &channel_counts) const;
+
+    /**
+     * Largest channel count supportable at QAM efficiency @p eta
+     * (scanned at @p step granularity up to @p max_channels).
+     */
+    std::uint64_t maxChannels(double eta,
+                              std::uint64_t max_channels = 16384,
+                              std::uint64_t step = 64) const;
+
+  private:
+    ImplantModel _implant;
+    QamStudyConfig _config;
+    comm::QamTransceiver _transceiver;
+};
+
+} // namespace mindful::core
+
+#endif // MINDFUL_CORE_QAM_STUDY_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Markdown design-report generator.
+ *
+ * Runs every MINDFUL study against one SoC design and renders the
+ * results as a self-contained markdown document — the artifact a
+ * design team would circulate when assessing an implant proposal.
+ */
+
+#ifndef MINDFUL_CORE_REPORT_HH
+#define MINDFUL_CORE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/soc_design.hh"
+
+namespace mindful::core {
+
+/** Report contents toggles. */
+struct ReportOptions
+{
+    bool includeCommCentric = true;  //!< Secs. 5.1-5.2 studies
+    bool includeCompCentric = true;  //!< Secs. 5.3 + 6.1 studies
+    bool includeOptimizations = true; //!< Sec. 6.2 ladder
+    bool includeMultiImplant = true; //!< multi-implant extension
+
+    /** Channel counts examined by the per-scale sections. */
+    std::vector<std::uint64_t> channelCounts{2048, 4096, 8192};
+};
+
+/** Render the full design report for @p design. */
+std::string designReport(const SocDesign &design,
+                         const ReportOptions &options = {});
+
+} // namespace mindful::core
+
+#endif // MINDFUL_CORE_REPORT_HH

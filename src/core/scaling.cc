@@ -1,0 +1,150 @@
+#include "core/scaling.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mindful::core {
+
+ScaledDesignPoint
+scaleDesign(const SocDesign &design, std::uint64_t target_channels)
+{
+    MINDFUL_ASSERT(target_channels > 0, "target channels must be positive");
+    MINDFUL_ASSERT(design.reportedChannels > 0,
+                   "design must report a channel count");
+
+    const std::uint64_t base = design.recipe.baseChannels
+                                   ? design.recipe.baseChannels
+                                   : design.reportedChannels;
+    const double ratio = static_cast<double>(target_channels) /
+                         static_cast<double>(base);
+
+    double area_factor;
+    double power_factor = ratio; // power scales linearly in all laws
+    switch (design.recipe.law) {
+      case ScalingLaw::SqrtAreaLinearPower:
+        area_factor = std::sqrt(ratio);
+        break;
+      case ScalingLaw::Linear:
+        area_factor = ratio;
+        break;
+      default:
+        MINDFUL_PANIC("unknown scaling law");
+    }
+
+    ScaledDesignPoint point;
+    point.socId = design.id;
+    point.name = design.name;
+    point.channels = target_channels;
+    point.area = design.reportedArea * area_factor *
+                 design.recipe.areaCorrection;
+    point.power = design.reportedPower * power_factor *
+                  design.recipe.powerCorrection;
+    return point;
+}
+
+ImplantModel::ImplantModel(SocDesign design, thermal::SafetyLimits limits)
+    : _design(std::move(design)), _budget(limits)
+{
+    MINDFUL_ASSERT(_design.sensingPowerFraction > 0.0 &&
+                       _design.sensingPowerFraction < 1.0,
+                   "sensing power fraction must lie in (0, 1)");
+    MINDFUL_ASSERT(_design.sensingAreaFraction > 0.0 &&
+                       _design.sensingAreaFraction < 1.0,
+                   "sensing area fraction must lie in (0, 1)");
+    MINDFUL_ASSERT(_design.commShareOfNonSensing >= 0.0 &&
+                       _design.commShareOfNonSensing <= 1.0,
+                   "comm share must lie in [0, 1]");
+    MINDFUL_ASSERT(_design.samplingFrequency.inHertz() > 0.0,
+                   "sampling frequency must be positive");
+
+    ScaledDesignPoint reference = scaleDesign(_design, kStandardChannels);
+    _referenceArea = reference.area;
+    _referencePower = reference.power;
+}
+
+Power
+ImplantModel::referenceSensingPower() const
+{
+    return _referencePower * _design.sensingPowerFraction;
+}
+
+Area
+ImplantModel::referenceSensingArea() const
+{
+    return _referenceArea * _design.sensingAreaFraction;
+}
+
+Power
+ImplantModel::nonSensingPower() const
+{
+    return _referencePower - referenceSensingPower();
+}
+
+Area
+ImplantModel::nonSensingArea() const
+{
+    return _referenceArea - referenceSensingArea();
+}
+
+Power
+ImplantModel::commPower() const
+{
+    return nonSensingPower() * _design.commShareOfNonSensing;
+}
+
+Power
+ImplantModel::digitalPower() const
+{
+    return nonSensingPower() - commPower();
+}
+
+EnergyPerBit
+ImplantModel::commEnergyPerBit() const
+{
+    return commPower() / referenceDataRate();
+}
+
+Power
+ImplantModel::sensingPower(std::uint64_t channels) const
+{
+    return referenceSensingPower() *
+           (static_cast<double>(channels) /
+            static_cast<double>(kStandardChannels));
+}
+
+Area
+ImplantModel::sensingArea(std::uint64_t channels) const
+{
+    return referenceSensingArea() *
+           (static_cast<double>(channels) /
+            static_cast<double>(kStandardChannels));
+}
+
+DataRate
+ImplantModel::sensingThroughput(std::uint64_t channels) const
+{
+    return _design.samplingFrequency *
+           (static_cast<double>(_design.sampleBits) *
+            static_cast<double>(channels));
+}
+
+DataRate
+ImplantModel::referenceDataRate() const
+{
+    return sensingThroughput(kStandardChannels);
+}
+
+Frequency
+ImplantModel::samplingFrequency() const
+{
+    return _design.samplingFrequency;
+}
+
+Time
+ImplantModel::samplePeriod() const
+{
+    return period(_design.samplingFrequency);
+}
+
+} // namespace mindful::core

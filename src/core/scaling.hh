@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Channel-count scaling of implanted SoC designs (paper Sec. 4).
+ *
+ * scaleDesign() implements the Sec. 4.1 extrapolation of a reported
+ * design to a target channel count (Eq. 1 in ratio form, plus the
+ * per-SoC corrections). ImplantModel wraps the resulting
+ * 1024-channel operating point and exposes the Sec. 4.2 / 4.3
+ * decomposition every downstream study consumes:
+ *
+ *   Asoc(n) = Asensing(n) + Anon-sensing(n)          (Eq. 2)
+ *   Psoc(n) = Psensing(n) + Pnon-sensing(n)
+ *   Psoc(n) / Asoc(n) <= 40 mW/cm^2                  (Eq. 3)
+ *   Asensing(n) = n * Asensing(1024) / 1024          (Eq. 5)
+ *   Psensing(n) = n * Psensing(1024) / 1024
+ *   Tsensing(n) = d * n * f                          (Eq. 6)
+ */
+
+#ifndef MINDFUL_CORE_SCALING_HH
+#define MINDFUL_CORE_SCALING_HH
+
+#include "core/soc_design.hh"
+#include "thermal/safety.hh"
+
+namespace mindful::core {
+
+/** The modern channel-count standard the paper scales designs to. */
+inline constexpr std::uint64_t kStandardChannels = 1024;
+
+/**
+ * Scale a reported design to @p target_channels per Sec. 4.1:
+ * ratio form of Eq. 1 (area ~ sqrt, power ~ linear), or fully linear
+ * for shank-replicated designs, then the recipe's corrections.
+ */
+ScaledDesignPoint scaleDesign(const SocDesign &design,
+                              std::uint64_t target_channels);
+
+/**
+ * An implanted SoC normalized to the 1024-channel operating point
+ * and decomposed into sensing / non-sensing components.
+ */
+class ImplantModel
+{
+  public:
+    explicit ImplantModel(SocDesign design,
+                          thermal::SafetyLimits limits = {});
+
+    const SocDesign &design() const { return _design; }
+    const thermal::PowerBudget &budget() const { return _budget; }
+
+    // --- Reference (1024-channel) operating point -----------------
+
+    std::uint64_t referenceChannels() const { return kStandardChannels; }
+    Area referenceArea() const { return _referenceArea; }
+    Power referencePower() const { return _referencePower; }
+
+    Power referenceSensingPower() const;
+    Area referenceSensingArea() const;
+
+    /** Non-sensing power / area at the reference point. */
+    Power nonSensingPower() const;
+    Area nonSensingArea() const;
+
+    /** RF transceiver share of the non-sensing power. */
+    Power commPower() const;
+
+    /** Remaining (digital / packetization) non-sensing power. */
+    Power digitalPower() const;
+
+    /**
+     * Transceiver energy per bit inferred from the reference comm
+     * power and the reference data rate — the constant-Eb anchor of
+     * the OOK analyses (Sec. 5.1).
+     */
+    EnergyPerBit commEnergyPerBit() const;
+
+    // --- Scaling laws (Eqs. 5-6) ----------------------------------
+
+    Power sensingPower(std::uint64_t channels) const;
+    Area sensingArea(std::uint64_t channels) const;
+
+    /** Tsensing(n) = d * n * f. */
+    DataRate sensingThroughput(std::uint64_t channels) const;
+
+    /** Data rate at the reference point (the OOK/QAM baud anchor). */
+    DataRate referenceDataRate() const;
+
+    Frequency samplingFrequency() const;
+    unsigned sampleBits() const { return _design.sampleBits; }
+
+    /** Real-time deadline t = 1/f (Sec. 5.3). */
+    Time samplePeriod() const;
+
+    /** Pbudget(A) under this model's safety limits (Eq. 3). */
+    Power powerBudget(Area area) const { return _budget.budget(area); }
+
+  private:
+    SocDesign _design;
+    thermal::PowerBudget _budget;
+    Area _referenceArea;
+    Power _referencePower;
+};
+
+} // namespace mindful::core
+
+#endif // MINDFUL_CORE_SCALING_HH

@@ -1,0 +1,248 @@
+#include "core/soc_catalog.hh"
+
+#include "base/logging.hh"
+
+namespace mindful::core {
+
+namespace {
+
+/**
+ * Build the Table 1 catalog.
+ *
+ * Reported power is derived from the published power density and
+ * brain-contact area; where the transcribed table is internally
+ * inconsistent with the paper's prose (SoCs 5 and 6) we follow the
+ * prose and record the choice in EXPERIMENTS.md. Sensing fractions
+ * and the comm share of non-sensing power are calibrated constants
+ * (the paper's artifact parameter files are not public in the text).
+ */
+std::vector<SocDesign>
+buildCatalog()
+{
+    using ni::SensorType;
+    std::vector<SocDesign> catalog;
+
+    {
+        SocDesign soc;
+        soc.id = 1;
+        soc.name = "BISC";
+        soc.reference = "Jung et al. 2024 / Zeng et al. 2023";
+        soc.sensorType = SensorType::Electrode;
+        soc.reportedChannels = 1024;
+        soc.reportedArea = Area::squareMillimetres(144.0);
+        soc.reportedPower = Power::milliwatts(38.88); // 27 mW/cm^2
+        soc.samplingFrequency = Frequency::kilohertz(8.0);
+        soc.wireless = true;
+        soc.validatedInOrExVivo = true;
+        soc.sensingPowerFraction = 0.45;
+        soc.sensingAreaFraction = 0.50;
+        catalog.push_back(soc);
+    }
+    {
+        SocDesign soc;
+        soc.id = 2;
+        soc.name = "Gilhotra";
+        soc.reference = "Gilhotra et al. 2024";
+        soc.sensorType = SensorType::Spad;
+        soc.reportedChannels = 49152;
+        soc.reportedArea = Area::squareMillimetres(144.0);
+        soc.reportedPower = Power::milliwatts(47.52); // 33 mW/cm^2
+        soc.samplingFrequency = Frequency::kilohertz(8.0);
+        soc.wireless = true;
+        soc.validatedInOrExVivo = true;
+        // SPAD imager: the paper uses its nominal parameters for a
+        // 1024-channel configuration.
+        soc.recipe.baseChannels = 1024;
+        soc.sensingPowerFraction = 0.40;
+        soc.sensingAreaFraction = 0.55;
+        catalog.push_back(soc);
+    }
+    {
+        SocDesign soc;
+        soc.id = 3;
+        soc.name = "Neuralink";
+        soc.reference = "Musk et al. 2019";
+        soc.sensorType = SensorType::Electrode;
+        soc.reportedChannels = 1024;
+        soc.reportedArea = Area::squareMillimetres(20.0);
+        soc.reportedPower = Power::milliwatts(7.8); // 39 mW/cm^2
+        soc.samplingFrequency = Frequency::kilohertz(10.0);
+        soc.wireless = true;
+        soc.validatedInOrExVivo = true;
+        soc.sensingPowerFraction = 0.40;
+        soc.sensingAreaFraction = 0.35;
+        catalog.push_back(soc);
+    }
+    {
+        SocDesign soc;
+        soc.id = 4;
+        soc.name = "Shen";
+        soc.reference = "Shen et al. 2024";
+        soc.sensorType = SensorType::Electrode;
+        soc.reportedChannels = 16;
+        soc.reportedArea = Area::squareMillimetres(1.34);
+        soc.reportedPower = Power::milliwatts(0.0295); // 2.2 mW/cm^2
+        soc.samplingFrequency = Frequency::kilohertz(10.0);
+        soc.wireless = true;
+        soc.validatedInOrExVivo = true;
+        soc.sensingPowerFraction = 0.50;
+        soc.sensingAreaFraction = 0.30;
+        catalog.push_back(soc);
+    }
+    {
+        SocDesign soc;
+        soc.id = 5;
+        soc.name = "Muller";
+        soc.reference = "Muller et al. 2014";
+        soc.sensorType = SensorType::Electrode;
+        soc.reportedChannels = 64;
+        soc.reportedArea = Area::squareMillimetres(5.76);
+        soc.reportedPower = Power::milliwatts(0.144);
+        soc.samplingFrequency = Frequency::kilohertz(1.0);
+        soc.wireless = true;
+        soc.validatedInOrExVivo = true;
+        // Sec. 4.1: scaling yields ~10 mW/cm^2, "unrealistically low";
+        // a 2x area reduction gives the plausible 20 mW/cm^2.
+        soc.recipe.areaCorrection = 0.5;
+        soc.recipe.correctionNote = "2x area cut (Sec. 4.1)";
+        soc.sensingPowerFraction = 0.45;
+        soc.sensingAreaFraction = 0.35;
+        catalog.push_back(soc);
+    }
+    {
+        SocDesign soc;
+        soc.id = 6;
+        soc.name = "Yang";
+        soc.reference = "Yang et al. 2022";
+        soc.sensorType = SensorType::Electrode;
+        soc.reportedChannels = 4;
+        soc.reportedArea = Area::squareMillimetres(4.0);
+        soc.reportedPower = Power::milliwatts(0.052);
+        soc.samplingFrequency = Frequency::kilohertz(20.0);
+        soc.wireless = true;
+        soc.validatedInOrExVivo = true;
+        soc.sensingPowerFraction = 0.30;
+        soc.sensingAreaFraction = 0.15;
+        catalog.push_back(soc);
+    }
+    {
+        SocDesign soc;
+        soc.id = 7;
+        soc.name = "WIMAGINE";
+        soc.reference = "Mestais et al. 2014";
+        soc.sensorType = SensorType::Electrode;
+        soc.reportedChannels = 64;
+        soc.reportedArea = Area::squareMillimetres(1960.0);
+        soc.reportedPower = Power::milliwatts(74.5); // 3.8 mW/cm^2
+        soc.samplingFrequency = Frequency::kilohertz(30.0);
+        soc.wireless = true;
+        soc.validatedInOrExVivo = true;
+        // Sec. 4.1: a 50x reduction in both power and area models a
+        // more evolved design with realistic channel spacing.
+        soc.recipe.areaCorrection = 1.0 / 50.0;
+        soc.recipe.powerCorrection = 1.0 / 50.0;
+        soc.recipe.correctionNote = "50x power+area cut (Sec. 4.1)";
+        soc.sensingPowerFraction = 0.35;
+        soc.sensingAreaFraction = 0.20;
+        catalog.push_back(soc);
+    }
+    {
+        SocDesign soc;
+        soc.id = 8;
+        soc.name = "HALO*";
+        soc.reference = "Sriram et al. 2023 (HALO), rescaled";
+        soc.sensorType = SensorType::Electrode;
+        soc.reportedChannels = 96;
+        soc.reportedArea = Area::squareMillimetres(1.0);
+        soc.reportedPower = Power::milliwatts(15.0); // 1500 mW/cm^2
+        soc.samplingFrequency = Frequency::kilohertz(30.0);
+        soc.wireless = true;
+        soc.validatedInOrExVivo = false;
+        // Sec. 4.1: HALO's density is far beyond safe implantation;
+        // HALO* rescales power and area back under the budget
+        // (sqrt-scaled: 3.27 mm^2 / 160 mW -> 40 mm^2 / 12.8 mW).
+        soc.recipe.areaCorrection = 12.25;
+        soc.recipe.powerCorrection = 0.08;
+        soc.recipe.correctionNote = "HALO* rescale under budget";
+        soc.sensingPowerFraction = 0.25;
+        soc.sensingAreaFraction = 0.25;
+        catalog.push_back(soc);
+    }
+    {
+        SocDesign soc;
+        soc.id = 9;
+        soc.name = "Neuropixels";
+        soc.reference = "Steinmetz et al. 2021";
+        soc.sensorType = SensorType::Electrode;
+        soc.reportedChannels = 384; // one shank
+        soc.reportedArea = Area::squareMillimetres(22.0);
+        soc.reportedPower = Power::milliwatts(4.62); // 21 mW/cm^2
+        soc.samplingFrequency = Frequency::kilohertz(30.0);
+        soc.wireless = false;
+        soc.validatedInOrExVivo = true;
+        // Scales by adding shanks: linear in both power and area.
+        soc.recipe.law = ScalingLaw::Linear;
+        catalog.push_back(soc);
+    }
+    {
+        SocDesign soc;
+        soc.id = 10;
+        soc.name = "Jang";
+        soc.reference = "Jang et al. 2023";
+        soc.sensorType = SensorType::Electrode;
+        soc.reportedChannels = 1024;
+        soc.reportedArea = Area::squareMillimetres(3.0);
+        soc.reportedPower = Power::milliwatts(0.51); // 17 mW/cm^2
+        soc.samplingFrequency = Frequency::kilohertz(20.0);
+        soc.wireless = false;
+        soc.validatedInOrExVivo = true;
+        catalog.push_back(soc);
+    }
+    {
+        SocDesign soc;
+        soc.id = 11;
+        soc.name = "Pollman";
+        soc.reference = "Pollmann et al. 2022";
+        soc.sensorType = SensorType::Spad;
+        soc.reportedChannels = 49152;
+        soc.reportedArea = Area::squareMillimetres(50.0);
+        soc.reportedPower = Power::milliwatts(18.0); // 36 mW/cm^2
+        soc.samplingFrequency = Frequency::kilohertz(8.0);
+        soc.wireless = false;
+        soc.validatedInOrExVivo = true;
+        soc.recipe.baseChannels = 1024;
+        catalog.push_back(soc);
+    }
+
+    return catalog;
+}
+
+} // namespace
+
+const std::vector<SocDesign> &
+socCatalog()
+{
+    static const std::vector<SocDesign> catalog = buildCatalog();
+    return catalog;
+}
+
+std::vector<SocDesign>
+wirelessSocs()
+{
+    std::vector<SocDesign> wireless;
+    for (const auto &soc : socCatalog())
+        if (soc.wireless)
+            wireless.push_back(soc);
+    return wireless;
+}
+
+const SocDesign &
+socById(int id)
+{
+    for (const auto &soc : socCatalog())
+        if (soc.id == id)
+            return soc;
+    MINDFUL_FATAL("no SoC with Table 1 id ", id);
+}
+
+} // namespace mindful::core

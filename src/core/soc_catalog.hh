@@ -1,0 +1,26 @@
+/**
+ * @file
+ * The Table 1 catalog of published implanted SoC designs.
+ */
+
+#ifndef MINDFUL_CORE_SOC_CATALOG_HH
+#define MINDFUL_CORE_SOC_CATALOG_HH
+
+#include <vector>
+
+#include "core/soc_design.hh"
+
+namespace mindful::core {
+
+/** All 11 designs of Table 1 (ids 1-11). */
+const std::vector<SocDesign> &socCatalog();
+
+/** The wireless subset (ids 1-8) used in the Sec. 5-6 studies. */
+std::vector<SocDesign> wirelessSocs();
+
+/** Lookup by Table 1 row id; fatal if absent. */
+const SocDesign &socById(int id);
+
+} // namespace mindful::core
+
+#endif // MINDFUL_CORE_SOC_CATALOG_HH

@@ -1,0 +1,84 @@
+#include "core/workloads.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "dnn/opaque.hh"
+
+namespace mindful::core {
+
+namespace {
+
+/** Census of a dense matrix product C[p x r] = A[p x q] * B[q x r]:
+ *  p*r independent dot products of length q (Fig. 8 semantics). */
+dnn::MacCensus
+matmul(std::uint64_t p, std::uint64_t q, std::uint64_t r)
+{
+    return {p * r, q};
+}
+
+} // namespace
+
+dnn::Network
+buildKalmanWorkload(std::uint64_t channels, const KalmanWorkloadSpec &spec)
+{
+    MINDFUL_ASSERT(channels > 0, "channel count must be positive");
+    MINDFUL_ASSERT(spec.stateDim > 0, "state dimension must be positive");
+
+    const std::uint64_t m = spec.stateDim;
+    const std::uint64_t n = channels;
+
+    std::ostringstream name;
+    name << "kalman-decoder n=" << channels;
+    dnn::Network net(name.str(), dnn::Shape{static_cast<std::size_t>(n)});
+
+    using dnn::OpaqueMacLayer;
+    auto stage = [&](const std::string &label, std::uint64_t in,
+                     std::uint64_t out, dnn::MacCensus census,
+                     std::uint64_t weights = 0) {
+        net.emplace<OpaqueMacLayer>(label, static_cast<std::size_t>(in),
+                                    static_cast<std::size_t>(out), census,
+                                    weights);
+    };
+
+    // Predict: x- = A x (m^2), P- = A P A^T (2 m^3). Model weights:
+    // A (m^2) and Q (m^2).
+    stage("predict x- = A x", n, n, matmul(m, m, 1), m * m);
+    stage("predict P- = A P A^T", n, n,
+          {matmul(m, m, m).macOp * 2, matmul(m, m, m).macSeq}, m * m);
+
+    // Innovation: y - H x- (n*m MACs); H carries n*m weights.
+    stage("innovation y - H x-", n, n, matmul(n, m, 1), n * m);
+
+    // Innovation covariance: S = H P- H^T + R.
+    stage("H P-", n, n * m, matmul(n, m, m), 0);
+    stage("S = (H P-) H^T + R", n * m, n * n, matmul(n, m, n), n);
+
+    // S^{-1}: Gaussian elimination ~ n^3 / 3 MACs, organized as n^2
+    // row operations of length ~n/3.
+    stage("invert S", n * n, n * n,
+          {n * n, std::max<std::uint64_t>(1, n / 3)}, 0);
+
+    // Gain: K = P- H^T S^{-1} (m x n).
+    stage("P- H^T", n * n, m * n, matmul(m, m, n), 0);
+    stage("K = (P- H^T) S^-1", m * n, m * n, matmul(m, n, n), 0);
+
+    // State update: x = x- + K innovation (m x n * n x 1).
+    stage("x += K innov", m * n, m, matmul(m, n, 1), 0);
+
+    // Covariance update: P = (I - K H) P-  ->  K H (m^2 n) then
+    // (m x m)(m x m) (m^3).
+    stage("K H", m, m * m, matmul(m, n, m), 0);
+    stage("P = (I - K H) P-", m * m, m,
+          {matmul(m, m, m).macOp, matmul(m, m, m).macSeq}, 0);
+
+    return net;
+}
+
+std::uint64_t
+kalmanIterationMacs(std::uint64_t channels, const KalmanWorkloadSpec &spec)
+{
+    return buildKalmanWorkload(channels, spec).totalMacs();
+}
+
+} // namespace mindful::core

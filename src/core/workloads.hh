@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Non-DNN on-implant workloads (extension beyond the paper's Fig. 10).
+ *
+ * The paper's related work notes that traditional algorithms —
+ * above all the Kalman filter — "remain important for BCI" and have
+ * been explored in implanted SoCs (HALO), while arguing their role
+ * will diminish as DNNs take over. This module makes that comparison
+ * quantitative inside the same framework: it expresses one Kalman
+ * predict/update iteration as a MAC census (via OpaqueMacLayer
+ * stages, one per matrix operation) so the Eq. 11-15 lower bound and
+ * the power-budget feasibility machinery apply unchanged.
+ *
+ * The key structural difference from the DNN workloads: the Kalman
+ * cost is dominated by the n x n innovation-covariance work, so it
+ * scales as O(n^3) in the channel count — cheap at today's 1024
+ * channels, but asymptotically worse than the decoder DNNs.
+ */
+
+#ifndef MINDFUL_CORE_WORKLOADS_HH
+#define MINDFUL_CORE_WORKLOADS_HH
+
+#include <cstdint>
+
+#include "dnn/network.hh"
+
+namespace mindful::core {
+
+/** Kalman decoder workload parameters. */
+struct KalmanWorkloadSpec
+{
+    /** Latent state dimensionality (kinematics + derivatives). */
+    std::size_t stateDim = 8;
+
+    /**
+     * Decoder iteration rate [Hz]: one predict/update per feature
+     * bin (50 ms bins are the BCI standard).
+     */
+    double binRateHz = 20.0;
+};
+
+/**
+ * Build the analysis-only network of one Kalman iteration with
+ * @p channels observation dimensions. Stages follow the standard
+ * predict/update recursion; the n x n inverse is charged n^3/3 MACs
+ * (Gaussian elimination).
+ */
+dnn::Network buildKalmanWorkload(std::uint64_t channels,
+                                 const KalmanWorkloadSpec &spec = {});
+
+/** Total MACs of one Kalman iteration (convenience). */
+std::uint64_t kalmanIterationMacs(std::uint64_t channels,
+                                  const KalmanWorkloadSpec &spec = {});
+
+} // namespace mindful::core
+
+#endif // MINDFUL_CORE_WORKLOADS_HH

@@ -1,0 +1,43 @@
+#include "dnn/activation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mindful::dnn {
+
+Tensor
+ReluLayer::forward(const Tensor &input) const
+{
+    Tensor out = input;
+    for (auto &v : out.storage())
+        v = std::max(v, 0.0f);
+    return out;
+}
+
+Tensor
+SigmoidLayer::forward(const Tensor &input) const
+{
+    Tensor out = input;
+    for (auto &v : out.storage())
+        v = 1.0f / (1.0f + std::exp(-v));
+    return out;
+}
+
+Tensor
+SoftmaxLayer::forward(const Tensor &input) const
+{
+    Tensor out = input;
+    float peak = -std::numeric_limits<float>::infinity();
+    for (float v : out.storage())
+        peak = std::max(peak, v);
+    float sum = 0.0f;
+    for (auto &v : out.storage()) {
+        v = std::exp(v - peak);
+        sum += v;
+    }
+    for (auto &v : out.storage())
+        v /= sum;
+    return out;
+}
+
+} // namespace mindful::dnn

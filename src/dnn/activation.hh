@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Parameterless elementwise layers: ReLU, sigmoid, softmax.
+ */
+
+#ifndef MINDFUL_DNN_ACTIVATION_HH
+#define MINDFUL_DNN_ACTIVATION_HH
+
+#include "dnn/layer.hh"
+
+namespace mindful::dnn {
+
+/** Common base for shape-preserving, MAC-free elementwise layers. */
+class ElementwiseLayer : public Layer
+{
+  public:
+    Shape
+    outputShape(const Shape &input) const override
+    {
+        return input;
+    }
+
+    MacCensus
+    census(const Shape &input) const override
+    {
+        (void)input;
+        return {0, 0};
+    }
+
+    std::uint64_t weightCount() const override { return 0; }
+};
+
+/** y = max(0, x). The PE's activation in the accelerator (Fig. 9). */
+class ReluLayer : public ElementwiseLayer
+{
+  public:
+    std::string name() const override { return "relu"; }
+    Tensor forward(const Tensor &input) const override;
+};
+
+/** y = 1 / (1 + exp(-x)). */
+class SigmoidLayer : public ElementwiseLayer
+{
+  public:
+    std::string name() const override { return "sigmoid"; }
+    Tensor forward(const Tensor &input) const override;
+};
+
+/** Numerically-stable softmax over the flattened tensor. */
+class SoftmaxLayer : public ElementwiseLayer
+{
+  public:
+    std::string name() const override { return "softmax"; }
+    Tensor forward(const Tensor &input) const override;
+};
+
+} // namespace mindful::dnn
+
+#endif // MINDFUL_DNN_ACTIVATION_HH

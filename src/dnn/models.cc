@@ -1,0 +1,124 @@
+#include "dnn/models.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "dnn/activation.hh"
+#include "dnn/conv.hh"
+#include "dnn/dense.hh"
+#include "dnn/pooling.hh"
+
+namespace mindful::dnn {
+
+double
+scalingAlpha(std::uint64_t channels, std::size_t base_channels)
+{
+    MINDFUL_ASSERT(channels > 0, "channel count must be positive");
+    MINDFUL_ASSERT(base_channels > 0, "base channel count must be positive");
+    return static_cast<double>(channels) /
+           static_cast<double>(base_channels);
+}
+
+std::size_t
+extraDepth(double alpha)
+{
+    if (alpha <= 1.0)
+        return 0;
+    return static_cast<std::size_t>(
+        std::max<long long>(0, std::llround(std::log2(alpha))));
+}
+
+std::size_t
+scaledWidth(std::size_t base, double alpha)
+{
+    auto width = static_cast<std::size_t>(
+        std::llround(static_cast<double>(base) * alpha));
+    return std::max<std::size_t>(1, width);
+}
+
+Network
+buildSpeechMlp(std::uint64_t channels, const MlpSpec &spec)
+{
+    const double alpha = scalingAlpha(channels, spec.baseChannels);
+
+    const std::size_t input =
+        static_cast<std::size_t>(channels) * spec.windowSamples;
+    const std::size_t wide =
+        scaledWidth(spec.wideFactor * spec.baseChannels, alpha);
+    const std::size_t latent = spec.latentWidth;
+    const std::size_t trunk = scaledWidth(spec.baseTrunkWidth, alpha);
+    const std::size_t trunk_depth =
+        std::max<std::size_t>(1, spec.baseTrunkDepth + extraDepth(alpha));
+
+    std::ostringstream name;
+    name << "speech-mlp n=" << channels;
+    Network net(name.str(), Shape{input});
+
+    net.emplace<DenseLayer>(input, wide);
+    net.emplace<ReluLayer>();
+    net.emplace<DenseLayer>(wide, latent);
+    net.emplace<ReluLayer>();
+    net.emplace<DenseLayer>(latent, trunk);
+    net.emplace<ReluLayer>();
+    for (std::size_t i = 1; i < trunk_depth; ++i) {
+        net.emplace<DenseLayer>(trunk, trunk);
+        net.emplace<ReluLayer>();
+    }
+    net.emplace<DenseLayer>(trunk, spec.outputLabels);
+    net.emplace<SoftmaxLayer>();
+    return net;
+}
+
+Network
+buildSpeechDnCnn(std::uint64_t channels, const DnCnnSpec &spec)
+{
+    const double alpha = scalingAlpha(channels, spec.baseChannels);
+
+    const std::size_t growth = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::llround(
+               static_cast<double>(spec.baseGrowth) * std::sqrt(alpha))));
+    const std::size_t stages =
+        std::max<std::size_t>(1, spec.baseStagesPerBlock + extraDepth(alpha));
+
+    std::ostringstream name;
+    name << "speech-dn-cnn n=" << channels;
+    Network net(name.str(),
+                Shape{1, static_cast<std::size_t>(channels),
+                      spec.windowSamples});
+
+    // Stem: extract `growth` feature maps from the raw window.
+    net.emplace<Conv2dLayer>(1, growth, 3, 3, 1, Padding::Same);
+    net.emplace<ReluLayer>();
+
+    // Cap the channel axis at spatialCap rows so downstream conv cost
+    // scales through growth/depth rather than raw map height.
+    const std::size_t stem_pool = std::max<std::size_t>(
+        1, static_cast<std::size_t>(channels) / spec.spatialCap);
+    if (stem_pool > 1)
+        net.emplace<Pool2dLayer>(PoolKind::Max, stem_pool, 1);
+    net.emplace<Pool2dLayer>(PoolKind::Max, 2, 2);
+
+    // Dense block 1.
+    std::size_t feature_channels = growth;
+    for (std::size_t s = 0; s < stages; ++s) {
+        net.emplace<DenseStage2dLayer>(feature_channels, growth, 3, 3);
+        feature_channels += growth;
+    }
+
+    net.emplace<Pool2dLayer>(PoolKind::Average, 2, 2);
+
+    // Dense block 2.
+    for (std::size_t s = 0; s < stages; ++s) {
+        net.emplace<DenseStage2dLayer>(feature_channels, growth, 3, 3);
+        feature_channels += growth;
+    }
+
+    net.emplace<GlobalAvgPoolLayer>();
+    net.emplace<DenseLayer>(feature_channels, spec.outputLabels);
+    net.emplace<SoftmaxLayer>();
+    return net;
+}
+
+} // namespace mindful::dnn

@@ -1,0 +1,43 @@
+#include "dnn/opaque.hh"
+
+#include "base/logging.hh"
+
+namespace mindful::dnn {
+
+OpaqueMacLayer::OpaqueMacLayer(std::string name, std::size_t in_elements,
+                               std::size_t out_elements, MacCensus census,
+                               std::uint64_t weights)
+    : _name(std::move(name)), _inElements(in_elements),
+      _outElements(out_elements), _census(census), _weights(weights)
+{
+    MINDFUL_ASSERT(in_elements > 0 && out_elements > 0,
+                   "opaque layer element counts must be positive");
+}
+
+Shape
+OpaqueMacLayer::outputShape(const Shape &input) const
+{
+    MINDFUL_ASSERT(elementCount(input) == _inElements,
+                   "opaque layer '", _name, "' expects ", _inElements,
+                   " inputs, got shape ", toString(input));
+    return {_outElements};
+}
+
+Tensor
+OpaqueMacLayer::forward(const Tensor &input) const
+{
+    (void)input;
+    MINDFUL_FATAL("opaque workload layer '", _name,
+                  "' is analysis-only and cannot execute forward(); "
+                  "use it with the census/lower-bound paths");
+}
+
+MacCensus
+OpaqueMacLayer::census(const Shape &input) const
+{
+    MINDFUL_ASSERT(elementCount(input) == _inElements,
+                   "census input shape mismatch for ", _name);
+    return _census;
+}
+
+} // namespace mindful::dnn

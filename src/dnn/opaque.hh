@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Opaque MAC workload layer.
+ *
+ * Not every on-implant computation is a neural network: the paper's
+ * related work runs Kalman filters and template matchers on implants
+ * (HALO, NOEMA). OpaqueMacLayer lets such algorithms enter the
+ * Eq. 10-15 analysis by declaring their MAC decomposition directly —
+ * input/output element counts, #MAC_op, MAC_seq, and a parameter
+ * count — without providing an executable forward pass. Analysis
+ * paths (census, shapes, weights) work normally; calling forward()
+ * is a fatal error with a clear message.
+ */
+
+#ifndef MINDFUL_DNN_OPAQUE_HH
+#define MINDFUL_DNN_OPAQUE_HH
+
+#include <string>
+
+#include "dnn/layer.hh"
+
+namespace mindful::dnn {
+
+/** Analysis-only layer with a declared MAC census. */
+class OpaqueMacLayer : public Layer
+{
+  public:
+    /**
+     * @param name human-readable stage name (e.g. "S = H P H^T").
+     * @param in_elements expected input element count.
+     * @param out_elements produced output element count.
+     * @param census the stage's MAC decomposition.
+     * @param weights stored parameters attributed to this stage.
+     */
+    OpaqueMacLayer(std::string name, std::size_t in_elements,
+                   std::size_t out_elements, MacCensus census,
+                   std::uint64_t weights = 0);
+
+    std::string name() const override { return _name; }
+    Shape outputShape(const Shape &input) const override;
+    Tensor forward(const Tensor &input) const override;
+    MacCensus census(const Shape &input) const override;
+    std::uint64_t weightCount() const override { return _weights; }
+
+  private:
+    std::string _name;
+    std::size_t _inElements;
+    std::size_t _outElements;
+    MacCensus _census;
+    std::uint64_t _weights;
+};
+
+} // namespace mindful::dnn
+
+#endif // MINDFUL_DNN_OPAQUE_HH

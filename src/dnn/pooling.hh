@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Pooling and shape-manipulation layers (MAC-free).
+ */
+
+#ifndef MINDFUL_DNN_POOLING_HH
+#define MINDFUL_DNN_POOLING_HH
+
+#include "dnn/layer.hh"
+
+namespace mindful::dnn {
+
+/** Pool operator selector. */
+enum class PoolKind { Max, Average };
+
+/**
+ * Non-overlapping 2-D pooling over (channels, height, width); the
+ * stride equals the kernel. Trailing partial windows are dropped
+ * (floor semantics), matching common framework defaults.
+ */
+class Pool2dLayer : public Layer
+{
+  public:
+    Pool2dLayer(PoolKind kind, std::size_t kernel_h, std::size_t kernel_w);
+
+    std::string name() const override;
+    Shape outputShape(const Shape &input) const override;
+    Tensor forward(const Tensor &input) const override;
+    MacCensus census(const Shape &input) const override { (void)input;
+                                                          return {0, 0}; }
+    std::uint64_t weightCount() const override { return 0; }
+
+  private:
+    PoolKind _kind;
+    std::size_t _kernelH;
+    std::size_t _kernelW;
+};
+
+/** Global average pool: (C, H, W) -> (C). */
+class GlobalAvgPoolLayer : public Layer
+{
+  public:
+    std::string name() const override { return "global-avg-pool"; }
+    Shape outputShape(const Shape &input) const override;
+    Tensor forward(const Tensor &input) const override;
+    MacCensus census(const Shape &input) const override { (void)input;
+                                                          return {0, 0}; }
+    std::uint64_t weightCount() const override { return 0; }
+};
+
+/** Flatten to rank-1. */
+class FlattenLayer : public Layer
+{
+  public:
+    std::string name() const override { return "flatten"; }
+    Shape outputShape(const Shape &input) const override;
+    Tensor forward(const Tensor &input) const override;
+    MacCensus census(const Shape &input) const override { (void)input;
+                                                          return {0, 0}; }
+    std::uint64_t weightCount() const override { return 0; }
+};
+
+} // namespace mindful::dnn
+
+#endif // MINDFUL_DNN_POOLING_HH

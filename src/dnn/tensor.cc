@@ -1,0 +1,119 @@
+#include "dnn/tensor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace mindful::dnn {
+
+std::size_t
+elementCount(const Shape &shape)
+{
+    std::size_t count = 1;
+    for (std::size_t d : shape)
+        count *= d;
+    return shape.empty() ? 0 : count;
+}
+
+std::string
+toString(const Shape &shape)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < shape.size(); ++i) {
+        if (i)
+            os << 'x';
+        os << shape[i];
+    }
+    return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : _shape(std::move(shape)), _data(elementCount(_shape), 0.0f)
+{
+    for (std::size_t d : _shape)
+        MINDFUL_ASSERT(d > 0, "tensor dimensions must be positive");
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : _shape(std::move(shape)), _data(std::move(data))
+{
+    MINDFUL_ASSERT(_data.size() == elementCount(_shape),
+                   "tensor data size ", _data.size(),
+                   " != shape element count ", elementCount(_shape));
+}
+
+std::size_t
+Tensor::dim(std::size_t i) const
+{
+    MINDFUL_ASSERT(i < _shape.size(), "tensor dim index out of range");
+    return _shape[i];
+}
+
+float &
+Tensor::at(std::size_t i, std::size_t j)
+{
+    MINDFUL_ASSERT(rank() == 2, "2-D accessor on rank-", rank(), " tensor");
+    MINDFUL_ASSERT(i < _shape[0] && j < _shape[1], "index out of range");
+    return _data[i * _shape[1] + j];
+}
+
+float
+Tensor::at(std::size_t i, std::size_t j) const
+{
+    return const_cast<Tensor *>(this)->at(i, j);
+}
+
+float &
+Tensor::at(std::size_t c, std::size_t h, std::size_t w)
+{
+    MINDFUL_ASSERT(rank() == 3, "3-D accessor on rank-", rank(), " tensor");
+    MINDFUL_ASSERT(c < _shape[0] && h < _shape[1] && w < _shape[2],
+                   "index out of range");
+    return _data[(c * _shape[1] + h) * _shape[2] + w];
+}
+
+float
+Tensor::at(std::size_t c, std::size_t h, std::size_t w) const
+{
+    return const_cast<Tensor *>(this)->at(c, h, w);
+}
+
+void
+Tensor::reshape(Shape shape)
+{
+    MINDFUL_ASSERT(elementCount(shape) == _data.size(),
+                   "reshape must preserve element count");
+    _shape = std::move(shape);
+}
+
+float
+Tensor::maxAbs() const
+{
+    float worst = 0.0f;
+    for (float v : _data)
+        worst = std::max(worst, std::abs(v));
+    return worst;
+}
+
+float
+Tensor::maxAbsDiff(const Tensor &other) const
+{
+    MINDFUL_ASSERT(_shape == other._shape,
+                   "maxAbsDiff requires equal shapes");
+    float worst = 0.0f;
+    for (std::size_t i = 0; i < _data.size(); ++i)
+        worst = std::max(worst, std::abs(_data[i] - other._data[i]));
+    return worst;
+}
+
+std::size_t
+Tensor::argmax() const
+{
+    MINDFUL_ASSERT(!_data.empty(), "argmax of an empty tensor");
+    return static_cast<std::size_t>(
+        std::max_element(_data.begin(), _data.end()) - _data.begin());
+}
+
+} // namespace mindful::dnn

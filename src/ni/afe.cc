@@ -1,0 +1,70 @@
+#include "ni/afe.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "base/logging.hh"
+
+namespace mindful::ni {
+
+namespace {
+
+constexpr double kBoltzmann = 1.380649e-23; // [J/K]
+constexpr double kElectronCharge = 1.602176634e-19; // [C]
+
+} // namespace
+
+AfeModel::AfeModel(AfeSpec spec) : _spec(spec)
+{
+    MINDFUL_ASSERT(_spec.nef >= 1.0,
+                   "NEF below 1 is unphysical (BJT limit)");
+    MINDFUL_ASSERT(_spec.inputNoiseVrms > 0.0,
+                   "input noise target must be positive");
+    MINDFUL_ASSERT(_spec.bandwidth.inHertz() > 0.0,
+                   "bandwidth must be positive");
+    MINDFUL_ASSERT(_spec.supplyVoltage > 0.0,
+                   "supply voltage must be positive");
+    MINDFUL_ASSERT(_spec.temperatureKelvin > 0.0,
+                   "temperature must be positive");
+}
+
+double
+AfeModel::thermalVoltage() const
+{
+    return kBoltzmann * _spec.temperatureKelvin / kElectronCharge;
+}
+
+double
+AfeModel::perChannelCurrent() const
+{
+    double ratio = _spec.nef / _spec.inputNoiseVrms;
+    return ratio * ratio * std::numbers::pi * thermalVoltage() * 4.0 *
+           kBoltzmann * _spec.temperatureKelvin *
+           _spec.bandwidth.inHertz() / 2.0;
+}
+
+Power
+AfeModel::perChannelPower() const
+{
+    return Power::watts(perChannelCurrent() * _spec.supplyVoltage);
+}
+
+Power
+AfeModel::arrayPower(std::uint64_t channels) const
+{
+    return perChannelPower() * static_cast<double>(channels);
+}
+
+double
+AfeModel::noiseAtPower(Power per_channel) const
+{
+    MINDFUL_ASSERT(per_channel.inWatts() > 0.0,
+                   "per-channel power must be positive");
+    // P = Vdd * (NEF/V)^2 * c  =>  V = NEF * sqrt(c * Vdd / P).
+    double c = std::numbers::pi * thermalVoltage() * 4.0 * kBoltzmann *
+               _spec.temperatureKelvin * _spec.bandwidth.inHertz() / 2.0;
+    return _spec.nef *
+           std::sqrt(c * _spec.supplyVoltage / per_channel.inWatts());
+}
+
+} // namespace mindful::ni

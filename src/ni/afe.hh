@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Analog front-end (AFE) power model via the noise efficiency factor.
+ *
+ * The Sec. 4.1 premise — "total power consumption in implantable
+ * BCIs scales roughly linearly with the number of channels, assuming
+ * constant signal quality as measured by the noise efficiency factor
+ * (NEF)" (Simmich et al.) — is a circuit-level statement. This module
+ * derives it: for a neural amplifier,
+ *
+ *     NEF = V_rms,in * sqrt( 2 I_tot / (pi * U_T * 4 k T * BW) )
+ *
+ * so holding NEF, input-referred noise, and bandwidth constant fixes
+ * the per-channel supply current
+ *
+ *     I_tot = (NEF / V_rms,in)^2 * pi * U_T * 4 k T * BW / 2
+ *
+ * and array power is exactly linear in the channel count. The model
+ * also quantifies the noise/power trade the fractions in the SoC
+ * catalog abstract: halving the input noise quadruples AFE power.
+ */
+
+#ifndef MINDFUL_NI_AFE_HH
+#define MINDFUL_NI_AFE_HH
+
+#include <cstdint>
+
+#include "base/units.hh"
+
+namespace mindful::ni {
+
+/** Amplifier design targets (per channel). */
+struct AfeSpec
+{
+    /** Noise efficiency factor (ideal BJT = 1; good designs 2-5). */
+    double nef = 4.0;
+
+    /** Input-referred RMS noise target [V] over the band. */
+    double inputNoiseVrms = 5e-6;
+
+    /** Amplifier noise bandwidth. */
+    Frequency bandwidth = Frequency::kilohertz(5.0);
+
+    /** Supply voltage [V]. */
+    double supplyVoltage = 1.0;
+
+    /** Physical temperature [K]. */
+    double temperatureKelvin = 310.0;
+};
+
+/** NEF-based per-channel / array power model. */
+class AfeModel
+{
+  public:
+    explicit AfeModel(AfeSpec spec = {});
+
+    const AfeSpec &spec() const { return _spec; }
+
+    /** Thermal voltage U_T = kT/q at the spec temperature [V]. */
+    double thermalVoltage() const;
+
+    /** Total amplifier supply current per channel [A]. */
+    double perChannelCurrent() const;
+
+    /** Per-channel AFE power at the spec supply. */
+    Power perChannelPower() const;
+
+    /** Array AFE power: exactly linear in n (the Sec. 4.1 premise). */
+    Power arrayPower(std::uint64_t channels) const;
+
+    /**
+     * The input noise achievable at a given per-channel power, all
+     * else fixed (inverse of the power law: noise ~ 1/sqrt(P)).
+     */
+    double noiseAtPower(Power per_channel) const;
+
+  private:
+    AfeSpec _spec;
+};
+
+} // namespace mindful::ni
+
+#endif // MINDFUL_NI_AFE_HH

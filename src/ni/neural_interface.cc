@@ -1,0 +1,85 @@
+#include "ni/neural_interface.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mindful::ni {
+
+std::string
+toString(SensorType type)
+{
+    switch (type) {
+      case SensorType::Electrode:
+        return "Electrodes";
+      case SensorType::Spad:
+        return "SPAD";
+    }
+    MINDFUL_PANIC("unknown SensorType");
+}
+
+NeuralInterface::NeuralInterface(NeuralInterfaceConfig config)
+    : _config(config),
+      _adc(config.sampleBits, config.fullScaleMicrovolts,
+           config.samplingFrequency)
+{
+    MINDFUL_ASSERT(config.channels > 0,
+                   "a neural interface needs at least one channel");
+}
+
+DataRate
+NeuralInterface::sensingThroughput() const
+{
+    return _config.samplingFrequency *
+           (static_cast<double>(_config.sampleBits) *
+            static_cast<double>(_config.channels));
+}
+
+double
+NeuralInterface::samplesPerSecond() const
+{
+    return _config.samplingFrequency.inHertz() *
+           static_cast<double>(_config.channels);
+}
+
+std::uint64_t
+NeuralInterface::bitsPerFrame() const
+{
+    return static_cast<std::uint64_t>(_config.sampleBits) * _config.channels;
+}
+
+double
+NeuralInterface::channelSpacingMicrometres(Area sensing_area) const
+{
+    MINDFUL_ASSERT(sensing_area.inSquareMetres() > 0.0,
+                   "sensing area must be positive");
+    double per_channel = sensing_area.inSquareMicrometres() /
+                         static_cast<double>(_config.channels);
+    return std::sqrt(per_channel);
+}
+
+bool
+NeuralInterface::meetsDensityGoal(Area sensing_area) const
+{
+    return channelSpacingMicrometres(sensing_area) <= 20.0;
+}
+
+NeuralInterface
+NeuralInterface::withChannels(std::uint64_t n) const
+{
+    NeuralInterfaceConfig config = _config;
+    config.channels = n;
+    return NeuralInterface(config);
+}
+
+double
+volumetricEfficiency(Area sensing, Area total)
+{
+    MINDFUL_ASSERT(total.inSquareMetres() > 0.0,
+                   "total area must be positive");
+    MINDFUL_ASSERT(sensing.inSquareMetres() >= 0.0 && sensing <= total,
+                   "sensing area must lie within the total area");
+    return sensing / total;
+}
+
+} // namespace mindful::ni

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Neural-interface abstraction (paper Secs. 2.1, 3.1, 4.3).
+ *
+ * A neural interface (NI) is the sensing subsystem of the implant:
+ * n channels, each sampled at frequency f and digitized to d bits.
+ * It defines the real-time sensing throughput (Eq. 6)
+ *
+ *     Tsensing(n) = d * n / Ts = d * n * f
+ *
+ * that the non-sensing components must keep up with, and the
+ * geometric quantities (channel spacing, volumetric efficiency) that
+ * the scaling analyses reason about.
+ */
+
+#ifndef MINDFUL_NI_NEURAL_INTERFACE_HH
+#define MINDFUL_NI_NEURAL_INTERFACE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/units.hh"
+#include "ni/adc.hh"
+
+namespace mindful::ni {
+
+/** Sensor technology of the interface (Table 1 "NI Type"). */
+enum class SensorType {
+    Electrode, //!< microelectrode (MEA / shank / stent / ECoG)
+    Spad       //!< single-photon avalanche diode neural imager
+};
+
+/** Human-readable name of a sensor type. */
+std::string toString(SensorType type);
+
+/** Static description of a neural interface. */
+struct NeuralInterfaceConfig
+{
+    SensorType sensorType = SensorType::Electrode;
+
+    /** Number of parallel recording channels n. */
+    std::uint64_t channels = 1024;
+
+    /** Per-channel sampling frequency f. */
+    Frequency samplingFrequency = Frequency::kilohertz(8.0);
+
+    /** Digitized sample bitwidth d. */
+    unsigned sampleBits = 10;
+
+    /** Full-scale input range of the front-end in uV. */
+    double fullScaleMicrovolts = 1000.0;
+};
+
+/**
+ * A configured neural interface and its derived rate / geometry
+ * quantities.
+ */
+class NeuralInterface
+{
+  public:
+    explicit NeuralInterface(NeuralInterfaceConfig config);
+
+    const NeuralInterfaceConfig &config() const { return _config; }
+    std::uint64_t channels() const { return _config.channels; }
+    Frequency samplingFrequency() const { return _config.samplingFrequency; }
+    unsigned sampleBits() const { return _config.sampleBits; }
+
+    /** The ADC shared by every channel. */
+    const AdcModel &adc() const { return _adc; }
+
+    /** Tsensing = d * n * f (Eq. 6). */
+    DataRate sensingThroughput() const;
+
+    /** Samples produced per second across all channels. */
+    double samplesPerSecond() const;
+
+    /** Raw bits in one full frame (one sample from every channel). */
+    std::uint64_t bitsPerFrame() const;
+
+    /**
+     * Centre-to-centre channel spacing if @p sensing_area is divided
+     * into a uniform grid — the quantity the paper compares against
+     * the 20 um one-channel-per-neuron goal.
+     */
+    double channelSpacingMicrometres(Area sensing_area) const;
+
+    /**
+     * True if this interface meets the high-density goal of <= 20 um
+     * spacing within @p sensing_area (Sec. 3.2).
+     */
+    bool meetsDensityGoal(Area sensing_area) const;
+
+    /** Copy of this interface with a different channel count. */
+    NeuralInterface withChannels(std::uint64_t n) const;
+
+  private:
+    NeuralInterfaceConfig _config;
+    AdcModel _adc;
+};
+
+/**
+ * Volumetric efficiency (Sec. 3.2): the fraction of SoC area devoted
+ * to sensing. Eq. 4 asks designs to drive this toward 1 as channel
+ * count grows.
+ */
+double volumetricEfficiency(Area sensing, Area total);
+
+} // namespace mindful::ni
+
+#endif // MINDFUL_NI_NEURAL_INTERFACE_HH

@@ -1,0 +1,104 @@
+#include "ni/spad_imager.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mindful::ni {
+
+std::uint64_t
+SpadRecording::totalCounts(std::uint64_t pixel) const
+{
+    std::uint64_t total = 0;
+    for (std::size_t t = 0; t < frames; ++t)
+        total += counts[pixel * frames + t];
+    return total;
+}
+
+SpadImager::SpadImager(SpadImagerConfig config)
+    : _config(config), _rng(config.seed)
+{
+    MINDFUL_ASSERT(config.pixels > 0, "imager needs at least one pixel");
+    MINDFUL_ASSERT(config.frameRate.inHertz() > 0.0,
+                   "frame rate must be positive");
+    MINDFUL_ASSERT(config.darkCountRateHz >= 0.0,
+                   "dark-count rate must be non-negative");
+    MINDFUL_ASSERT(config.peakPhotonRateHz > 0.0,
+                   "peak photon rate must be positive");
+    MINDFUL_ASSERT(config.activeFraction >= 0.0 &&
+                       config.activeFraction <= 1.0,
+                   "active fraction must lie in [0, 1]");
+
+    auto target = static_cast<std::uint64_t>(std::llround(
+        config.activeFraction * static_cast<double>(config.pixels)));
+    std::vector<std::uint64_t> order(config.pixels);
+    for (std::uint64_t i = 0; i < config.pixels; ++i)
+        order[i] = i;
+    std::shuffle(order.begin(), order.end(), _rng.engine());
+    _activeMask.assign(config.pixels, 0);
+    for (std::uint64_t i = 0; i < target; ++i)
+        _activeMask[order[i]] = 1;
+    _activeCount = target;
+}
+
+bool
+SpadImager::isActive(std::uint64_t pixel) const
+{
+    MINDFUL_ASSERT(pixel < _config.pixels, "pixel index out of range");
+    return _activeMask[pixel] != 0;
+}
+
+double
+SpadImager::expectedDarkCounts() const
+{
+    return _config.darkCountRateHz / _config.frameRate.inHertz();
+}
+
+double
+SpadImager::expectedActiveCounts(double activity) const
+{
+    MINDFUL_ASSERT(activity >= 0.0 && activity <= 1.0,
+                   "activity must lie in [0, 1]");
+    return expectedDarkCounts() +
+           activity * _config.peakPhotonRateHz /
+               _config.frameRate.inHertz();
+}
+
+SpadRecording
+SpadImager::generate(std::size_t frames)
+{
+    MINDFUL_ASSERT(frames > 0, "cannot generate an empty recording");
+
+    SpadRecording rec;
+    rec.pixels = _config.pixels;
+    rec.frames = frames;
+    rec.frameRate = _config.frameRate;
+    rec.counts.assign(_config.pixels * frames, 0);
+    rec.activity.assign(frames, 0.0);
+
+    // Latent activity: a sigmoid-squashed OU process in [0, 1].
+    const double dt = 1.0 / _config.frameRate.inHertz();
+    const double decay = std::exp(-dt / _config.activityTimeConstant);
+    const double drive = std::sqrt(1.0 - decay * decay);
+    double x = 0.0;
+    for (std::size_t t = 0; t < frames; ++t) {
+        x = decay * x + drive * _rng.gaussian();
+        rec.activity[t] = 1.0 / (1.0 + std::exp(-x));
+    }
+
+    for (std::uint64_t p = 0; p < _config.pixels; ++p) {
+        const bool active = _activeMask[p];
+        for (std::size_t t = 0; t < frames; ++t) {
+            double mean = active
+                              ? expectedActiveCounts(rec.activity[t])
+                              : expectedDarkCounts();
+            auto draw = _rng.poisson(mean);
+            rec.counts[p * frames + t] = static_cast<std::uint16_t>(
+                std::min<std::uint32_t>(draw, 0xFFFF));
+        }
+    }
+    return rec;
+}
+
+} // namespace mindful::ni

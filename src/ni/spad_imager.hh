@@ -1,0 +1,106 @@
+/**
+ * @file
+ * SPAD neural-imager frame generator.
+ *
+ * Two of the Table 1 designs (Gilhotra, Pollmann) sense with
+ * single-photon avalanche diodes instead of electrodes: neurons
+ * express optical activity indicators and each channel counts
+ * photons per frame. The signal statistics differ fundamentally from
+ * electrode traces — photon counts are Poisson with an
+ * activity-modulated rate on top of a dark-count floor — which
+ * matters for any downstream processing study. This generator
+ * produces frame stacks with those statistics and a shared latent
+ * activity ground truth, mirroring ni::SyntheticCortex for the
+ * optical modality.
+ */
+
+#ifndef MINDFUL_NI_SPAD_IMAGER_HH
+#define MINDFUL_NI_SPAD_IMAGER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/units.hh"
+
+namespace mindful::ni {
+
+/** Imager parameters. */
+struct SpadImagerConfig
+{
+    /** Pixel (channel) count. */
+    std::uint64_t pixels = 1024;
+
+    /** Frame rate (the SPAD designs sample at 8 kHz in Table 1). */
+    Frequency frameRate = Frequency::kilohertz(8.0);
+
+    /** Dark-count rate per pixel [counts/s]. */
+    double darkCountRateHz = 100.0;
+
+    /** Mean signal photon rate of a fully active pixel [counts/s]. */
+    double peakPhotonRateHz = 20000.0;
+
+    /** Fraction of pixels over active (indicator-expressing) tissue. */
+    double activeFraction = 0.5;
+
+    /** Correlation time of the latent activity [s]. */
+    double activityTimeConstant = 0.1;
+
+    std::uint64_t seed = 0x73706164ull;
+};
+
+/** A generated frame stack with its ground truth. */
+struct SpadRecording
+{
+    std::uint64_t pixels = 0;
+    std::size_t frames = 0;
+    Frequency frameRate;
+
+    /** Pixel-major photon counts [pixel * frames + t]. */
+    std::vector<std::uint16_t> counts;
+
+    /** Latent activity trace in [0, 1], one value per frame. */
+    std::vector<double> activity;
+
+    std::uint16_t
+    count(std::uint64_t pixel, std::size_t frame) const
+    {
+        return counts[pixel * frames + frame];
+    }
+
+    /** Total photons on one pixel. */
+    std::uint64_t totalCounts(std::uint64_t pixel) const;
+};
+
+/** Deterministic optical-modality signal source. */
+class SpadImager
+{
+  public:
+    explicit SpadImager(SpadImagerConfig config);
+
+    const SpadImagerConfig &config() const { return _config; }
+
+    /** True if @p pixel sits over active tissue. */
+    bool isActive(std::uint64_t pixel) const;
+
+    std::uint64_t activePixels() const { return _activeCount; }
+
+    /** Generate @p frames frames on every pixel. */
+    SpadRecording generate(std::size_t frames);
+
+    /** Expected counts per frame for an active pixel at activity a. */
+    double expectedActiveCounts(double activity) const;
+
+    /** Expected counts per frame for an inactive (dark) pixel. */
+    double expectedDarkCounts() const;
+
+  private:
+    SpadImagerConfig _config;
+    Rng _rng;
+    std::vector<std::uint8_t> _activeMask;
+    std::uint64_t _activeCount = 0;
+};
+
+} // namespace mindful::ni
+
+#endif // MINDFUL_NI_SPAD_IMAGER_HH

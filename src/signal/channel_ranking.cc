@@ -1,0 +1,105 @@
+#include "signal/channel_ranking.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mindful::signal {
+
+std::vector<std::uint64_t>
+ChannelRanking::keepSet(std::uint64_t keep) const
+{
+    keep = std::min<std::uint64_t>(keep, ranked.size());
+    std::vector<std::uint64_t> channels;
+    channels.reserve(keep);
+    for (std::uint64_t i = 0; i < keep; ++i)
+        channels.push_back(ranked[i].channel);
+    return channels;
+}
+
+std::uint64_t
+ChannelRanking::channelsForActivityFraction(double fraction) const
+{
+    MINDFUL_ASSERT(fraction >= 0.0 && fraction <= 1.0,
+                   "activity fraction must lie in [0, 1]");
+    double total = 0.0;
+    for (const auto &activity : ranked)
+        total += activity.spikeRateHz;
+    if (total <= 0.0)
+        return 0;
+    double target = fraction * total;
+    if (target <= 0.0)
+        return 0;
+    double acc = 0.0;
+    for (std::uint64_t i = 0; i < ranked.size(); ++i) {
+        acc += ranked[i].spikeRateHz;
+        if (acc >= target)
+            return i + 1;
+    }
+    return ranked.size();
+}
+
+ChannelRanker::ChannelRanker(ChannelRankerConfig config) : _config(config)
+{
+    MINDFUL_ASSERT(config.rateWeight >= 0.0 && config.rateWeight <= 1.0,
+                   "rateWeight must lie in [0, 1]");
+}
+
+ChannelRanking
+ChannelRanker::rank(const ni::Recording &recording) const
+{
+    MINDFUL_ASSERT(recording.steps > 0, "recording must not be empty");
+
+    const ThresholdDetector detector(_config.detector);
+    const double duration =
+        static_cast<double>(recording.steps) /
+        recording.samplingFrequency.inHertz();
+
+    ChannelRanking ranking;
+    ranking.ranked.reserve(recording.channels);
+
+    double max_rate = 0.0;
+    double max_rms = 0.0;
+    for (std::uint64_t ch = 0; ch < recording.channels; ++ch) {
+        std::vector<double> trace(
+            recording.samples.begin() +
+                static_cast<std::ptrdiff_t>(ch * recording.steps),
+            recording.samples.begin() +
+                static_cast<std::ptrdiff_t>((ch + 1) * recording.steps));
+
+        ChannelActivity activity;
+        activity.channel = ch;
+        activity.spikeRateHz =
+            static_cast<double>(detector.detect(trace).size()) / duration;
+
+        double energy = 0.0;
+        for (double v : trace)
+            energy += v * v;
+        activity.signalRmsUv =
+            std::sqrt(energy / static_cast<double>(trace.size()));
+
+        max_rate = std::max(max_rate, activity.spikeRateHz);
+        max_rms = std::max(max_rms, activity.signalRmsUv);
+        ranking.ranked.push_back(activity);
+    }
+
+    // Combined score with per-metric normalization so neither metric
+    // dominates on units alone.
+    for (auto &activity : ranking.ranked) {
+        double rate_term =
+            max_rate > 0.0 ? activity.spikeRateHz / max_rate : 0.0;
+        double rms_term =
+            max_rms > 0.0 ? activity.signalRmsUv / max_rms : 0.0;
+        activity.score = _config.rateWeight * rate_term +
+                         (1.0 - _config.rateWeight) * rms_term;
+    }
+
+    std::stable_sort(ranking.ranked.begin(), ranking.ranked.end(),
+                     [](const ChannelActivity &a, const ChannelActivity &b) {
+                         return a.score > b.score;
+                     });
+    return ranking;
+}
+
+} // namespace mindful::signal

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Activity-based channel ranking — the channel-dropout substrate.
+ *
+ * The paper's channel-dropout optimization (Sec. 6.2) exploits the
+ * redundancy of large-scale recordings: data from inactive neurons
+ * can be filtered out, "effectively reducing the computational load."
+ * This module measures per-channel activity on real (synthetic)
+ * recordings and produces the ranked keep-set that the optimization
+ * pass in mindful_core reasons about analytically.
+ */
+
+#ifndef MINDFUL_SIGNAL_CHANNEL_RANKING_HH
+#define MINDFUL_SIGNAL_CHANNEL_RANKING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ni/synthetic_cortex.hh"
+#include "signal/spike_detect.hh"
+
+namespace mindful::signal {
+
+/** Per-channel activity summary. */
+struct ChannelActivity
+{
+    std::uint64_t channel = 0;
+    double spikeRateHz = 0.0;   //!< detected spikes per second
+    double signalRmsUv = 0.0;   //!< RMS of the spike-band trace
+    double score = 0.0;         //!< ranking score (higher = keep)
+};
+
+/** Result of ranking a recording's channels. */
+struct ChannelRanking
+{
+    /** Activities sorted by descending score. */
+    std::vector<ChannelActivity> ranked;
+
+    /** Channel indices of the best @p keep channels. */
+    std::vector<std::uint64_t> keepSet(std::uint64_t keep) const;
+
+    /**
+     * Smallest keep-count retaining @p fraction of the total detected
+     * spike activity (a proxy for retained information).
+     */
+    std::uint64_t channelsForActivityFraction(double fraction) const;
+};
+
+/** Options for the ranking pass. */
+struct ChannelRankerConfig
+{
+    SpikeDetectorConfig detector;
+
+    /** Weight of spike rate vs RMS in the combined score. */
+    double rateWeight = 0.8;
+};
+
+/** Ranks channels of a recording by measured activity. */
+class ChannelRanker
+{
+  public:
+    explicit ChannelRanker(ChannelRankerConfig config = {});
+
+    /**
+     * Rank every channel of @p recording. Traces are assumed to be
+     * already spike-band filtered (or raw; the detector's MAD
+     * threshold adapts either way).
+     */
+    ChannelRanking rank(const ni::Recording &recording) const;
+
+  private:
+    ChannelRankerConfig _config;
+};
+
+} // namespace mindful::signal
+
+#endif // MINDFUL_SIGNAL_CHANNEL_RANKING_HH

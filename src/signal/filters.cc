@@ -1,0 +1,255 @@
+#include "signal/filters.hh"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "base/logging.hh"
+
+namespace mindful::signal {
+
+Biquad::Biquad() : _b0(1.0), _b1(0.0), _b2(0.0), _a1(0.0), _a2(0.0)
+{
+}
+
+Biquad::Biquad(double b0, double b1, double b2, double a0, double a1,
+               double a2)
+{
+    MINDFUL_ASSERT(a0 != 0.0, "biquad a0 must be non-zero");
+    _b0 = b0 / a0;
+    _b1 = b1 / a0;
+    _b2 = b2 / a0;
+    _a1 = a1 / a0;
+    _a2 = a2 / a0;
+}
+
+namespace {
+
+struct RbjParams
+{
+    double w0;
+    double cosw;
+    double sinw;
+    double alpha;
+};
+
+RbjParams
+rbj(Frequency f, Frequency fs, double q)
+{
+    MINDFUL_ASSERT(f.inHertz() > 0.0 && f.inHertz() < fs.inHertz() / 2.0,
+                   "filter frequency must lie in (0, fs/2): f = ",
+                   f.inHertz(), " Hz, fs = ", fs.inHertz(), " Hz");
+    MINDFUL_ASSERT(q > 0.0, "filter Q must be positive");
+    RbjParams p;
+    p.w0 = 2.0 * std::numbers::pi * f.inHertz() / fs.inHertz();
+    p.cosw = std::cos(p.w0);
+    p.sinw = std::sin(p.w0);
+    p.alpha = p.sinw / (2.0 * q);
+    return p;
+}
+
+} // namespace
+
+Biquad
+Biquad::lowPass(Frequency cutoff, Frequency sampling, double q)
+{
+    auto p = rbj(cutoff, sampling, q);
+    return Biquad((1.0 - p.cosw) / 2.0, 1.0 - p.cosw, (1.0 - p.cosw) / 2.0,
+                  1.0 + p.alpha, -2.0 * p.cosw, 1.0 - p.alpha);
+}
+
+Biquad
+Biquad::highPass(Frequency cutoff, Frequency sampling, double q)
+{
+    auto p = rbj(cutoff, sampling, q);
+    return Biquad((1.0 + p.cosw) / 2.0, -(1.0 + p.cosw),
+                  (1.0 + p.cosw) / 2.0, 1.0 + p.alpha, -2.0 * p.cosw,
+                  1.0 - p.alpha);
+}
+
+Biquad
+Biquad::bandPass(Frequency centre, Frequency sampling, double q)
+{
+    auto p = rbj(centre, sampling, q);
+    return Biquad(p.alpha, 0.0, -p.alpha, 1.0 + p.alpha, -2.0 * p.cosw,
+                  1.0 - p.alpha);
+}
+
+Biquad
+Biquad::notch(Frequency centre, Frequency sampling, double q)
+{
+    auto p = rbj(centre, sampling, q);
+    return Biquad(1.0, -2.0 * p.cosw, 1.0, 1.0 + p.alpha, -2.0 * p.cosw,
+                  1.0 - p.alpha);
+}
+
+double
+Biquad::step(double x)
+{
+    double y = _b0 * x + _b1 * _x1 + _b2 * _x2 - _a1 * _y1 - _a2 * _y2;
+    _x2 = _x1;
+    _x1 = x;
+    _y2 = _y1;
+    _y1 = y;
+    return y;
+}
+
+void
+Biquad::reset()
+{
+    _x1 = _x2 = _y1 = _y2 = 0.0;
+}
+
+double
+Biquad::magnitudeAt(Frequency freq, Frequency sampling) const
+{
+    using namespace std::complex_literals;
+    double w = 2.0 * std::numbers::pi * freq.inHertz() / sampling.inHertz();
+    std::complex<double> z = std::exp(-1i * w);
+    std::complex<double> num = _b0 + _b1 * z + _b2 * z * z;
+    std::complex<double> den = 1.0 + _a1 * z + _a2 * z * z;
+    return std::abs(num / den);
+}
+
+double
+BiquadCascade::step(double x)
+{
+    for (auto &section : _sections)
+        x = section.step(x);
+    return x;
+}
+
+void
+BiquadCascade::reset()
+{
+    for (auto &section : _sections)
+        section.reset();
+}
+
+std::vector<double>
+BiquadCascade::apply(const std::vector<double> &input)
+{
+    std::vector<double> out;
+    out.reserve(input.size());
+    for (double x : input)
+        out.push_back(step(x));
+    return out;
+}
+
+BiquadCascade
+BiquadCascade::spikeBand(Frequency sampling, Frequency low, Frequency high)
+{
+    BiquadCascade cascade;
+    // Two cascaded 2nd-order sections at each edge give 4th-order
+    // rolloff; butterworth Q pairing (0.5412, 1.3066).
+    cascade.append(Biquad::highPass(low, sampling, 0.5412));
+    cascade.append(Biquad::highPass(low, sampling, 1.3066));
+    cascade.append(Biquad::lowPass(high, sampling, 0.5412));
+    cascade.append(Biquad::lowPass(high, sampling, 1.3066));
+    return cascade;
+}
+
+BiquadCascade
+BiquadCascade::lfpBand(Frequency sampling, Frequency cutoff)
+{
+    BiquadCascade cascade;
+    cascade.append(Biquad::lowPass(cutoff, sampling, 0.5412));
+    cascade.append(Biquad::lowPass(cutoff, sampling, 1.3066));
+    return cascade;
+}
+
+FirFilter::FirFilter(std::vector<double> taps)
+    : _taps(std::move(taps)), _delay(_taps.size(), 0.0)
+{
+    MINDFUL_ASSERT(!_taps.empty(), "FIR filter needs at least one tap");
+}
+
+FirFilter
+FirFilter::designLowPass(Frequency cutoff, Frequency sampling,
+                         std::size_t taps)
+{
+    MINDFUL_ASSERT(taps >= 3, "FIR design needs at least 3 taps");
+    MINDFUL_ASSERT(cutoff.inHertz() > 0.0 &&
+                       cutoff.inHertz() < sampling.inHertz() / 2.0,
+                   "FIR cutoff must lie in (0, fs/2)");
+
+    double fc = cutoff.inHertz() / sampling.inHertz();
+    std::vector<double> h(taps);
+    double centre = (static_cast<double>(taps) - 1.0) / 2.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < taps; ++i) {
+        double m = static_cast<double>(i) - centre;
+        double sinc = m == 0.0
+                          ? 2.0 * fc
+                          : std::sin(2.0 * std::numbers::pi * fc * m) /
+                                (std::numbers::pi * m);
+        double window =
+            0.54 - 0.46 * std::cos(2.0 * std::numbers::pi *
+                                   static_cast<double>(i) /
+                                   (static_cast<double>(taps) - 1.0));
+        h[i] = sinc * window;
+        sum += h[i];
+    }
+    // Normalize DC gain to exactly 1.
+    for (auto &v : h)
+        v /= sum;
+    return FirFilter(std::move(h));
+}
+
+FirFilter
+FirFilter::designBandPass(Frequency low, Frequency high, Frequency sampling,
+                          std::size_t taps)
+{
+    MINDFUL_ASSERT(low.inHertz() < high.inHertz(),
+                   "band-pass edges out of order");
+    FirFilter lp_high = designLowPass(high, sampling, taps);
+    FirFilter lp_low = designLowPass(low, sampling, taps);
+    std::vector<double> h(taps);
+    for (std::size_t i = 0; i < taps; ++i)
+        h[i] = lp_high.taps()[i] - lp_low.taps()[i];
+    return FirFilter(std::move(h));
+}
+
+double
+FirFilter::step(double x)
+{
+    _delay[_head] = x;
+    double acc = 0.0;
+    std::size_t idx = _head;
+    for (double tap : _taps) {
+        acc += tap * _delay[idx];
+        idx = (idx == 0) ? _delay.size() - 1 : idx - 1;
+    }
+    _head = (_head + 1) % _delay.size();
+    return acc;
+}
+
+void
+FirFilter::reset()
+{
+    std::fill(_delay.begin(), _delay.end(), 0.0);
+    _head = 0;
+}
+
+std::vector<double>
+FirFilter::apply(const std::vector<double> &input)
+{
+    std::vector<double> out;
+    out.reserve(input.size());
+    for (double x : input)
+        out.push_back(step(x));
+    return out;
+}
+
+double
+FirFilter::magnitudeAt(Frequency freq, Frequency sampling) const
+{
+    using namespace std::complex_literals;
+    double w = 2.0 * std::numbers::pi * freq.inHertz() / sampling.inHertz();
+    std::complex<double> acc = 0.0;
+    for (std::size_t i = 0; i < _taps.size(); ++i)
+        acc += _taps[i] * std::exp(-1i * (w * static_cast<double>(i)));
+    return std::abs(acc);
+}
+
+} // namespace mindful::signal

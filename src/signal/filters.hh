@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Digital filters for neural-signal conditioning.
+ *
+ * Implanted front-ends band-split the raw trace into a spike band
+ * (~300 Hz - 3 kHz) and an LFP band (< ~300 Hz) before any feature
+ * extraction. This module provides RBJ-cookbook biquad sections, a
+ * cascade container, and windowed-sinc FIR design — enough to build
+ * the standard neural preprocessing chains used by the examples and
+ * the spike detector.
+ */
+
+#ifndef MINDFUL_SIGNAL_FILTERS_HH
+#define MINDFUL_SIGNAL_FILTERS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "base/units.hh"
+
+namespace mindful::signal {
+
+/**
+ * Direct-form-I biquad (two poles, two zeros), normalized a0 = 1.
+ */
+class Biquad
+{
+  public:
+    /** Identity (pass-through) section. */
+    Biquad();
+
+    /** Raw coefficients; a0 must be non-zero and is normalized out. */
+    Biquad(double b0, double b1, double b2, double a0, double a1, double a2);
+
+    /** RBJ cookbook designs. @p q is the section quality factor. */
+    static Biquad lowPass(Frequency cutoff, Frequency sampling,
+                          double q = 0.7071);
+    static Biquad highPass(Frequency cutoff, Frequency sampling,
+                           double q = 0.7071);
+    static Biquad bandPass(Frequency centre, Frequency sampling, double q);
+    static Biquad notch(Frequency centre, Frequency sampling, double q);
+
+    /** Process one sample, updating internal state. */
+    double step(double x);
+
+    /** Reset the delay line to zero. */
+    void reset();
+
+    /** Magnitude response |H(e^{jw})| at @p freq. */
+    double magnitudeAt(Frequency freq, Frequency sampling) const;
+
+  private:
+    double _b0, _b1, _b2, _a1, _a2;
+    double _x1 = 0.0, _x2 = 0.0, _y1 = 0.0, _y2 = 0.0;
+};
+
+/** Cascade of biquad sections applied in series. */
+class BiquadCascade
+{
+  public:
+    BiquadCascade() = default;
+    explicit BiquadCascade(std::vector<Biquad> sections)
+        : _sections(std::move(sections))
+    {
+    }
+
+    void append(Biquad section) { _sections.push_back(section); }
+
+    double step(double x);
+    void reset();
+
+    /** Filter a whole buffer (stateful; call reset() between traces). */
+    std::vector<double> apply(const std::vector<double> &input);
+
+    std::size_t sections() const { return _sections.size(); }
+
+    /**
+     * Standard neural spike-band chain: 2 high-pass + 2 low-pass
+     * butterworth-q biquads (4th-order band edges).
+     */
+    static BiquadCascade spikeBand(Frequency sampling,
+                                   Frequency low = Frequency::hertz(300),
+                                   Frequency high =
+                                       Frequency::kilohertz(3.0));
+
+    /** LFP chain: 4th-order low-pass below @p cutoff. */
+    static BiquadCascade lfpBand(Frequency sampling,
+                                 Frequency cutoff = Frequency::hertz(300));
+
+  private:
+    std::vector<Biquad> _sections;
+};
+
+/**
+ * Windowed-sinc (Hamming) linear-phase FIR filter.
+ */
+class FirFilter
+{
+  public:
+    explicit FirFilter(std::vector<double> taps);
+
+    /** Low-pass design with @p taps coefficients (odd preferred). */
+    static FirFilter designLowPass(Frequency cutoff, Frequency sampling,
+                                   std::size_t taps);
+
+    /** Band-pass design via spectral subtraction of two low-passes. */
+    static FirFilter designBandPass(Frequency low, Frequency high,
+                                    Frequency sampling, std::size_t taps);
+
+    double step(double x);
+    void reset();
+
+    std::vector<double> apply(const std::vector<double> &input);
+
+    const std::vector<double> &taps() const { return _taps; }
+
+    /** Magnitude response at @p freq. */
+    double magnitudeAt(Frequency freq, Frequency sampling) const;
+
+  private:
+    std::vector<double> _taps;
+    std::vector<double> _delay;
+    std::size_t _head = 0;
+};
+
+} // namespace mindful::signal
+
+#endif // MINDFUL_SIGNAL_FILTERS_HH

@@ -1,0 +1,107 @@
+#include "signal/kalman.hh"
+
+#include "base/logging.hh"
+
+namespace mindful::signal {
+
+void
+KalmanDecoder::train(const Matrix &states, const Matrix &observations)
+{
+    const std::size_t m = states.rows();
+    const std::size_t n = observations.rows();
+    const std::size_t t = states.cols();
+    MINDFUL_ASSERT(t >= 3, "Kalman training needs at least 3 bins");
+    MINDFUL_ASSERT(observations.cols() == t,
+                   "states and observations must share the time axis");
+
+    // X1 = states[:, 0..T-2], X2 = states[:, 1..T-1].
+    Matrix x1(m, t - 1), x2(m, t - 1);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j + 1 < t; ++j) {
+            x1(i, j) = states(i, j);
+            x2(i, j) = states(i, j + 1);
+        }
+    }
+
+    // A minimizes ||X2 - A X1||: A = X2 X1' (X1 X1' + eps I)^-1.
+    Matrix x1t = x1.transpose();
+    Matrix gram = x1 * x1t;
+    for (std::size_t i = 0; i < m; ++i)
+        gram(i, i) += 1e-9;
+    _a = (x2 * x1t) * gram.inverse();
+
+    Matrix resid_a = x2 - _a * x1;
+    _q = resid_a * resid_a.transpose() * (1.0 / static_cast<double>(t - 1));
+    // Keep Q positive definite for the recursion even on degenerate
+    // training data.
+    for (std::size_t i = 0; i < m; ++i)
+        _q(i, i) += 1e-9;
+
+    // H minimizes ||Y - H X||: H = Y X' (X X' + eps I)^-1.
+    Matrix xt = states.transpose();
+    Matrix gram_x = states * xt;
+    for (std::size_t i = 0; i < m; ++i)
+        gram_x(i, i) += 1e-9;
+    _h = (observations * xt) * gram_x.inverse();
+
+    Matrix resid_h = observations - _h * states;
+    _r = resid_h * resid_h.transpose() * (1.0 / static_cast<double>(t));
+    for (std::size_t i = 0; i < n; ++i)
+        _r(i, i) += 1e-6;
+
+    _trained = true;
+    resetState();
+}
+
+void
+KalmanDecoder::resetState()
+{
+    MINDFUL_ASSERT(_trained, "decoder must be trained before use");
+    _state = Matrix(_a.rows(), 1);
+    _covariance = Matrix::identity(_a.rows());
+}
+
+std::vector<double>
+KalmanDecoder::step(const std::vector<double> &observation)
+{
+    MINDFUL_ASSERT(_trained, "decoder must be trained before use");
+    MINDFUL_ASSERT(observation.size() == _h.rows(),
+                   "observation length ", observation.size(),
+                   " != expected ", _h.rows());
+
+    // Predict.
+    Matrix x_prior = _a * _state;
+    Matrix p_prior = _a * _covariance * _a.transpose() + _q;
+
+    // Update: K = P H' (H P H' + R)^-1.
+    Matrix ht = _h.transpose();
+    Matrix innovation_cov = _h * p_prior * ht + _r;
+    Matrix gain = p_prior * ht * innovation_cov.inverse();
+
+    Matrix y = Matrix::columnVector(observation);
+    Matrix innovation = y - _h * x_prior;
+    _state = x_prior + gain * innovation;
+    _covariance =
+        (Matrix::identity(_a.rows()) - gain * _h) * p_prior;
+
+    return _state.toVector();
+}
+
+Matrix
+KalmanDecoder::decode(const Matrix &observations)
+{
+    MINDFUL_ASSERT(_trained, "decoder must be trained before use");
+    resetState();
+    Matrix decoded(_a.rows(), observations.cols());
+    std::vector<double> column(observations.rows());
+    for (std::size_t t = 0; t < observations.cols(); ++t) {
+        for (std::size_t i = 0; i < observations.rows(); ++i)
+            column[i] = observations(i, t);
+        auto estimate = step(column);
+        for (std::size_t i = 0; i < estimate.size(); ++i)
+            decoded(i, t) = estimate[i];
+    }
+    return decoded;
+}
+
+} // namespace mindful::signal

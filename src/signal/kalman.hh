@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Kalman-filter neural decoder.
+ *
+ * The linear Kalman filter is the classic BCI decoding algorithm
+ * (Wu et al. 2002) and the "traditional algorithm" baseline the paper
+ * contrasts with DNN decoders (Secs. 2.3, 5.3). The formulation is
+ * the standard neural-prosthesis one:
+ *
+ *     x_t = A x_{t-1} + w,  w ~ N(0, Q)   (intent kinematics)
+ *     y_t = H x_t     + q,  q ~ N(0, R)   (binned spike counts)
+ *
+ * with (A, Q, H, R) fit by least squares on training data, then the
+ * usual predict / update recursion at run time.
+ */
+
+#ifndef MINDFUL_SIGNAL_KALMAN_HH
+#define MINDFUL_SIGNAL_KALMAN_HH
+
+#include <vector>
+
+#include "base/matrix.hh"
+
+namespace mindful::signal {
+
+/** Trained, runnable Kalman decoder. */
+class KalmanDecoder
+{
+  public:
+    KalmanDecoder() = default;
+
+    /**
+     * Fit the model.
+     *
+     * @param states latent intent, one column per time bin (m x T).
+     * @param observations features (e.g. binned spike counts), one
+     *        column per time bin (n x T). Must share T with states.
+     */
+    void train(const Matrix &states, const Matrix &observations);
+
+    bool trained() const { return _trained; }
+
+    std::size_t stateDim() const { return _a.rows(); }
+    std::size_t observationDim() const { return _h.rows(); }
+
+    /** Reset the filter state to zero mean / unit covariance. */
+    void resetState();
+
+    /**
+     * One predict + update step.
+     * @param observation feature vector for this bin (length n).
+     * @return posterior state estimate (length m).
+     */
+    std::vector<double> step(const std::vector<double> &observation);
+
+    /** Run the filter over a whole session (n x T in, m x T out). */
+    Matrix decode(const Matrix &observations);
+
+    const Matrix &transition() const { return _a; }
+    const Matrix &processNoise() const { return _q; }
+    const Matrix &observationMatrix() const { return _h; }
+    const Matrix &observationNoise() const { return _r; }
+
+  private:
+    bool _trained = false;
+    Matrix _a, _q, _h, _r;
+    Matrix _state;      //!< current posterior mean (m x 1)
+    Matrix _covariance; //!< current posterior covariance (m x m)
+};
+
+} // namespace mindful::signal
+
+#endif // MINDFUL_SIGNAL_KALMAN_HH

@@ -1,0 +1,82 @@
+#include "signal/metrics.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mindful::signal {
+
+double
+pearsonCorrelation(const std::vector<double> &a, const std::vector<double> &b)
+{
+    MINDFUL_ASSERT(a.size() == b.size() && !a.empty(),
+                   "correlation needs equal-length non-empty series");
+    const double n = static_cast<double>(a.size());
+    double mean_a = 0.0, mean_b = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        mean_a += a[i];
+        mean_b += b[i];
+    }
+    mean_a /= n;
+    mean_b /= n;
+
+    double cov = 0.0, var_a = 0.0, var_b = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double da = a[i] - mean_a;
+        double db = b[i] - mean_b;
+        cov += da * db;
+        var_a += da * da;
+        var_b += db * db;
+    }
+    double denom = std::sqrt(var_a * var_b);
+    return denom > 0.0 ? cov / denom : 0.0;
+}
+
+double
+rmse(const std::vector<double> &a, const std::vector<double> &b)
+{
+    MINDFUL_ASSERT(a.size() == b.size() && !a.empty(),
+                   "rmse needs equal-length non-empty series");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+double
+meanRowCorrelation(const Matrix &a, const Matrix &b)
+{
+    MINDFUL_ASSERT(a.rows() == b.rows() && a.cols() == b.cols(),
+                   "matrices must share shape");
+    MINDFUL_ASSERT(a.rows() > 0, "matrices must be non-empty");
+    double sum = 0.0;
+    std::vector<double> row_a(a.cols()), row_b(b.cols());
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+        for (std::size_t c = 0; c < a.cols(); ++c) {
+            row_a[c] = a(r, c);
+            row_b[c] = b(r, c);
+        }
+        sum += pearsonCorrelation(row_a, row_b);
+    }
+    return sum / static_cast<double>(a.rows());
+}
+
+double
+snrDb(const std::vector<double> &signal, const std::vector<double> &reference)
+{
+    MINDFUL_ASSERT(signal.size() == reference.size() && !signal.empty(),
+                   "snr needs equal-length non-empty series");
+    double sig = 0.0, noise = 0.0;
+    for (std::size_t i = 0; i < signal.size(); ++i) {
+        sig += reference[i] * reference[i];
+        double d = signal[i] - reference[i];
+        noise += d * d;
+    }
+    if (noise <= 0.0)
+        return 300.0; // effectively infinite
+    return 10.0 * std::log10(sig / noise);
+}
+
+} // namespace mindful::signal

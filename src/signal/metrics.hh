@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Decoder / signal quality metrics.
+ */
+
+#ifndef MINDFUL_SIGNAL_METRICS_HH
+#define MINDFUL_SIGNAL_METRICS_HH
+
+#include <vector>
+
+#include "base/matrix.hh"
+
+namespace mindful::signal {
+
+/** Pearson correlation coefficient of two equal-length series. */
+double pearsonCorrelation(const std::vector<double> &a,
+                          const std::vector<double> &b);
+
+/** Root-mean-square error between two equal-length series. */
+double rmse(const std::vector<double> &a, const std::vector<double> &b);
+
+/**
+ * Mean per-row Pearson correlation between two (m x T) matrices —
+ * the standard decoder accuracy summary across intent dimensions.
+ */
+double meanRowCorrelation(const Matrix &a, const Matrix &b);
+
+/** Signal-to-noise ratio in dB of signal vs (signal - reference). */
+double snrDb(const std::vector<double> &signal,
+             const std::vector<double> &reference);
+
+} // namespace mindful::signal
+
+#endif // MINDFUL_SIGNAL_METRICS_HH

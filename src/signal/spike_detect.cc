@@ -1,0 +1,124 @@
+#include "signal/spike_detect.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mindful::signal {
+
+double
+madNoiseEstimate(const std::vector<double> &trace)
+{
+    MINDFUL_ASSERT(!trace.empty(), "noise estimate needs samples");
+    std::vector<double> magnitudes;
+    magnitudes.reserve(trace.size());
+    for (double v : trace)
+        magnitudes.push_back(std::abs(v));
+    auto mid = magnitudes.begin() +
+               static_cast<std::ptrdiff_t>(magnitudes.size() / 2);
+    std::nth_element(magnitudes.begin(), mid, magnitudes.end());
+    return *mid / 0.6745;
+}
+
+namespace {
+
+/**
+ * Shared peak-picking walk: scan a criterion trace against a
+ * threshold, report the extremum of each crossing, and honour the
+ * refractory dead time.
+ */
+std::vector<SpikeEvent>
+pickPeaks(const std::vector<double> &criterion,
+          const std::vector<double> &trace, double threshold,
+          bool negative_going, std::size_t refractory)
+{
+    std::vector<SpikeEvent> events;
+    std::size_t i = 0;
+    const std::size_t n = criterion.size();
+    while (i < n) {
+        bool crossed = negative_going ? criterion[i] <= -threshold
+                                      : criterion[i] >= threshold;
+        if (!crossed) {
+            ++i;
+            continue;
+        }
+        // Walk the suprathreshold excursion to its extremum.
+        std::size_t peak = i;
+        std::size_t j = i;
+        while (j < n) {
+            bool still = negative_going ? criterion[j] <= -threshold
+                                        : criterion[j] >= threshold;
+            if (!still)
+                break;
+            bool better = negative_going
+                              ? criterion[j] < criterion[peak]
+                              : criterion[j] > criterion[peak];
+            if (better)
+                peak = j;
+            ++j;
+        }
+        events.push_back({peak, trace[peak]});
+        i = std::max(j, peak + refractory);
+    }
+    return events;
+}
+
+} // namespace
+
+ThresholdDetector::ThresholdDetector(SpikeDetectorConfig config)
+    : _config(config)
+{
+    MINDFUL_ASSERT(config.thresholdSigmas > 0.0,
+                   "threshold must be positive");
+}
+
+std::vector<SpikeEvent>
+ThresholdDetector::detect(const std::vector<double> &trace) const
+{
+    if (trace.empty())
+        return {};
+    double sigma = madNoiseEstimate(trace);
+    if (sigma <= 0.0)
+        return {};
+    double threshold = _config.thresholdSigmas * sigma;
+    return pickPeaks(trace, trace, threshold, _config.negativeGoing,
+                     _config.refractorySamples);
+}
+
+NeoDetector::NeoDetector(SpikeDetectorConfig config) : _config(config)
+{
+    MINDFUL_ASSERT(config.thresholdSigmas > 0.0,
+                   "threshold must be positive");
+}
+
+std::vector<double>
+NeoDetector::energy(const std::vector<double> &trace)
+{
+    std::vector<double> psi(trace.size(), 0.0);
+    for (std::size_t i = 1; i + 1 < trace.size(); ++i)
+        psi[i] = trace[i] * trace[i] - trace[i - 1] * trace[i + 1];
+    return psi;
+}
+
+std::vector<SpikeEvent>
+NeoDetector::detect(const std::vector<double> &trace) const
+{
+    if (trace.size() < 3)
+        return {};
+    std::vector<double> psi = energy(trace);
+
+    // NEO output is one-sided; threshold at a multiple of its mean
+    // (the conventional choice: spikes lift psi orders of magnitude
+    // above the noise energy).
+    double mean = 0.0;
+    for (double v : psi)
+        mean += v;
+    mean /= static_cast<double>(psi.size());
+    double threshold = _config.thresholdSigmas * std::max(mean, 1e-12);
+
+    return pickPeaks(psi, trace, threshold, /*negative_going=*/false,
+                     _config.refractorySamples);
+}
+
+} // namespace mindful::signal

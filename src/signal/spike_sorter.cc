@@ -1,0 +1,221 @@
+#include "signal/spike_sorter.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace mindful::signal {
+
+std::vector<Snippet>
+extractSnippets(const std::vector<double> &trace,
+                const std::vector<SpikeEvent> &events, std::size_t pre,
+                std::size_t post)
+{
+    std::vector<Snippet> snippets;
+    snippets.reserve(events.size());
+    for (const auto &event : events) {
+        if (event.sampleIndex < pre ||
+            event.sampleIndex + post >= trace.size())
+            continue;
+        Snippet snippet;
+        snippet.reserve(pre + post + 1);
+        for (std::size_t s = event.sampleIndex - pre;
+             s <= event.sampleIndex + post; ++s)
+            snippet.push_back(trace[s]);
+        snippets.push_back(std::move(snippet));
+    }
+    return snippets;
+}
+
+namespace {
+
+double
+squaredDistance(const Snippet &a, const Snippet &b)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+} // namespace
+
+TemplateSpikeSorter::TemplateSpikeSorter(SpikeSorterConfig config)
+    : _config(config)
+{
+    MINDFUL_ASSERT(config.units >= 1, "need at least one template");
+    MINDFUL_ASSERT(config.rejectionSigmas > 0.0,
+                   "rejection threshold must be positive");
+}
+
+void
+TemplateSpikeSorter::train(const std::vector<Snippet> &snippets)
+{
+    MINDFUL_ASSERT(snippets.size() >= _config.units,
+                   "need at least as many snippets (", snippets.size(),
+                   ") as templates (", _config.units, ")");
+    _snippetLength = snippets.front().size();
+    MINDFUL_ASSERT(_snippetLength > 0, "snippets must be non-empty");
+    for (const auto &snippet : snippets)
+        MINDFUL_ASSERT(snippet.size() == _snippetLength,
+                       "all snippets must share one length");
+
+    // k-means with probabilistic k-means++ seeding and a few
+    // restarts, keeping the lowest-inertia solution. Probabilistic
+    // seeding (next centre drawn with probability ~ D^2) is robust
+    // against the handful of misaligned outlier snippets real
+    // detections produce, which deterministic farthest-point seeding
+    // would latch onto.
+    Rng rng(_config.seed);
+    const std::size_t restarts = 4;
+    double best_inertia = std::numeric_limits<double>::infinity();
+    std::vector<Snippet> best_templates;
+    std::vector<std::size_t> best_assignment;
+
+    for (std::size_t attempt = 0; attempt < restarts; ++attempt) {
+        std::vector<Snippet> centres;
+        centres.push_back(snippets[static_cast<std::size_t>(
+            rng.uniformInt(0,
+                           static_cast<std::int64_t>(snippets.size()) -
+                               1))]);
+        while (centres.size() < _config.units) {
+            std::vector<double> weight(snippets.size(), 0.0);
+            double total_weight = 0.0;
+            for (std::size_t i = 0; i < snippets.size(); ++i) {
+                double nearest =
+                    std::numeric_limits<double>::infinity();
+                for (const auto &centre : centres)
+                    nearest = std::min(
+                        nearest, squaredDistance(snippets[i], centre));
+                weight[i] = nearest;
+                total_weight += nearest;
+            }
+            double draw = rng.uniform(0.0, std::max(total_weight, 1e-30));
+            std::size_t chosen = snippets.size() - 1;
+            double acc = 0.0;
+            for (std::size_t i = 0; i < snippets.size(); ++i) {
+                acc += weight[i];
+                if (acc >= draw) {
+                    chosen = i;
+                    break;
+                }
+            }
+            centres.push_back(snippets[chosen]);
+        }
+
+        // Lloyd iterations.
+        std::vector<std::size_t> assignment(snippets.size(), 0);
+        for (std::size_t iter = 0; iter < _config.kmeansIterations;
+             ++iter) {
+            bool changed = false;
+            for (std::size_t i = 0; i < snippets.size(); ++i) {
+                std::size_t best = 0;
+                double best_distance =
+                    std::numeric_limits<double>::infinity();
+                for (std::size_t u = 0; u < centres.size(); ++u) {
+                    double d = squaredDistance(snippets[i], centres[u]);
+                    if (d < best_distance) {
+                        best_distance = d;
+                        best = u;
+                    }
+                }
+                if (assignment[i] != best) {
+                    assignment[i] = best;
+                    changed = true;
+                }
+            }
+
+            std::vector<Snippet> sums(centres.size(),
+                                      Snippet(_snippetLength, 0.0));
+            std::vector<std::size_t> counts(centres.size(), 0);
+            for (std::size_t i = 0; i < snippets.size(); ++i) {
+                for (std::size_t s = 0; s < _snippetLength; ++s)
+                    sums[assignment[i]][s] += snippets[i][s];
+                ++counts[assignment[i]];
+            }
+            for (std::size_t u = 0; u < centres.size(); ++u) {
+                if (counts[u] == 0) {
+                    centres[u] = snippets[static_cast<std::size_t>(
+                        rng.uniformInt(
+                            0, static_cast<std::int64_t>(
+                                   snippets.size()) -
+                                   1))];
+                    changed = true;
+                    continue;
+                }
+                for (std::size_t s = 0; s < _snippetLength; ++s)
+                    centres[u][s] =
+                        sums[u][s] / static_cast<double>(counts[u]);
+            }
+            if (!changed && iter > 0)
+                break;
+        }
+
+        double inertia = 0.0;
+        for (std::size_t i = 0; i < snippets.size(); ++i)
+            inertia +=
+                squaredDistance(snippets[i], centres[assignment[i]]);
+        if (inertia < best_inertia) {
+            best_inertia = inertia;
+            best_templates = centres;
+            best_assignment = assignment;
+        }
+    }
+
+    _templates = std::move(best_templates);
+
+    // Noise scale: mean within-cluster distance (for the rejection
+    // rule). Guard against degenerate zero-noise training sets.
+    double total = 0.0;
+    for (std::size_t i = 0; i < snippets.size(); ++i)
+        total += std::sqrt(
+            squaredDistance(snippets[i], _templates[best_assignment[i]]));
+    _noiseScale = std::max(
+        total / static_cast<double>(snippets.size()), 1e-9);
+}
+
+double
+TemplateSpikeSorter::distanceTo(const Snippet &snippet,
+                                std::size_t unit) const
+{
+    return std::sqrt(squaredDistance(snippet, _templates[unit]));
+}
+
+SortedSpike
+TemplateSpikeSorter::classify(const Snippet &snippet) const
+{
+    MINDFUL_ASSERT(trained(), "sorter must be trained before use");
+    MINDFUL_ASSERT(snippet.size() == _snippetLength,
+                   "snippet length ", snippet.size(), " != trained length ",
+                   _snippetLength);
+
+    SortedSpike result;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t u = 0; u < _templates.size(); ++u) {
+        double d = distanceTo(snippet, u);
+        if (d < best) {
+            best = d;
+            result.unit = static_cast<int>(u);
+        }
+    }
+    result.distance = best;
+    if (best > _config.rejectionSigmas * _noiseScale)
+        result.unit = -1;
+    return result;
+}
+
+std::vector<SortedSpike>
+TemplateSpikeSorter::classify(const std::vector<Snippet> &snippets) const
+{
+    std::vector<SortedSpike> results;
+    results.reserve(snippets.size());
+    for (const auto &snippet : snippets)
+        results.push_back(classify(snippet));
+    return results;
+}
+
+} // namespace mindful::signal

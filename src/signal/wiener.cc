@@ -1,0 +1,94 @@
+#include "signal/wiener.hh"
+
+#include "base/logging.hh"
+
+namespace mindful::signal {
+
+WienerDecoder::WienerDecoder(std::size_t lags, double ridge)
+    : _lags(lags), _ridge(ridge)
+{
+    MINDFUL_ASSERT(lags >= 1, "Wiener decoder needs at least one lag");
+    MINDFUL_ASSERT(ridge >= 0.0, "ridge strength must be non-negative");
+}
+
+void
+WienerDecoder::train(const Matrix &states, const Matrix &observations)
+{
+    const std::size_t m = states.rows();
+    const std::size_t n = observations.rows();
+    const std::size_t t = states.cols();
+    MINDFUL_ASSERT(observations.cols() == t,
+                   "states and observations must share the time axis");
+    MINDFUL_ASSERT(t > _lags + 1, "not enough bins for the requested lags");
+
+    _stateDim = m;
+    _obsDim = n;
+
+    // Design matrix: rows are usable time bins (t >= L-1), columns
+    // are [y_t; y_{t-1}; ...; y_{t-L+1}; 1].
+    const std::size_t usable = t - (_lags - 1);
+    const std::size_t width = n * _lags + 1;
+    Matrix design(usable, width);
+    Matrix target(usable, m);
+    for (std::size_t row = 0; row < usable; ++row) {
+        std::size_t bin = row + (_lags - 1);
+        for (std::size_t lag = 0; lag < _lags; ++lag)
+            for (std::size_t i = 0; i < n; ++i)
+                design(row, lag * n + i) = observations(i, bin - lag);
+        design(row, width - 1) = 1.0;
+        for (std::size_t i = 0; i < m; ++i)
+            target(row, i) = states(i, bin);
+    }
+
+    // Ridge least squares; weights stored transposed (m x width).
+    _weights = design.leastSquares(target, _ridge).transpose();
+    _trained = true;
+    resetState();
+}
+
+void
+WienerDecoder::resetState()
+{
+    _history.clear();
+}
+
+std::vector<double>
+WienerDecoder::step(const std::vector<double> &observation)
+{
+    MINDFUL_ASSERT(_trained, "decoder must be trained before use");
+    MINDFUL_ASSERT(observation.size() == _obsDim,
+                   "observation length mismatch");
+
+    _history.push_front(observation);
+    if (_history.size() > _lags)
+        _history.pop_back();
+
+    std::vector<double> estimate(_stateDim, 0.0);
+    for (std::size_t d = 0; d < _stateDim; ++d) {
+        double acc = _weights(d, _obsDim * _lags); // bias column
+        for (std::size_t lag = 0; lag < _history.size(); ++lag)
+            for (std::size_t i = 0; i < _obsDim; ++i)
+                acc += _weights(d, lag * _obsDim + i) * _history[lag][i];
+        estimate[d] = acc;
+    }
+    return estimate;
+}
+
+Matrix
+WienerDecoder::decode(const Matrix &observations)
+{
+    MINDFUL_ASSERT(_trained, "decoder must be trained before use");
+    resetState();
+    Matrix decoded(_stateDim, observations.cols());
+    std::vector<double> column(observations.rows());
+    for (std::size_t t = 0; t < observations.cols(); ++t) {
+        for (std::size_t i = 0; i < observations.rows(); ++i)
+            column[i] = observations(i, t);
+        auto estimate = step(column);
+        for (std::size_t i = 0; i < estimate.size(); ++i)
+            decoded(i, t) = estimate[i];
+    }
+    return decoded;
+}
+
+} // namespace mindful::signal

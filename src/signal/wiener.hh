@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Wiener-filter (lagged linear regression) neural decoder.
+ *
+ * The Wiener filter is the second "traditional algorithm" the paper
+ * names alongside the Kalman filter (Sec. 2.3). The decoder forms
+ *
+ *     x_t = b + sum_{l=0}^{L-1} W_l y_{t-l}
+ *
+ * with the weight matrices fit jointly by ridge-regularized least
+ * squares on training data.
+ */
+
+#ifndef MINDFUL_SIGNAL_WIENER_HH
+#define MINDFUL_SIGNAL_WIENER_HH
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "base/matrix.hh"
+
+namespace mindful::signal {
+
+/** Trained, runnable Wiener decoder. */
+class WienerDecoder
+{
+  public:
+    /**
+     * @param lags number of past observation bins used per estimate
+     *             (L >= 1; L == 1 is plain linear regression).
+     * @param ridge Tikhonov regularization strength.
+     */
+    explicit WienerDecoder(std::size_t lags = 5, double ridge = 1e-6);
+
+    /**
+     * Fit the filter.
+     * @param states latent intent (m x T).
+     * @param observations features (n x T), same T.
+     */
+    void train(const Matrix &states, const Matrix &observations);
+
+    bool trained() const { return _trained; }
+    std::size_t lags() const { return _lags; }
+    std::size_t stateDim() const { return _stateDim; }
+    std::size_t observationDim() const { return _obsDim; }
+
+    /** Clear the internal lag buffer. */
+    void resetState();
+
+    /**
+     * Feed one observation bin; returns the current estimate (the
+     * lag buffer is zero-padded until it fills).
+     */
+    std::vector<double> step(const std::vector<double> &observation);
+
+    /** Run over a whole session (n x T in, m x T out). */
+    Matrix decode(const Matrix &observations);
+
+    /** Stacked weight matrix (m x (n*L + 1), last column = bias). */
+    const Matrix &weights() const { return _weights; }
+
+  private:
+    std::size_t _lags;
+    double _ridge;
+    bool _trained = false;
+    std::size_t _stateDim = 0;
+    std::size_t _obsDim = 0;
+    Matrix _weights;
+    std::deque<std::vector<double>> _history;
+};
+
+} // namespace mindful::signal
+
+#endif // MINDFUL_SIGNAL_WIENER_HH

@@ -1,0 +1,192 @@
+#include "snn/lif.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mindful::snn {
+
+LifLayer::LifLayer(std::size_t inputs, std::size_t neurons,
+                   LifParams params)
+    : _inputs(inputs), _neurons(neurons), _params(params),
+      _weights(inputs * neurons, 0.0), _potential(neurons, 0.0),
+      _refractoryLeft(neurons, 0.0)
+{
+    MINDFUL_ASSERT(inputs > 0 && neurons > 0,
+                   "LIF layer dimensions must be positive");
+    MINDFUL_ASSERT(params.tauMembrane > 0.0,
+                   "membrane time constant must be positive");
+    MINDFUL_ASSERT(params.threshold > params.resetPotential,
+                   "threshold must exceed the reset potential");
+    MINDFUL_ASSERT(params.refractory >= 0.0,
+                   "refractory period must be non-negative");
+}
+
+void
+LifLayer::initializeWeights(Rng &rng, double scale)
+{
+    MINDFUL_ASSERT(scale > 0.0, "weight scale must be positive");
+    // Mean total drive per step ~ scale * threshold when a handful of
+    // inputs are active; uniform positive weights keep the layer
+    // excitatory (the common feed-forward rate-coding setup).
+    double mean = scale * _params.threshold /
+                  std::max(1.0, std::sqrt(static_cast<double>(_inputs)));
+    for (auto &w : _weights)
+        w = rng.uniform(0.0, 2.0 * mean);
+}
+
+std::vector<std::uint8_t>
+LifLayer::step(const std::vector<std::uint8_t> &input_spikes, double dt)
+{
+    MINDFUL_ASSERT(input_spikes.size() == _inputs,
+                   "input spike vector length ", input_spikes.size(),
+                   " != layer inputs ", _inputs);
+    MINDFUL_ASSERT(dt > 0.0, "time step must be positive");
+
+    const double decay = std::exp(-dt / _params.tauMembrane);
+
+    // Gather active inputs once: event-driven cost accounting.
+    std::vector<std::size_t> active;
+    for (std::size_t i = 0; i < _inputs; ++i)
+        if (input_spikes[i])
+            active.push_back(i);
+
+    std::vector<std::uint8_t> output(_neurons, 0);
+    for (std::size_t n = 0; n < _neurons; ++n) {
+        if (_refractoryLeft[n] > 0.0) {
+            _refractoryLeft[n] -= dt;
+            continue;
+        }
+        double v = _potential[n] * decay;
+        const double *row = _weights.data() + n * _inputs;
+        for (std::size_t i : active)
+            v += row[i];
+        _synapticOps += active.size();
+
+        if (v >= _params.threshold) {
+            output[n] = 1;
+            ++_spikesEmitted;
+            v = _params.resetPotential;
+            _refractoryLeft[n] = _params.refractory;
+        }
+        _potential[n] = v;
+    }
+    return output;
+}
+
+void
+LifLayer::resetState()
+{
+    std::fill(_potential.begin(), _potential.end(), 0.0);
+    std::fill(_refractoryLeft.begin(), _refractoryLeft.end(), 0.0);
+}
+
+double
+LifLayer::potential(std::size_t neuron) const
+{
+    MINDFUL_ASSERT(neuron < _neurons, "neuron index out of range");
+    return _potential[neuron];
+}
+
+SpikingNetwork::SpikingNetwork(std::size_t inputs) : _inputs(inputs)
+{
+    MINDFUL_ASSERT(inputs > 0, "network needs at least one input");
+}
+
+LifLayer &
+SpikingNetwork::layer(std::size_t i)
+{
+    MINDFUL_ASSERT(i < _layers.size(), "layer index out of range");
+    return _layers[i];
+}
+
+const LifLayer &
+SpikingNetwork::layer(std::size_t i) const
+{
+    MINDFUL_ASSERT(i < _layers.size(), "layer index out of range");
+    return _layers[i];
+}
+
+std::size_t
+SpikingNetwork::outputs() const
+{
+    MINDFUL_ASSERT(!_layers.empty(), "network has no layers");
+    return _layers.back().neurons();
+}
+
+LifLayer &
+SpikingNetwork::addLayer(std::size_t neurons, LifParams params)
+{
+    std::size_t fan_in =
+        _layers.empty() ? _inputs : _layers.back().neurons();
+    _layers.emplace_back(fan_in, neurons, params);
+    return _layers.back();
+}
+
+void
+SpikingNetwork::initializeWeights(Rng &rng, double scale)
+{
+    for (auto &layer : _layers)
+        layer.initializeWeights(rng, scale);
+}
+
+void
+SpikingNetwork::resetState()
+{
+    for (auto &layer : _layers)
+        layer.resetState();
+}
+
+std::vector<std::uint8_t>
+SpikingNetwork::step(const std::vector<std::uint8_t> &input_spikes,
+                     double dt)
+{
+    MINDFUL_ASSERT(!_layers.empty(), "network has no layers");
+    std::vector<std::uint8_t> spikes = input_spikes;
+    for (auto &layer : _layers)
+        spikes = layer.step(spikes, dt);
+    return spikes;
+}
+
+SnnRunStats
+SpikingNetwork::run(const std::vector<std::vector<std::uint8_t>> &raster,
+                    double dt)
+{
+    MINDFUL_ASSERT(!raster.empty(), "raster must not be empty");
+
+    SnnRunStats stats;
+    stats.steps = raster.size();
+    stats.duration = dt * static_cast<double>(raster.size());
+    stats.outputCounts.assign(outputs(), 0);
+
+    std::uint64_t ops_before = 0;
+    for (const auto &layer : _layers)
+        ops_before += layer.synapticOps();
+
+    for (const auto &input : raster) {
+        for (std::uint8_t s : input)
+            stats.inputSpikes += s;
+        auto out = step(input, dt);
+        for (std::size_t n = 0; n < out.size(); ++n) {
+            stats.outputCounts[n] += out[n];
+            stats.outputSpikes += out[n];
+        }
+    }
+
+    std::uint64_t ops_after = 0;
+    for (const auto &layer : _layers)
+        ops_after += layer.synapticOps();
+    stats.synapticOps = ops_after - ops_before;
+    return stats;
+}
+
+std::uint64_t
+SpikingNetwork::totalSynapses() const
+{
+    std::uint64_t total = 0;
+    for (const auto &layer : _layers)
+        total += layer.weights().size();
+    return total;
+}
+
+} // namespace mindful::snn

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Leaky integrate-and-fire (LIF) spiking neural substrate.
+ *
+ * The paper's related work (Hueber et al.) finds SNNs attractive for
+ * closed-loop BCIs because their event-driven cost scales with spike
+ * *activity* rather than layer size, and the paper names SNN support
+ * as planned future work (Sec. 7). This module provides the
+ * substrate: discrete-time LIF layers with weight matrices, exact
+ * synaptic-operation accounting, and a feed-forward SpikingNetwork
+ * container. The companion cost model (snn/cost_model.hh) converts
+ * measured activity into implant power for the framework.
+ *
+ * Dynamics per step (dt):
+ *     v <- v * exp(-dt / tau) + sum_{i in active inputs} w[n][i]
+ *     spike if v >= threshold, then v <- reset, refractory for t_ref.
+ */
+
+#ifndef MINDFUL_SNN_LIF_HH
+#define MINDFUL_SNN_LIF_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/random.hh"
+
+namespace mindful::snn {
+
+/** LIF neuron parameters (SI units). */
+struct LifParams
+{
+    /** Membrane leak time constant [s]. */
+    double tauMembrane = 20e-3;
+
+    /** Firing threshold (dimensionless membrane units). */
+    double threshold = 1.0;
+
+    /** Post-spike reset potential. */
+    double resetPotential = 0.0;
+
+    /** Absolute refractory period [s]. */
+    double refractory = 2e-3;
+};
+
+/** One fully-connected LIF layer. */
+class LifLayer
+{
+  public:
+    LifLayer(std::size_t inputs, std::size_t neurons,
+             LifParams params = {});
+
+    std::size_t inputs() const { return _inputs; }
+    std::size_t neurons() const { return _neurons; }
+    const LifParams &params() const { return _params; }
+
+    /** Row-major weights [neuron][input]. */
+    std::vector<double> &weights() { return _weights; }
+    const std::vector<double> &weights() const { return _weights; }
+
+    /**
+     * Randomize weights: positive, scaled so that an input firing at
+     * @p expected_rate Hz drives the neuron near threshold.
+     */
+    void initializeWeights(Rng &rng, double scale);
+
+    /**
+     * Advance one time step.
+     * @param input_spikes one flag per input (1 = spiked this step).
+     * @param dt step length [s].
+     * @return one flag per neuron.
+     */
+    std::vector<std::uint8_t>
+    step(const std::vector<std::uint8_t> &input_spikes, double dt);
+
+    /** Reset membrane state and refractory clocks (not counters). */
+    void resetState();
+
+    /** Synaptic operations (weight accumulations) since creation. */
+    std::uint64_t synapticOps() const { return _synapticOps; }
+
+    /** Spikes emitted since creation. */
+    std::uint64_t spikesEmitted() const { return _spikesEmitted; }
+
+    /** Membrane potential of one neuron (for tests). */
+    double potential(std::size_t neuron) const;
+
+  private:
+    std::size_t _inputs;
+    std::size_t _neurons;
+    LifParams _params;
+    std::vector<double> _weights;
+    std::vector<double> _potential;
+    std::vector<double> _refractoryLeft;
+    std::uint64_t _synapticOps = 0;
+    std::uint64_t _spikesEmitted = 0;
+};
+
+/** Summary of one simulated window. */
+struct SnnRunStats
+{
+    std::size_t steps = 0;
+    double duration = 0.0;               //!< [s]
+    std::uint64_t inputSpikes = 0;
+    std::uint64_t synapticOps = 0;
+    std::uint64_t outputSpikes = 0;
+    std::vector<std::uint64_t> outputCounts; //!< per output neuron
+
+    /** Synaptic operations per second over the window. */
+    double
+    synapticOpsPerSecond() const
+    {
+        return duration > 0.0
+                   ? static_cast<double>(synapticOps) / duration
+                   : 0.0;
+    }
+};
+
+/** Feed-forward stack of LIF layers. */
+class SpikingNetwork
+{
+  public:
+    explicit SpikingNetwork(std::size_t inputs);
+
+    std::size_t inputs() const { return _inputs; }
+    std::size_t layerCount() const { return _layers.size(); }
+    LifLayer &layer(std::size_t i);
+    const LifLayer &layer(std::size_t i) const;
+    std::size_t outputs() const;
+
+    /** Append a layer of @p neurons with the given parameters. */
+    LifLayer &addLayer(std::size_t neurons, LifParams params = {});
+
+    void initializeWeights(Rng &rng, double scale = 1.0);
+    void resetState();
+
+    /** Advance one step; returns the final layer's spikes. */
+    std::vector<std::uint8_t>
+    step(const std::vector<std::uint8_t> &input_spikes, double dt);
+
+    /**
+     * Run a whole input raster (step-major: raster[t] is the input
+     * spike vector at step t) and collect statistics.
+     */
+    SnnRunStats
+    run(const std::vector<std::vector<std::uint8_t>> &raster, double dt);
+
+    /** Total synapses (weights) in the network. */
+    std::uint64_t totalSynapses() const;
+
+  private:
+    std::size_t _inputs;
+    std::vector<LifLayer> _layers;
+};
+
+} // namespace mindful::snn
+
+#endif // MINDFUL_SNN_LIF_HH

@@ -1,0 +1,23 @@
+#include "thermal/safety.hh"
+
+#include "base/logging.hh"
+
+namespace mindful::thermal {
+
+SafetyVerdict
+PowerBudget::check(Power total, Area chip_area) const
+{
+    MINDFUL_ASSERT(chip_area.inSquareMetres() > 0.0,
+                   "safety check requires a positive chip area");
+    MINDFUL_ASSERT(total.inWatts() >= 0.0,
+                   "safety check requires non-negative power");
+
+    SafetyVerdict verdict;
+    verdict.density = total / chip_area;
+    verdict.budgetUtilization = total / budget(chip_area);
+    verdict.headroom = budget(chip_area) - total;
+    verdict.safe = verdict.budgetUtilization <= 1.0;
+    return verdict;
+}
+
+} // namespace mindful::thermal

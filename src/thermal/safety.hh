@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Thermal safety rules for implanted SoCs (paper Sec. 3.2).
+ *
+ * Brain tissue tolerates at most a 1-2 degC temperature rise; with
+ * cortical blood flow this translates into a maximum areal power
+ * density of 40 mW/cm^2 for a subdural implant. Given a chip surface
+ * area, that density cap defines the *power budget* (Eq. 3):
+ *
+ *     Pbudget(A) = 40 mW/cm^2 * A
+ *
+ * All feasibility analyses in mindful_core reduce to comparisons
+ * against this budget.
+ */
+
+#ifndef MINDFUL_THERMAL_SAFETY_HH
+#define MINDFUL_THERMAL_SAFETY_HH
+
+#include "base/units.hh"
+
+namespace mindful::thermal {
+
+/** Regulatory-style limits for subdural implants (paper Sec. 3.2). */
+struct SafetyLimits
+{
+    /** Maximum areal power density tolerated by perfused cortex. */
+    PowerDensity maxPowerDensity =
+        PowerDensity::milliwattsPerSquareCentimetre(40.0);
+
+    /** Maximum tissue temperature rise before cellular damage. */
+    TemperatureDelta maxTemperatureRise = TemperatureDelta::kelvin(2.0);
+};
+
+/** Result of checking one design point against the limits. */
+struct SafetyVerdict
+{
+    bool safe = false;
+
+    /** Psoc / Pbudget; safe iff <= 1. */
+    double budgetUtilization = 0.0;
+
+    /** Achieved areal power density. */
+    PowerDensity density;
+
+    /** Power headroom left under the budget (negative if over). */
+    Power headroom;
+};
+
+/**
+ * The power-budget rule of Eq. 3.
+ *
+ * Stateless apart from the limits, so it is cheap to copy into any
+ * model that needs budget arithmetic.
+ */
+class PowerBudget
+{
+  public:
+    PowerBudget() = default;
+    explicit PowerBudget(SafetyLimits limits) : _limits(limits) {}
+
+    const SafetyLimits &limits() const { return _limits; }
+
+    /** Pbudget(A) = rho_max * A. */
+    Power
+    budget(Area chip_area) const
+    {
+        return _limits.maxPowerDensity * chip_area;
+    }
+
+    /** Minimum chip area able to dissipate @p total safely. */
+    Area
+    minimumArea(Power total) const
+    {
+        return total / _limits.maxPowerDensity;
+    }
+
+    /** Evaluate a (power, area) design point. */
+    SafetyVerdict check(Power total, Area chip_area) const;
+
+  private:
+    SafetyLimits _limits;
+};
+
+} // namespace mindful::thermal
+
+#endif // MINDFUL_THERMAL_SAFETY_HH

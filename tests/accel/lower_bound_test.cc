@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Eq. 11-15 lower-bound solver tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/lower_bound.hh"
+#include "dnn/models.hh"
+
+namespace mindful::accel {
+namespace {
+
+using dnn::MacCensus;
+
+TEST(LowerBoundTest, SharedPoolLatencySingleLayer)
+{
+    LowerBoundSolver solver(nangate45()); // t_MAC = 2 ns
+    // 8 ops x 4 seq with 2 units: ceil(8/2)=4 passes * 4 steps * 2 ns.
+    std::vector<MacCensus> census{{8, 4}};
+    EXPECT_NEAR(solver.sharedPoolLatency(census, 2).inNanoseconds(),
+                32.0, 1e-9);
+    // With >= 8 units one pass suffices.
+    EXPECT_NEAR(solver.sharedPoolLatency(census, 8).inNanoseconds(),
+                8.0, 1e-9);
+    // Extra units beyond #MAC_op cannot help.
+    EXPECT_NEAR(solver.sharedPoolLatency(census, 100).inNanoseconds(),
+                8.0, 1e-9);
+}
+
+TEST(LowerBoundTest, SharedPoolLatencySumsLayers)
+{
+    LowerBoundSolver solver(nangate45());
+    std::vector<MacCensus> census{{8, 4}, {2, 10}, {0, 0}};
+    // Layer 1: ceil(8/2)*4 = 16 steps; layer 2: ceil(2/2)*10 = 10.
+    EXPECT_NEAR(solver.sharedPoolLatency(census, 2).inNanoseconds(),
+                52.0, 1e-9);
+}
+
+TEST(LowerBoundTest, SharedPoolPicksMinimalUnits)
+{
+    LowerBoundSolver solver(nangate45());
+    std::vector<MacCensus> census{{64, 100}};
+    // Deadline for exactly 4 passes: 4 * 100 * 2 ns = 800 ns; that
+    // needs ceil(64/passes) = 16 units.
+    auto bound = solver.solveSharedPool(census, Time::nanoseconds(800.0));
+    ASSERT_TRUE(bound.feasible);
+    EXPECT_EQ(bound.macUnits, 16u);
+    EXPECT_LE(bound.latency, Time::nanoseconds(800.0));
+    // One fewer unit must miss the deadline.
+    EXPECT_GT(solver.sharedPoolLatency(census, 15).inNanoseconds(), 800.0);
+}
+
+TEST(LowerBoundTest, PowerIsUnitsTimesMacPower)
+{
+    LowerBoundSolver solver(nangate45());
+    std::vector<MacCensus> census{{64, 100}};
+    auto bound = solver.solveSharedPool(census, Time::nanoseconds(800.0));
+    EXPECT_NEAR(bound.power.inMilliwatts(),
+                static_cast<double>(bound.macUnits) * 0.05, 1e-12);
+}
+
+TEST(LowerBoundTest, SharedPoolInfeasibleWhenSequenceTooLong)
+{
+    LowerBoundSolver solver(nangate45());
+    // Even fully parallel: 1000 seq steps * 2 ns = 2 us > 1 us.
+    std::vector<MacCensus> census{{4, 1000}};
+    auto bound = solver.solveSharedPool(census, Time::microseconds(1.0));
+    EXPECT_FALSE(bound.feasible);
+    EXPECT_EQ(bound.macUnits, 0u);
+}
+
+TEST(LowerBoundTest, MacFreeNetworkIsFree)
+{
+    LowerBoundSolver solver(nangate45());
+    std::vector<MacCensus> census{{0, 0}, {0, 0}};
+    auto bound = solver.solveBest(census, Time::microseconds(1.0));
+    EXPECT_TRUE(bound.feasible);
+    EXPECT_EQ(bound.macUnits, 0u);
+    EXPECT_DOUBLE_EQ(bound.power.inWatts(), 0.0);
+}
+
+TEST(LowerBoundTest, PipelinedAllocatesPerLayer)
+{
+    LowerBoundSolver solver(nangate45());
+    std::vector<MacCensus> census{{8, 4}, {0, 0}, {2, 10}};
+    // Deadline 16 ns: layer 0 passes = floor(16/8) = 2 -> 4 units;
+    // layer 2: floor(16/20) = 0 -> infeasible.
+    auto tight = solver.solvePipelined(census, Time::nanoseconds(16.0));
+    EXPECT_FALSE(tight.feasible);
+
+    // Deadline 40 ns: layer 0 passes = 5 -> ceil(8/5) = 2 units;
+    // layer 2 passes = 2 -> 1 unit.
+    auto loose = solver.solvePipelined(census, Time::nanoseconds(40.0));
+    ASSERT_TRUE(loose.feasible);
+    EXPECT_EQ(loose.macUnits, 3u);
+    ASSERT_EQ(loose.perLayerUnits.size(), 3u);
+    EXPECT_EQ(loose.perLayerUnits[0], 2u);
+    EXPECT_EQ(loose.perLayerUnits[1], 0u);
+    EXPECT_EQ(loose.perLayerUnits[2], 1u);
+    EXPECT_LE(loose.latency, Time::nanoseconds(40.0));
+}
+
+TEST(LowerBoundTest, BestPicksCheaperDiscipline)
+{
+    LowerBoundSolver solver(nangate45());
+    std::vector<MacCensus> census{{100, 10}, {100, 10}};
+    Time t = Time::nanoseconds(400.0);
+    auto shared = solver.solveSharedPool(census, t);
+    auto pipelined = solver.solvePipelined(census, t);
+    auto best = solver.solveBest(census, t);
+    ASSERT_TRUE(shared.feasible);
+    ASSERT_TRUE(pipelined.feasible);
+    EXPECT_EQ(best.macUnits,
+              std::min(shared.macUnits, pipelined.macUnits));
+}
+
+TEST(LowerBoundTest, BestFallsBackWhenOneDisciplineFails)
+{
+    LowerBoundSolver solver(nangate45());
+    // Two layers, each 300 seq: shared pool needs 1200 ns serially,
+    // pipelined runs them concurrently in 600 ns.
+    std::vector<MacCensus> census{{4, 300}, {4, 300}};
+    Time t = Time::nanoseconds(700.0);
+    EXPECT_FALSE(solver.solveSharedPool(census, t).feasible);
+    auto best = solver.solveBest(census, t);
+    EXPECT_TRUE(best.feasible);
+    EXPECT_EQ(best.discipline, Discipline::Pipelined);
+}
+
+TEST(LowerBoundTest, FasterTechnologyNeedsFewerUnits)
+{
+    std::vector<MacCensus> census = {{2048, 512}, {1024, 1024}};
+    Time t = Time::microseconds(500.0);
+    auto slow = LowerBoundSolver(nangate45()).solveSharedPool(census, t);
+    auto fast = LowerBoundSolver(scaled12nm()).solveSharedPool(census, t);
+    ASSERT_TRUE(slow.feasible);
+    ASSERT_TRUE(fast.feasible);
+    EXPECT_LE(fast.macUnits, slow.macUnits);
+    EXPECT_LT(fast.power.inMilliwatts(), slow.power.inMilliwatts());
+}
+
+TEST(LowerBoundTest, MoreTimeNeverNeedsMoreUnits)
+{
+    LowerBoundSolver solver(nangate45());
+    auto census = dnn::buildSpeechMlp(512).census();
+    std::uint64_t previous = UINT64_MAX;
+    for (double us : {100.0, 200.0, 500.0, 1000.0}) {
+        auto bound =
+            solver.solveSharedPool(census, Time::microseconds(us));
+        ASSERT_TRUE(bound.feasible);
+        EXPECT_LE(bound.macUnits, previous);
+        previous = bound.macUnits;
+    }
+}
+
+TEST(LowerBoundTest, RealMlpCensusSolves)
+{
+    // The Fig. 10 workhorse: the 1024-channel MLP at the 2 kHz
+    // application deadline must be feasible and non-trivial.
+    LowerBoundSolver solver(nangate45());
+    auto census = dnn::buildSpeechMlp(1024).census();
+    auto bound = solver.solveBest(census, Time::microseconds(500.0));
+    ASSERT_TRUE(bound.feasible);
+    EXPECT_GT(bound.macUnits, 10u);
+    EXPECT_LT(bound.macUnits, 10000u);
+    EXPECT_LE(bound.latency, Time::microseconds(500.0));
+}
+
+TEST(LowerBoundTest, SolutionLatencyIsConsistent)
+{
+    LowerBoundSolver solver(nangate45());
+    auto census = dnn::buildSpeechMlp(256).census();
+    auto bound = solver.solveSharedPool(census, Time::microseconds(500.0));
+    ASSERT_TRUE(bound.feasible);
+    EXPECT_NEAR(
+        bound.latency.inSeconds(),
+        solver.sharedPoolLatency(census, bound.macUnits).inSeconds(),
+        1e-15);
+}
+
+} // namespace
+} // namespace mindful::accel

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Pipelined-execution simulator tests (the Eq. 14-15 discipline run
+ * on actual data streams).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/lower_bound.hh"
+#include "accel/simulator.hh"
+#include "dnn/activation.hh"
+#include "dnn/dense.hh"
+#include "dnn/models.hh"
+
+namespace mindful::accel {
+namespace {
+
+dnn::Network
+makeNet()
+{
+    dnn::Network net("pipe", dnn::Shape{16});
+    net.emplace<dnn::DenseLayer>(16, 12);
+    net.emplace<dnn::ReluLayer>();
+    net.emplace<dnn::DenseLayer>(12, 8);
+    net.emplace<dnn::ReluLayer>();
+    net.emplace<dnn::DenseLayer>(8, 4);
+    Rng rng(5);
+    net.initializeWeights(rng);
+    return net;
+}
+
+std::vector<dnn::Tensor>
+makeBatch(std::size_t count, std::size_t size)
+{
+    std::vector<dnn::Tensor> batch;
+    for (std::size_t b = 0; b < count; ++b) {
+        dnn::Tensor x(dnn::Shape{size});
+        for (std::size_t i = 0; i < size; ++i)
+            x[i] = 0.05f * static_cast<float>((b * 7 + i) % 23) - 0.4f;
+        batch.push_back(std::move(x));
+    }
+    return batch;
+}
+
+TEST(PipelinedSimulatorTest, OutputsMatchReference)
+{
+    auto net = makeNet();
+    auto batch = makeBatch(5, 16);
+    AcceleratorSimulator sim({4, nangate45()});
+    std::vector<std::uint64_t> units{4, 0, 4, 0, 2};
+    auto result = sim.runPipelined(net, batch, units);
+    ASSERT_EQ(result.outputs.size(), 5u);
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+        EXPECT_FLOAT_EQ(
+            result.outputs[b].maxAbsDiff(net.forward(batch[b])), 0.0f);
+    }
+}
+
+TEST(PipelinedSimulatorTest, TimingFormula)
+{
+    auto net = makeNet();
+    AcceleratorSimulator sim({1, nangate45()}); // pool size unused
+    std::vector<std::uint64_t> units{3, 0, 2, 0, 4};
+    auto result = sim.runPipelined(net, makeBatch(4, 16), units);
+
+    // Stage latencies: dense 16->12 with 3 units: ceil(12/3)*16 = 64
+    // cycles; dense 12->8 with 2 units: ceil(8/2)*12 = 48; dense
+    // 8->4 with 4 units: ceil(4/4)*8 = 8. t_MAC = 2 ns.
+    EXPECT_NEAR(result.stageLatency[0].inNanoseconds(), 128.0, 1e-9);
+    EXPECT_NEAR(result.stageLatency[2].inNanoseconds(), 96.0, 1e-9);
+    EXPECT_NEAR(result.stageLatency[4].inNanoseconds(), 16.0, 1e-9);
+    EXPECT_NEAR(result.iterationInterval.inNanoseconds(), 128.0, 1e-9);
+    // makespan = fill (128+96+16) + 3 * interval.
+    EXPECT_NEAR(result.makespan.inNanoseconds(), 240.0 + 3 * 128.0, 1e-9);
+}
+
+TEST(PipelinedSimulatorTest, SolverAllocationMeetsItsOwnDeadline)
+{
+    auto net = dnn::buildSpeechMlp(128);
+    Rng rng(2);
+    net.initializeWeights(rng);
+
+    Time deadline = period(Frequency::kilohertz(2.0));
+    LowerBoundSolver solver(nangate45());
+    auto bound = solver.solvePipelined(net.census(), deadline);
+    ASSERT_TRUE(bound.feasible);
+
+    AcceleratorSimulator sim({1, nangate45()});
+    auto result =
+        sim.runPipelined(net, makeBatch(3, 1536), bound.perLayerUnits);
+    // Steady state: one inference completes per interval <= deadline.
+    EXPECT_LE(result.iterationInterval.inSeconds(), deadline.inSeconds());
+    EXPECT_NEAR(result.iterationInterval.inSeconds(),
+                bound.latency.inSeconds(), 1e-15);
+}
+
+TEST(PipelinedSimulatorTest, ThroughputBeatsSharedPoolAtEqualUnits)
+{
+    // With the same total PE count, the pipeline's initiation
+    // interval is at most the shared pool's full-network latency.
+    auto net = makeNet();
+    std::vector<std::uint64_t> units{6, 0, 4, 0, 2}; // 12 total
+    AcceleratorSimulator sim({12, nangate45()});
+
+    auto batch = makeBatch(8, 16);
+    auto pipelined = sim.runPipelined(net, batch, units);
+    auto shared = sim.run(net, batch.front());
+    EXPECT_LE(pipelined.iterationInterval.inSeconds(),
+              shared.latency.inSeconds());
+}
+
+TEST(PipelinedSimulatorTest, EnergyCountsEveryInference)
+{
+    auto net = makeNet();
+    AcceleratorSimulator sim({4, nangate45()});
+    std::vector<std::uint64_t> units{4, 0, 4, 0, 2};
+    auto result = sim.runPipelined(net, makeBatch(6, 16), units);
+    EXPECT_EQ(result.macsExecuted, 6u * net.totalMacs());
+    EXPECT_NEAR(result.energy.inPicojoules(),
+                static_cast<double>(result.macsExecuted) * 0.1, 1e-6);
+}
+
+TEST(PipelinedSimulatorDeathTest, MissingAllocationPanics)
+{
+    auto net = makeNet();
+    AcceleratorSimulator sim({4, nangate45()});
+    std::vector<std::uint64_t> units{4, 0, 0, 0, 2}; // layer 2 starved
+    EXPECT_DEATH(sim.runPipelined(net, makeBatch(1, 16), units),
+                 "non-zero unit allocation");
+}
+
+TEST(PipelinedSimulatorDeathTest, WrongVectorLengthPanics)
+{
+    auto net = makeNet();
+    AcceleratorSimulator sim({4, nangate45()});
+    EXPECT_DEATH(sim.runPipelined(net, makeBatch(1, 16), {4, 4}),
+                 "match the layer count");
+}
+
+} // namespace
+} // namespace mindful::accel

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Property tests pitting the lower-bound solver against brute force:
+ * on randomized small censuses, the binary-searched unit count must
+ * be *exactly* the minimal feasible one, and the pipelined per-layer
+ * allocation must be per-layer minimal.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/lower_bound.hh"
+#include "base/random.hh"
+#include "base/special_math.hh"
+
+namespace mindful::accel {
+namespace {
+
+std::vector<dnn::MacCensus>
+randomCensus(Rng &rng, std::size_t layers)
+{
+    std::vector<dnn::MacCensus> census;
+    for (std::size_t i = 0; i < layers; ++i) {
+        // Mix MAC-bearing and free layers.
+        if (rng.bernoulli(0.2)) {
+            census.push_back({0, 0});
+        } else {
+            census.push_back(
+                {static_cast<std::uint64_t>(rng.uniformInt(1, 96)),
+                 static_cast<std::uint64_t>(rng.uniformInt(1, 64))});
+        }
+    }
+    return census;
+}
+
+class SolverBruteForceSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SolverBruteForceSweep, SharedPoolUnitsAreExactlyMinimal)
+{
+    Rng rng(1000 + GetParam());
+    LowerBoundSolver solver(nangate45());
+
+    for (int trial = 0; trial < 20; ++trial) {
+        auto census = randomCensus(rng, 1 + trial % 5);
+        // Pick a deadline between the fastest and slowest possible.
+        double t_min =
+            solver.sharedPoolLatency(census, dnn::maxMacOp(census) + 1)
+                .inSeconds();
+        double t_max = solver.sharedPoolLatency(census, 1).inSeconds();
+        if (t_max <= 0.0)
+            continue; // MAC-free census
+        Time deadline = Time::seconds(
+            rng.uniform(t_min * 0.5, t_max * 1.5));
+
+        auto bound = solver.solveSharedPool(census, deadline);
+
+        // Brute force the minimal feasible count.
+        std::uint64_t brute = 0;
+        for (std::uint64_t m = 1; m <= dnn::maxMacOp(census); ++m) {
+            if (solver.sharedPoolLatency(census, m) <= deadline) {
+                brute = m;
+                break;
+            }
+        }
+        if (brute == 0) {
+            EXPECT_FALSE(bound.feasible) << "trial " << trial;
+        } else {
+            ASSERT_TRUE(bound.feasible) << "trial " << trial;
+            EXPECT_EQ(bound.macUnits, brute) << "trial " << trial;
+        }
+    }
+}
+
+TEST_P(SolverBruteForceSweep, PipelinedAllocationIsPerLayerMinimal)
+{
+    Rng rng(2000 + GetParam());
+    LowerBoundSolver solver(nangate45());
+    const double t_mac = nangate45().macTime.inSeconds();
+
+    for (int trial = 0; trial < 20; ++trial) {
+        auto census = randomCensus(rng, 1 + trial % 5);
+        Time deadline = Time::nanoseconds(rng.uniform(100.0, 20000.0));
+        auto bound = solver.solvePipelined(census, deadline);
+        if (!bound.feasible)
+            continue;
+
+        for (std::size_t i = 0; i < census.size(); ++i) {
+            if (census[i].empty()) {
+                EXPECT_EQ(bound.perLayerUnits[i], 0u);
+                continue;
+            }
+            std::uint64_t units = bound.perLayerUnits[i];
+            auto stage_time = [&](std::uint64_t m) {
+                return static_cast<double>(census[i].macSeq) * t_mac *
+                       static_cast<double>(ceilDiv(census[i].macOp, m));
+            };
+            EXPECT_LE(stage_time(units), deadline.inSeconds())
+                << "trial " << trial << " layer " << i;
+            if (units > 1) {
+                EXPECT_GT(stage_time(units - 1), deadline.inSeconds())
+                    << "trial " << trial << " layer " << i
+                    << ": allocation not minimal";
+            }
+        }
+    }
+}
+
+TEST_P(SolverBruteForceSweep, BestNeverWorseThanEitherDiscipline)
+{
+    Rng rng(3000 + GetParam());
+    LowerBoundSolver solver(nangate45());
+    for (int trial = 0; trial < 20; ++trial) {
+        auto census = randomCensus(rng, 2 + trial % 4);
+        Time deadline = Time::nanoseconds(rng.uniform(200.0, 50000.0));
+        auto best = solver.solveBest(census, deadline);
+        auto shared = solver.solveSharedPool(census, deadline);
+        auto pipelined = solver.solvePipelined(census, deadline);
+        if (shared.feasible) {
+            EXPECT_LE(best.macUnits, shared.macUnits);
+        }
+        if (pipelined.feasible) {
+            EXPECT_LE(best.macUnits, pipelined.macUnits);
+        }
+        EXPECT_EQ(best.feasible,
+                  shared.feasible || pipelined.feasible);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverBruteForceSweep,
+                         ::testing::Range(0, 5));
+
+} // namespace
+} // namespace mindful::accel

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Fig. 9 synthesis-model tests: the trends the paper reports must
+ * hold in the calibrated component model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/synthesis_model.hh"
+
+namespace mindful::accel {
+namespace {
+
+TEST(SynthesisModelTest, TwelveDesignPointsMatchTheFig9Table)
+{
+    auto points = SynthesisModel::paperDesignPoints();
+    ASSERT_EQ(points.size(), 12u);
+    // Designs 1-5: fixed MAC_hw = 4, #MAC_op 4 -> 64.
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(points[i].macSeq, 256u);
+        EXPECT_EQ(points[i].macHw, 4u);
+        EXPECT_EQ(points[i].macOp, 4u << i);
+    }
+    // Designs 6-9: MAC_hw grows to #MAC_op = 64.
+    for (int i = 5; i < 9; ++i) {
+        EXPECT_EQ(points[i].macOp, 64u);
+        EXPECT_EQ(points[i].macHw, 8u << (i - 5));
+    }
+    // Design 12 is the largest configuration.
+    EXPECT_EQ(points[11].macSeq, 2048u);
+    EXPECT_EQ(points[11].macHw, 512u);
+}
+
+TEST(SynthesisModelTest, PePowerScalesWithRomDepth)
+{
+    SynthesisModel model;
+    EXPECT_GT(model.pePower(2048).inMicrowatts(),
+              model.pePower(256).inMicrowatts());
+}
+
+TEST(SynthesisModelTest, SmallDesignsPeShareAroundQuarter)
+{
+    // Paper: "in smaller designs (1-5) ... relative PE power stays
+    // low at around 25%".
+    SynthesisModel model;
+    auto points = SynthesisModel::paperDesignPoints();
+    for (int i = 0; i < 5; ++i) {
+        double share = model.estimate(points[i]).peShare;
+        EXPECT_GT(share, 0.15) << "design " << i + 1;
+        EXPECT_LT(share, 0.35) << "design " << i + 1;
+    }
+}
+
+TEST(SynthesisModelTest, PeShareRisesWhenMacHwGrows)
+{
+    // Paper: designs 6-9 raise PE power to ~80% of the total.
+    SynthesisModel model;
+    auto points = SynthesisModel::paperDesignPoints();
+    double previous = model.estimate(points[4]).peShare;
+    for (int i = 5; i < 9; ++i) {
+        double share = model.estimate(points[i]).peShare;
+        EXPECT_GT(share, previous) << "design " << i + 1;
+        previous = share;
+    }
+    EXPECT_NEAR(model.estimate(points[8]).peShare, 0.80, 0.05);
+}
+
+TEST(SynthesisModelTest, LargestDesignsApproachFullPeDominance)
+{
+    // Paper: designs 10-12 push PE share from ~80% toward ~96%.
+    SynthesisModel model;
+    auto points = SynthesisModel::paperDesignPoints();
+    double d10 = model.estimate(points[9]).peShare;
+    double d11 = model.estimate(points[10]).peShare;
+    double d12 = model.estimate(points[11]).peShare;
+    EXPECT_GT(d10, 0.80);
+    EXPECT_GT(d11, d10);
+    EXPECT_GT(d12, d11);
+    EXPECT_NEAR(d12, 0.95, 0.03);
+}
+
+TEST(SynthesisModelTest, TotalPowerTracksMacHw)
+{
+    // The paper's core claim: total power tracks MAC_hw closely.
+    SynthesisModel model;
+    auto points = SynthesisModel::paperDesignPoints();
+    // Design 9 has 16x the PEs of design 5 at equal seq/op.
+    double p5 = model.estimate(points[4]).layerPower.inMicrowatts();
+    double p9 = model.estimate(points[8]).layerPower.inMicrowatts();
+    EXPECT_GT(p9 / p5, 3.0);
+    // And within designs 1-5 (PE count fixed) power moves slowly.
+    double p1 = model.estimate(points[0]).layerPower.inMicrowatts();
+    EXPECT_LT(p5 / p1, 1.6);
+}
+
+TEST(SynthesisModelTest, EstimateIsAdditive)
+{
+    SynthesisModel model;
+    AcceleratorDesignPoint point{256, 8, 16};
+    auto estimate = model.estimate(point);
+    EXPECT_GT(estimate.layerPower.inWatts(), estimate.pePower.inWatts());
+    EXPECT_NEAR(estimate.peShare,
+                estimate.pePower / estimate.layerPower, 1e-12);
+}
+
+TEST(SynthesisModelDeathTest, MorePesThanOpsPanics)
+{
+    SynthesisModel model;
+    EXPECT_DEATH(model.estimate({256, 8, 4}), "never exploitable");
+}
+
+TEST(MacUnitTest, PaperParameterSets)
+{
+    auto n45 = nangate45();
+    EXPECT_DOUBLE_EQ(n45.macTime.inNanoseconds(), 2.0);
+    EXPECT_DOUBLE_EQ(n45.macPower.inMilliwatts(), 0.05);
+
+    auto n12 = scaled12nm();
+    EXPECT_DOUBLE_EQ(n12.macTime.inNanoseconds(), 1.0);
+    EXPECT_DOUBLE_EQ(n12.macPower.inMilliwatts(), 0.026);
+
+    // Energy per MAC: 45 nm = 0.1 pJ, 12 nm = 0.026 pJ.
+    EXPECT_NEAR(n45.energyPerMac().inPicojoules(), 0.1, 1e-12);
+    EXPECT_NEAR(n12.energyPerMac().inPicojoules(), 0.026, 1e-12);
+}
+
+} // namespace
+} // namespace mindful::accel

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Special-function and search-helper tests, including parameterized
+ * property sweeps of the Q-function inverse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/special_math.hh"
+
+namespace mindful {
+namespace {
+
+TEST(QFunctionTest, KnownValues)
+{
+    EXPECT_NEAR(qFunction(0.0), 0.5, 1e-15);
+    // Q(1.6449) ~ 0.05, Q(2.3263) ~ 0.01.
+    EXPECT_NEAR(qFunction(1.6448536269514722), 0.05, 1e-12);
+    EXPECT_NEAR(qFunction(2.3263478740408408), 0.01, 1e-12);
+}
+
+TEST(QFunctionTest, SymmetricTails)
+{
+    for (double x : {0.3, 1.0, 2.5, 4.0})
+        EXPECT_NEAR(qFunction(x) + qFunction(-x), 1.0, 1e-14);
+}
+
+TEST(QFunctionTest, MonotoneDecreasing)
+{
+    double prev = 1.0;
+    for (double x = -6.0; x <= 8.0; x += 0.25) {
+        double q = qFunction(x);
+        EXPECT_LT(q, prev);
+        prev = q;
+    }
+}
+
+TEST(QFunctionTest, DeepTailStaysPositive)
+{
+    // 1e-6-class BERs live deep in the tail; erfc keeps precision.
+    EXPECT_GT(qFunction(8.0), 0.0);
+    EXPECT_LT(qFunction(8.0), 1e-14);
+}
+
+/** Property sweep: Q(Q^-1(p)) == p over many magnitudes. */
+class QInverseRoundTrip : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(QInverseRoundTrip, RoundTripsThroughQ)
+{
+    double p = GetParam();
+    double x = qFunctionInverse(p);
+    EXPECT_NEAR(qFunction(x), p, p * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(TailProbabilities, QInverseRoundTrip,
+                         ::testing::Values(0.4, 0.25, 0.1, 1e-2, 1e-3,
+                                           1e-4, 1e-6, 1e-8, 1e-10,
+                                           0.6, 0.9, 0.99));
+
+TEST(QInverseTest, CentreIsZero)
+{
+    EXPECT_NEAR(qFunctionInverse(0.5), 0.0, 1e-12);
+}
+
+TEST(QInverseTest, PaperBerTarget)
+{
+    // The BER = 1e-6 target of the QAM study: Q^-1(1e-6) ~ 4.7534.
+    EXPECT_NEAR(qFunctionInverse(1e-6), 4.753424, 1e-5);
+}
+
+TEST(ErfcInverseTest, MatchesErfc)
+{
+    for (double p : {1.5, 1.0, 0.5, 1e-3, 1e-6}) {
+        double x = erfcInverse(p);
+        EXPECT_NEAR(std::erfc(x), p, p * 1e-9);
+    }
+}
+
+TEST(CeilDivTest, ExactAndInexact)
+{
+    EXPECT_EQ(ceilDiv(10, 5), 2u);
+    EXPECT_EQ(ceilDiv(11, 5), 3u);
+    EXPECT_EQ(ceilDiv(1, 5), 1u);
+    EXPECT_EQ(ceilDiv(0, 5), 0u);
+    EXPECT_EQ(ceilDiv(5, 0), 0u);
+}
+
+TEST(BisectTest, FindsSquareRoot)
+{
+    double root = bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
+    EXPECT_NEAR(root, std::sqrt(2.0), 1e-10);
+}
+
+TEST(BisectTest, HandlesDecreasingFunction)
+{
+    double root = bisect([](double x) { return 1.0 - x; }, 0.0, 5.0);
+    EXPECT_NEAR(root, 1.0, 1e-10);
+}
+
+TEST(BisectTest, ExactEndpointRoot)
+{
+    EXPECT_DOUBLE_EQ(bisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+}
+
+TEST(BinarySearchTest, FirstTrueFindsBoundary)
+{
+    auto pred = [](std::int64_t x) { return x >= 37; };
+    EXPECT_EQ(binarySearchFirstTrue(0, 100, pred), 37);
+}
+
+TEST(BinarySearchTest, FirstTrueAllFalse)
+{
+    auto pred = [](std::int64_t) { return false; };
+    EXPECT_EQ(binarySearchFirstTrue(0, 10, pred), 11);
+}
+
+TEST(BinarySearchTest, LastTrueFindsBoundary)
+{
+    auto pred = [](std::int64_t x) { return x <= 42; };
+    EXPECT_EQ(binarySearchLastTrue(0, 100, pred), 42);
+}
+
+TEST(BinarySearchTest, LastTrueAllFalse)
+{
+    auto pred = [](std::int64_t) { return false; };
+    EXPECT_EQ(binarySearchLastTrue(5, 10, pred), 4);
+}
+
+TEST(BinarySearchTest, SingleElementRanges)
+{
+    EXPECT_EQ(binarySearchFirstTrue(7, 7,
+                                    [](std::int64_t) { return true; }),
+              7);
+    EXPECT_EQ(binarySearchLastTrue(7, 7,
+                                   [](std::int64_t) { return true; }),
+              7);
+}
+
+} // namespace
+} // namespace mindful

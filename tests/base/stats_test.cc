@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Streaming statistics tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "base/stats.hh"
+
+namespace mindful {
+namespace {
+
+TEST(RunningStatsTest, EmptyAccumulator)
+{
+    RunningStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSeries)
+{
+    RunningStats stats;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stats.add(x);
+    EXPECT_EQ(stats.count(), 8u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, SampleVarianceUsesBesselCorrection)
+{
+    RunningStats stats;
+    for (double x : {1.0, 2.0, 3.0})
+        stats.add(x);
+    EXPECT_DOUBLE_EQ(stats.variance(), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(stats.sampleVariance(), 1.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential)
+{
+    Rng rng(42);
+    RunningStats all, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.gaussian(3.0, 2.0);
+        all.add(x);
+        (i % 2 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b); // empty rhs: no-op
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a); // empty lhs: copies
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, GaussianStreamConverges)
+{
+    Rng rng(7);
+    RunningStats stats;
+    for (int i = 0; i < 200000; ++i)
+        stats.add(rng.gaussian(10.0, 3.0));
+    EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+    EXPECT_NEAR(stats.stddev(), 3.0, 0.05);
+}
+
+TEST(HistogramTest, BinningAndEdges)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);   // bin 0
+    h.add(9.99);  // bin 9
+    h.add(-1.0);  // underflow
+    h.add(10.0);  // overflow (right edge exclusive)
+    h.add(25.0);  // overflow
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(HistogramTest, CentresAndFractions)
+{
+    Histogram h(0.0, 4.0, 4);
+    EXPECT_DOUBLE_EQ(h.binCentre(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.binCentre(3), 3.5);
+    h.add(1.5);
+    h.add(1.6);
+    h.add(3.0);
+    h.add(100.0);
+    EXPECT_DOUBLE_EQ(h.binFraction(1), 0.5);
+}
+
+TEST(HistogramTest, TotalIsConserved)
+{
+    Rng rng(3);
+    Histogram h(-3.0, 3.0, 24);
+    std::size_t samples = 10000;
+    for (std::size_t i = 0; i < samples; ++i)
+        h.add(rng.gaussian());
+    std::size_t binned = h.underflow() + h.overflow();
+    for (std::size_t b = 0; b < h.bins(); ++b)
+        binned += h.binCount(b);
+    EXPECT_EQ(binned, samples);
+}
+
+TEST(HistogramDeathTest, InvalidConstruction)
+{
+    EXPECT_DEATH(Histogram(1.0, 1.0, 4), "non-empty");
+}
+
+} // namespace
+} // namespace mindful

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table rendering and CSV export tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/table.hh"
+
+namespace mindful {
+namespace {
+
+TEST(TableTest, FormatNumberTrimsTrailingZeros)
+{
+    EXPECT_EQ(Table::formatNumber(2.500, 3), "2.5");
+    EXPECT_EQ(Table::formatNumber(4.000, 3), "4");
+    EXPECT_EQ(Table::formatNumber(0.125, 3), "0.125");
+    EXPECT_EQ(Table::formatNumber(-1.20, 2), "-1.2");
+}
+
+TEST(TableTest, PrintAlignsColumns)
+{
+    Table table("Title");
+    table.setHeader({"a", "long-header"});
+    table.addRow({"xx", "1"});
+    std::ostringstream os;
+    table.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("| a  | long-header |"), std::string::npos);
+    EXPECT_NE(out.find("| xx | 1           |"), std::string::npos);
+}
+
+TEST(TableTest, NumericRowFormatting)
+{
+    Table table;
+    table.setHeader({"x", "y"});
+    table.addNumericRow({1.5, 2.0});
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_EQ(os.str(), "x,y\n1.5,2\n");
+}
+
+TEST(TableTest, CsvEscapesSpecialCharacters)
+{
+    Table table;
+    table.setHeader({"name", "note"});
+    table.addRow({"a,b", "say \"hi\""});
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_EQ(os.str(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TableTest, RowAndColumnCounts)
+{
+    Table table;
+    table.setHeader({"a", "b", "c"});
+    EXPECT_EQ(table.columns(), 3u);
+    EXPECT_EQ(table.rows(), 0u);
+    table.addRow({"1", "2", "3"});
+    EXPECT_EQ(table.rows(), 1u);
+}
+
+TEST(TableDeathTest, RowWidthMismatchPanics)
+{
+    Table table;
+    table.setHeader({"a", "b"});
+    EXPECT_DEATH(table.addRow({"only-one"}), "row width");
+}
+
+} // namespace
+} // namespace mindful

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit-type arithmetic and conversion tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/units.hh"
+
+namespace mindful {
+namespace {
+
+TEST(UnitsTest, PowerConversionsRoundTrip)
+{
+    Power p = Power::milliwatts(40.0);
+    EXPECT_DOUBLE_EQ(p.inWatts(), 0.040);
+    EXPECT_DOUBLE_EQ(p.inMilliwatts(), 40.0);
+    EXPECT_DOUBLE_EQ(p.inMicrowatts(), 40000.0);
+    EXPECT_DOUBLE_EQ(Power::microwatts(500.0).inMilliwatts(), 0.5);
+    EXPECT_DOUBLE_EQ(Power::nanowatts(268.0).inMicrowatts(), 0.268);
+}
+
+TEST(UnitsTest, AreaConversionsRoundTrip)
+{
+    Area a = Area::squareMillimetres(144.0);
+    EXPECT_DOUBLE_EQ(a.inSquareCentimetres(), 1.44);
+    EXPECT_DOUBLE_EQ(a.inSquareMetres(), 144e-6);
+    EXPECT_DOUBLE_EQ(Area::squareMicrometres(400.0).inSquareMillimetres(),
+                     4e-4);
+}
+
+TEST(UnitsTest, PowerDensityUnitIdentity)
+{
+    // 1 mW/cm^2 == 10 W/m^2.
+    auto d = PowerDensity::milliwattsPerSquareCentimetre(1.0);
+    EXPECT_DOUBLE_EQ(d.inWattsPerSquareMetre(), 10.0);
+    EXPECT_DOUBLE_EQ(d.inMilliwattsPerSquareCentimetre(), 1.0);
+}
+
+TEST(UnitsTest, AdditionAndSubtraction)
+{
+    Power a = Power::milliwatts(3.0);
+    Power b = Power::milliwatts(1.5);
+    EXPECT_DOUBLE_EQ((a + b).inMilliwatts(), 4.5);
+    EXPECT_DOUBLE_EQ((a - b).inMilliwatts(), 1.5);
+    EXPECT_DOUBLE_EQ((-b).inMilliwatts(), -1.5);
+}
+
+TEST(UnitsTest, ScalarScaling)
+{
+    Power p = Power::milliwatts(2.0);
+    EXPECT_DOUBLE_EQ((p * 3.0).inMilliwatts(), 6.0);
+    EXPECT_DOUBLE_EQ((3.0 * p).inMilliwatts(), 6.0);
+    EXPECT_DOUBLE_EQ((p / 4.0).inMilliwatts(), 0.5);
+}
+
+TEST(UnitsTest, RatioOfLikeQuantitiesIsDimensionless)
+{
+    double ratio = Power::milliwatts(30.0) / Power::milliwatts(60.0);
+    EXPECT_DOUBLE_EQ(ratio, 0.5);
+}
+
+TEST(UnitsTest, CompoundAssignment)
+{
+    Power p = Power::milliwatts(1.0);
+    p += Power::milliwatts(2.0);
+    EXPECT_DOUBLE_EQ(p.inMilliwatts(), 3.0);
+    p -= Power::milliwatts(0.5);
+    EXPECT_DOUBLE_EQ(p.inMilliwatts(), 2.5);
+    p *= 2.0;
+    EXPECT_DOUBLE_EQ(p.inMilliwatts(), 5.0);
+}
+
+TEST(UnitsTest, Comparisons)
+{
+    EXPECT_LT(Power::milliwatts(1.0), Power::milliwatts(2.0));
+    EXPECT_GE(Area::squareMillimetres(5.0), Area::squareMillimetres(5.0));
+    EXPECT_EQ(Power::watts(0.001), Power::milliwatts(1.0));
+}
+
+TEST(UnitsTest, PowerDividedByAreaGivesDensity)
+{
+    // The paper's budget rule: 40 mW over 1 cm^2 is exactly the cap.
+    PowerDensity d =
+        Power::milliwatts(40.0) / Area::squareCentimetres(1.0);
+    EXPECT_DOUBLE_EQ(d.inMilliwattsPerSquareCentimetre(), 40.0);
+}
+
+TEST(UnitsTest, DensityTimesAreaGivesPowerBudget)
+{
+    auto cap = PowerDensity::milliwattsPerSquareCentimetre(40.0);
+    Power budget = cap * Area::squareMillimetres(144.0);
+    EXPECT_NEAR(budget.inMilliwatts(), 57.6, 1e-9);
+    EXPECT_EQ((Area::squareMillimetres(144.0) * cap).inWatts(),
+              budget.inWatts());
+}
+
+TEST(UnitsTest, PowerOverDensityGivesMinimumArea)
+{
+    auto cap = PowerDensity::milliwattsPerSquareCentimetre(40.0);
+    Area min_area = Power::milliwatts(15.0) / cap;
+    EXPECT_NEAR(min_area.inSquareMillimetres(), 37.5, 1e-9);
+}
+
+TEST(UnitsTest, DataRateTimesEnergyPerBitGivesPower)
+{
+    // Eq. 9: 82 Mbps at 50 pJ/b is 4.1 mW.
+    Power p = DataRate::megabitsPerSecond(82.0) *
+              EnergyPerBit::picojoulesPerBit(50.0);
+    EXPECT_NEAR(p.inMilliwatts(), 4.1, 1e-9);
+}
+
+TEST(UnitsTest, PowerOverDataRateGivesEnergyPerBit)
+{
+    EnergyPerBit eb =
+        Power::milliwatts(4.1) / DataRate::megabitsPerSecond(82.0);
+    EXPECT_NEAR(eb.inPicojoulesPerBit(), 50.0, 1e-9);
+}
+
+TEST(UnitsTest, EnergyPowerTimeTriangle)
+{
+    Energy e = Power::milliwatts(2.0) * Time::milliseconds(3.0);
+    EXPECT_NEAR(e.inJoules(), 6e-6, 1e-18);
+    EXPECT_NEAR((e / Time::milliseconds(3.0)).inMilliwatts(), 2.0, 1e-12);
+    EXPECT_NEAR((e / Power::milliwatts(2.0)).inMilliseconds(), 3.0, 1e-12);
+}
+
+TEST(UnitsTest, FrequencyPeriodInverse)
+{
+    Time t = period(Frequency::kilohertz(8.0));
+    EXPECT_DOUBLE_EQ(t.inMicroseconds(), 125.0);
+    EXPECT_DOUBLE_EQ(rate(t).inKilohertz(), 8.0);
+}
+
+TEST(UnitsTest, SensingThroughputBuildingBlock)
+{
+    // Eq. 6 with d = 10 bits, n = 1024, f = 8 kHz: 81.92 Mbps.
+    DataRate t = Frequency::kilohertz(8.0) * (10.0 * 1024.0);
+    EXPECT_NEAR(t.inMegabitsPerSecond(), 81.92, 1e-9);
+}
+
+TEST(UnitsTest, StreamOutputHasUnits)
+{
+    std::ostringstream os;
+    os << Power::milliwatts(2.5) << " " << Area::squareMillimetres(4.0);
+    EXPECT_EQ(os.str(), "2.5 mW 4 mm^2");
+}
+
+TEST(UnitsTest, IsFinite)
+{
+    EXPECT_TRUE(Power::milliwatts(1.0).isFinite());
+    EXPECT_FALSE((Power::milliwatts(1.0) / 0.0).isFinite());
+}
+
+/** Energy conversions across the scales used in the paper. */
+TEST(UnitsTest, EnergyScales)
+{
+    EXPECT_DOUBLE_EQ(Energy::picojoules(1000.0).inNanojoules(), 1.0);
+    EXPECT_DOUBLE_EQ(Energy::microjoules(1.0).inPicojoules(), 1e6);
+    EXPECT_DOUBLE_EQ(Energy::millijoules(1.0).inJoules(), 1e-3);
+}
+
+} // namespace
+} // namespace mindful

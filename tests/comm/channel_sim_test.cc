@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Monte-Carlo AWGN channel tests: the measured BER must track the
+ * analytical Gray-QAM equation the Fig. 7 study is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/decibel.hh"
+#include "comm/channel_sim.hh"
+#include "comm/modulation.hh"
+
+namespace mindful::comm {
+namespace {
+
+TEST(GrayCodeTest, RoundTrip)
+{
+    for (std::uint32_t v = 0; v < 64; ++v) {
+        EXPECT_EQ(QamConstellation::grayToBinary(
+                      QamConstellation::binaryToGray(v)),
+                  v);
+    }
+}
+
+TEST(GrayCodeTest, AdjacentValuesDifferInOneBit)
+{
+    for (std::uint32_t v = 0; v + 1 < 64; ++v) {
+        std::uint32_t diff = QamConstellation::binaryToGray(v) ^
+                             QamConstellation::binaryToGray(v + 1);
+        EXPECT_EQ(__builtin_popcount(diff), 1);
+    }
+}
+
+TEST(ConstellationTest, AxisSplit)
+{
+    EXPECT_EQ(QamConstellation(1).iAxisBits(), 1u);
+    EXPECT_EQ(QamConstellation(1).qAxisBits(), 0u);
+    EXPECT_EQ(QamConstellation(4).iAxisBits(), 2u);
+    EXPECT_EQ(QamConstellation(4).qAxisBits(), 2u);
+    EXPECT_EQ(QamConstellation(5).iAxisBits(), 3u);
+    EXPECT_EQ(QamConstellation(5).qAxisBits(), 2u);
+}
+
+/** Property sweep over constellation orders. */
+class ConstellationSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ConstellationSweep, ModulateDemodulateRoundTripNoiseless)
+{
+    QamConstellation constellation(GetParam());
+    const std::uint32_t symbols = 1u << GetParam();
+    for (std::uint32_t s = 0; s < symbols; ++s) {
+        auto [i, q] = constellation.modulate(s);
+        EXPECT_EQ(constellation.demodulate(i, q), s) << "symbol " << s;
+    }
+}
+
+TEST_P(ConstellationSweep, MeanSymbolEnergyEqualsBitsPerSymbol)
+{
+    QamConstellation constellation(GetParam());
+    const std::uint32_t symbols = 1u << GetParam();
+    double energy = 0.0;
+    for (std::uint32_t s = 0; s < symbols; ++s) {
+        auto [i, q] = constellation.modulate(s);
+        energy += i * i + q * q;
+    }
+    energy /= static_cast<double>(symbols);
+    EXPECT_NEAR(energy, static_cast<double>(GetParam()), 1e-9);
+}
+
+TEST_P(ConstellationSweep, ConstellationIsSymmetric)
+{
+    QamConstellation constellation(GetParam());
+    const std::uint32_t symbols = 1u << GetParam();
+    double sum_i = 0.0, sum_q = 0.0;
+    for (std::uint32_t s = 0; s < symbols; ++s) {
+        auto [i, q] = constellation.modulate(s);
+        sum_i += i;
+        sum_q += q;
+    }
+    EXPECT_NEAR(sum_i, 0.0, 1e-9);
+    EXPECT_NEAR(sum_q, 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ConstellationSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 8u));
+
+TEST(ChannelSimTest, VeryHighSnrIsErrorFree)
+{
+    AwgnChannelSimulator sim(4);
+    auto result = sim.measureBer(fromDecibels(30.0), 20000);
+    EXPECT_EQ(result.bitErrors, 0u);
+    EXPECT_EQ(result.bitsSent, 80000u);
+}
+
+TEST(ChannelSimTest, BerDecreasesWithSnr)
+{
+    AwgnChannelSimulator sim(2);
+    double low = sim.measureBer(fromDecibels(2.0), 50000).ber();
+    double high = sim.measureBer(fromDecibels(8.0), 50000).ber();
+    EXPECT_GT(low, high);
+    EXPECT_GT(low, 1e-3);
+}
+
+/**
+ * The central property behind Fig. 7: the closed-form Gray-QAM BER
+ * approximation matches Monte-Carlo measurement. Square
+ * constellations (even k) match tightly; the rectangular odd-k cases
+ * use the same approximation more loosely.
+ */
+class BerAgreement
+    : public ::testing::TestWithParam<std::tuple<unsigned, double>>
+{
+};
+
+TEST_P(BerAgreement, MeasuredTracksAnalytical)
+{
+    auto [k, eb_n0_db] = GetParam();
+    double eb_n0 = fromDecibels(eb_n0_db);
+    double analytical = qamBitErrorRate(k, eb_n0);
+    ASSERT_GT(analytical, 5e-4) << "target too deep for Monte-Carlo";
+
+    AwgnChannelSimulator sim(k, /*seed=*/k * 7919 + 13);
+    auto symbols = static_cast<std::uint64_t>(2e5);
+    double measured = sim.measureBer(eb_n0, symbols).ber();
+
+    // The nearest-neighbour approximation is tight at these BERs for
+    // both square (even k) and rectangular (odd k) constellations.
+    double tolerance = 0.15;
+    EXPECT_NEAR(measured / analytical, 1.0, tolerance)
+        << "k=" << k << " Eb/N0=" << eb_n0_db << " dB (measured "
+        << measured << ", analytical " << analytical << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OperatingPoints, BerAgreement,
+    ::testing::Values(std::make_tuple(1u, 4.0), std::make_tuple(1u, 6.0),
+                      std::make_tuple(2u, 4.0), std::make_tuple(2u, 6.0),
+                      std::make_tuple(3u, 8.0), std::make_tuple(4u, 8.0),
+                      std::make_tuple(4u, 10.0),
+                      std::make_tuple(6u, 12.0)));
+
+TEST(ChannelSimTest, DeterministicWithSeed)
+{
+    AwgnChannelSimulator a(4, 42), b(4, 42);
+    auto ra = a.measureBer(fromDecibels(8.0), 10000);
+    auto rb = b.measureBer(fromDecibels(8.0), 10000);
+    EXPECT_EQ(ra.bitErrors, rb.bitErrors);
+}
+
+} // namespace
+} // namespace mindful::comm

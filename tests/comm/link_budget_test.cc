@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Link budget and QAM transceiver tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "base/decibel.hh"
+#include "comm/transceiver.hh"
+
+namespace mindful::comm {
+namespace {
+
+TEST(LinkBudgetTest, NoiseDensityAtBodyTemperature)
+{
+    LinkBudget link;
+    link.noiseFigureDb = 0.0;
+    // kT at 310 K = 4.28e-21 W/Hz (-173.7 dBm/Hz).
+    EXPECT_NEAR(link.noiseSpectralDensity(), 4.28e-21, 0.01e-21);
+}
+
+TEST(LinkBudgetTest, NoiseFigureScalesDensity)
+{
+    LinkBudget quiet;
+    quiet.noiseFigureDb = 0.0;
+    LinkBudget noisy;
+    noisy.noiseFigureDb = 10.0;
+    EXPECT_NEAR(noisy.noiseSpectralDensity(),
+                10.0 * quiet.noiseSpectralDensity(), 1e-25);
+}
+
+TEST(LinkBudgetTest, PaperNominalLoss)
+{
+    // 60 dB path loss + 20 dB margin = 1e8 linear.
+    LinkBudget link;
+    link.implementationLossDb = 0.0;
+    EXPECT_NEAR(link.totalLossLinear(), 1e8, 1.0);
+}
+
+TEST(LinkBudgetTest, TxEnergyPerBitComposition)
+{
+    LinkBudget link;
+    double eb_n0 = 10.0;
+    double expected = eb_n0 * link.noiseSpectralDensity() *
+                      link.totalLossLinear();
+    EXPECT_NEAR(link.requiredTxEnergyPerBit(eb_n0).inJoulesPerBit(),
+                expected, expected * 1e-12);
+}
+
+TEST(LinkBudgetTest, TxEnergyIsPicojouleScale)
+{
+    // Sanity anchor: with the paper's link numbers, QPSK at 1e-6
+    // lands in the tens-of-pJ/b regime reported for implant radios.
+    LinkBudget link;
+    double eb_n0 = qamRequiredEbN0(2, 1e-6);
+    double pj = link.requiredTxEnergyPerBit(eb_n0).inPicojoulesPerBit();
+    EXPECT_GT(pj, 1.0);
+    EXPECT_LT(pj, 100.0);
+}
+
+QamTransceiver
+makeTransceiver()
+{
+    // 82 Mbaud: the 1024-channel BISC-like anchor.
+    return QamTransceiver(Frequency::megahertz(81.92), LinkBudget{}, 1e-6);
+}
+
+TEST(QamTransceiverTest, BitsPerSymbolStaircase)
+{
+    auto trx = makeTransceiver();
+    EXPECT_EQ(trx.requiredBitsPerSymbol(
+                  DataRate::megabitsPerSecond(81.92)),
+              1u);
+    EXPECT_EQ(trx.requiredBitsPerSymbol(
+                  DataRate::megabitsPerSecond(81.93)),
+              2u);
+    EXPECT_EQ(trx.requiredBitsPerSymbol(
+                  DataRate::megabitsPerSecond(163.84)),
+              2u);
+    EXPECT_EQ(trx.requiredBitsPerSymbol(
+                  DataRate::megabitsPerSecond(400.0)),
+              5u);
+}
+
+TEST(QamTransceiverTest, TxEnergyRisesWithConstellation)
+{
+    auto trx = makeTransceiver();
+    double previous = 0.0;
+    for (unsigned k = 2; k <= 8; ++k) {
+        double eb = trx.txEnergyPerBit(k).inJoulesPerBit();
+        EXPECT_GT(eb, previous);
+        previous = eb;
+    }
+}
+
+TEST(QamTransceiverTest, PowerInverseInEfficiency)
+{
+    auto trx = makeTransceiver();
+    DataRate rate = DataRate::megabitsPerSecond(160.0);
+    double full = trx.transmitPower(rate, 1.0).inWatts();
+    double fifth = trx.transmitPower(rate, 0.2).inWatts();
+    EXPECT_NEAR(fifth, 5.0 * full, full * 1e-9);
+}
+
+TEST(QamTransceiverTest, MinimumEfficiencyDefinition)
+{
+    auto trx = makeTransceiver();
+    DataRate rate = DataRate::megabitsPerSecond(160.0);
+    Power ideal = trx.transmitPower(rate, 1.0);
+    // Allowance of exactly the ideal power: eta_min == 1.
+    EXPECT_NEAR(trx.minimumEfficiency(rate, ideal), 1.0, 1e-12);
+    // Twice the allowance: eta_min == 0.5.
+    EXPECT_NEAR(trx.minimumEfficiency(rate, ideal * 2.0), 0.5, 1e-12);
+}
+
+TEST(QamTransceiverTest, NoAllowanceMeansInfiniteEfficiency)
+{
+    auto trx = makeTransceiver();
+    EXPECT_TRUE(std::isinf(trx.minimumEfficiency(
+        DataRate::megabitsPerSecond(100.0), Power::milliwatts(0.0))));
+}
+
+TEST(QamTransceiverDeathTest, BadEfficiencyPanics)
+{
+    auto trx = makeTransceiver();
+    EXPECT_DEATH(trx.transmitPower(DataRate::megabitsPerSecond(10.0), 0.0),
+                 "efficiency");
+    EXPECT_DEATH(trx.transmitPower(DataRate::megabitsPerSecond(10.0), 1.5),
+                 "efficiency");
+}
+
+} // namespace
+} // namespace mindful::comm

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Modulation-model tests: OOK power law, QAM BER equation and its
+ * inverse, Shannon-limit sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/decibel.hh"
+#include "comm/modulation.hh"
+
+namespace mindful::comm {
+namespace {
+
+TEST(OokTest, PaperWorkedExample)
+{
+    // Sec. 5.1: Eb = 50 pJ/b, n = 1024, d = 10, f = 8 kHz gives a
+    // rate of 82 Mbps (81.92) within a 100 Mbps transceiver.
+    OokModulation ook(EnergyPerBit::picojoulesPerBit(50.0),
+                      DataRate::megabitsPerSecond(100.0));
+    DataRate rate = DataRate::megabitsPerSecond(81.92);
+    EXPECT_TRUE(ook.supports(rate));
+    EXPECT_NEAR(ook.transmitPower(rate).inMilliwatts(), 4.096, 1e-9);
+}
+
+TEST(OokTest, PowerLinearInRate)
+{
+    OokModulation ook(EnergyPerBit::picojoulesPerBit(50.0),
+                      DataRate::megabitsPerSecond(100.0));
+    double p1 =
+        ook.transmitPower(DataRate::megabitsPerSecond(20.0)).inWatts();
+    double p2 =
+        ook.transmitPower(DataRate::megabitsPerSecond(40.0)).inWatts();
+    EXPECT_NEAR(p2, 2.0 * p1, 1e-15);
+}
+
+TEST(OokDeathTest, OverMaxRateIsFatal)
+{
+    OokModulation ook(EnergyPerBit::picojoulesPerBit(50.0),
+                      DataRate::megabitsPerSecond(100.0));
+    EXPECT_EXIT(ook.transmitPower(DataRate::megabitsPerSecond(150.0)),
+                ::testing::ExitedWithCode(1), "at most");
+}
+
+TEST(QamBerTest, BpskAnchor)
+{
+    // k = 1: BER = Q(sqrt(2 Eb/N0)); at Eb/N0 = 9.6 dB, BER ~ 1e-5.
+    double eb_n0 = fromDecibels(9.6);
+    double ber = qamBitErrorRate(1, eb_n0);
+    EXPECT_GT(ber, 3e-6);
+    EXPECT_LT(ber, 3e-5);
+}
+
+TEST(QamBerTest, QpskMatchesBpskPerBit)
+{
+    // Gray QPSK has the same BER-per-Eb/N0 as BPSK.
+    for (double db : {4.0, 8.0, 10.0}) {
+        double eb_n0 = fromDecibels(db);
+        EXPECT_NEAR(qamBitErrorRate(2, eb_n0), qamBitErrorRate(1, eb_n0),
+                    1e-12);
+    }
+}
+
+TEST(QamBerTest, Qam16Anchor)
+{
+    // 16-QAM at BER 1e-6 needs ~14.4 dB Eb/N0 (textbook value).
+    double required = qamRequiredEbN0(4, 1e-6);
+    EXPECT_NEAR(toDecibels(required), 14.4, 0.3);
+}
+
+TEST(QamBerTest, BerDecreasesWithEbN0)
+{
+    for (unsigned k : {1u, 2u, 4u, 6u, 8u}) {
+        double previous = 1.0;
+        for (double db = 0.0; db <= 30.0; db += 2.0) {
+            double ber = qamBitErrorRate(k, fromDecibels(db));
+            EXPECT_LT(ber, previous) << "k=" << k << " db=" << db;
+            previous = ber;
+        }
+    }
+}
+
+TEST(QamBerTest, HigherOrderNeedsMoreEnergyPerBit)
+{
+    // The core premise of Sec. 5.2: each added bit per symbol raises
+    // the required Eb/N0 at fixed BER.
+    double previous = 0.0;
+    for (unsigned k : {2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+        double required = qamRequiredEbN0(k, 1e-6);
+        EXPECT_GT(required, previous) << "k=" << k;
+        previous = required;
+    }
+}
+
+/** Property sweep: requiredEbN0 inverts bitErrorRate. */
+class QamInverseSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(QamInverseSweep, RoundTripsThroughBerEquation)
+{
+    unsigned k = GetParam();
+    for (double target : {1e-3, 1e-6, 1e-9}) {
+        double eb_n0 = qamRequiredEbN0(k, target);
+        EXPECT_NEAR(qamBitErrorRate(k, eb_n0), target, target * 1e-6)
+            << "k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitsPerSymbol, QamInverseSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           10u, 12u));
+
+TEST(QamModulationTest, ConstellationAndRate)
+{
+    QamModulation qam(4);
+    EXPECT_EQ(qam.constellationSize(), 16u);
+    EXPECT_NEAR(
+        qam.bitRate(Frequency::megahertz(82.0)).inMegabitsPerSecond(),
+        328.0, 1e-9);
+}
+
+TEST(ShannonTest, LimitBelowQamRequirement)
+{
+    // No modulation beats Shannon: the QAM requirement must exceed
+    // the Shannon minimum at the same spectral efficiency.
+    for (unsigned k : {1u, 2u, 4u, 6u, 8u}) {
+        EXPECT_GT(qamRequiredEbN0(k, 1e-6),
+                  shannonMinimumEbN0(static_cast<double>(k)))
+            << "k=" << k;
+    }
+}
+
+TEST(ShannonTest, KnownAnchors)
+{
+    // eta -> 0 gives ln 2 = -1.59 dB; eta = 2 gives 1.5 (1.76 dB).
+    EXPECT_NEAR(shannonMinimumEbN0(0.001), std::log(2.0), 1e-3);
+    EXPECT_DOUBLE_EQ(shannonMinimumEbN0(2.0), 1.5);
+}
+
+} // namespace
+} // namespace mindful::comm

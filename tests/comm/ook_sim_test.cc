@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Coherent OOK model + Monte-Carlo validation tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/decibel.hh"
+#include "comm/channel_sim.hh"
+#include "comm/modulation.hh"
+
+namespace mindful::comm {
+namespace {
+
+TEST(OokBerTest, ClosedFormAnchors)
+{
+    // BER = Q(sqrt(Eb/N0)): at 0 dB, Q(1) ~ 0.1587.
+    EXPECT_NEAR(ookBitErrorRate(1.0), 0.15866, 1e-4);
+    // Deep-tail behaviour stays positive and monotone.
+    EXPECT_GT(ookBitErrorRate(fromDecibels(20.0)), 0.0);
+    EXPECT_LT(ookBitErrorRate(fromDecibels(20.0)),
+              ookBitErrorRate(fromDecibels(10.0)));
+}
+
+TEST(OokBerTest, InverseRoundTrips)
+{
+    for (double target : {1e-2, 1e-4, 1e-6, 1e-9}) {
+        double eb_n0 = ookRequiredEbN0(target);
+        EXPECT_NEAR(ookBitErrorRate(eb_n0), target, target * 1e-6);
+    }
+}
+
+TEST(OokBerTest, PaysThreeDbAgainstBpsk)
+{
+    // OOK needs 2x (3 dB) the Eb/N0 of antipodal signalling (BPSK is
+    // qamBitErrorRate with k = 1).
+    double bpsk = qamRequiredEbN0(1, 1e-6);
+    double ook = ookRequiredEbN0(1e-6);
+    EXPECT_NEAR(ook / bpsk, 2.0, 1e-9);
+}
+
+/** Property sweep: measured BER tracks the closed form. */
+class OokBerAgreement : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(OokBerAgreement, MeasuredTracksAnalytical)
+{
+    double eb_n0 = fromDecibels(GetParam());
+    double analytical = ookBitErrorRate(eb_n0);
+    ASSERT_GT(analytical, 1e-4); // reachable by Monte-Carlo
+
+    OokChannelSimulator sim(static_cast<std::uint64_t>(GetParam() * 100));
+    auto measurement = sim.measureBer(eb_n0, 400000);
+    EXPECT_NEAR(measurement.ber() / analytical, 1.0, 0.15)
+        << "Eb/N0 = " << GetParam() << " dB (measured "
+        << measurement.ber() << ", analytical " << analytical << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(OperatingPoints, OokBerAgreement,
+                         ::testing::Values(0.0, 3.0, 6.0, 9.0, 11.0));
+
+TEST(OokSimTest, HighSnrIsErrorFree)
+{
+    OokChannelSimulator sim;
+    EXPECT_EQ(sim.measureBer(fromDecibels(25.0), 100000).bitErrors, 0u);
+}
+
+TEST(OokSimTest, DeterministicWithSeed)
+{
+    OokChannelSimulator a(7), b(7);
+    EXPECT_EQ(a.measureBer(2.0, 50000).bitErrors,
+              b.measureBer(2.0, 50000).bitErrors);
+}
+
+} // namespace
+} // namespace mindful::comm

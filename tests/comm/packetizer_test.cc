@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Frame packetizer tests, including parameterized round-trip sweeps
+ * and corruption detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "comm/packetizer.hh"
+
+namespace mindful::comm {
+namespace {
+
+TEST(Crc16Test, KnownVector)
+{
+    // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+    const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8',
+                                 '9'};
+    EXPECT_EQ(crc16(data, 9), 0x29B1);
+}
+
+TEST(Crc16Test, EmptyInputIsInitValue)
+{
+    EXPECT_EQ(crc16(nullptr, 0), 0xFFFF);
+}
+
+TEST(PacketizerTest, RoundTripSimpleFrame)
+{
+    Packetizer packetizer({10});
+    std::vector<std::uint32_t> samples{0, 511, 1023, 512, 1};
+    auto frame = packetizer.pack(42, samples);
+    auto unpacked = packetizer.unpack(frame);
+    EXPECT_TRUE(unpacked.valid);
+    EXPECT_EQ(unpacked.sequence, 42u);
+    EXPECT_EQ(unpacked.samples, samples);
+}
+
+TEST(PacketizerTest, EmptyPayload)
+{
+    Packetizer packetizer({10});
+    auto frame = packetizer.pack(7, {});
+    auto unpacked = packetizer.unpack(frame);
+    EXPECT_TRUE(unpacked.valid);
+    EXPECT_TRUE(unpacked.samples.empty());
+}
+
+TEST(PacketizerTest, FrameBitsAccounting)
+{
+    Packetizer packetizer({10});
+    // 1024 samples x 10 b = 10240 payload bits = 1280 bytes,
+    // + 6 header + 2 CRC bytes = 1288 bytes.
+    EXPECT_EQ(packetizer.frameBits(1024), 1288u * 8u);
+    auto frame = packetizer.pack(0, std::vector<std::uint32_t>(1024, 5));
+    EXPECT_EQ(frame.size() * 8, packetizer.frameBits(1024));
+}
+
+TEST(PacketizerTest, OverheadShrinksWithPayload)
+{
+    Packetizer packetizer({10});
+    EXPECT_GT(packetizer.overheadFraction(4),
+              packetizer.overheadFraction(1024));
+    EXPECT_LT(packetizer.overheadFraction(1024), 0.01);
+}
+
+TEST(PacketizerTest, CorruptionIsDetected)
+{
+    Packetizer packetizer({10});
+    auto frame = packetizer.pack(1, {100, 200, 300});
+    // Flip one payload bit.
+    frame[Packetizer::headerBytes] ^= 0x10;
+    EXPECT_FALSE(packetizer.unpack(frame).valid);
+}
+
+TEST(PacketizerTest, HeaderCorruptionIsDetected)
+{
+    Packetizer packetizer({10});
+    auto frame = packetizer.pack(1, {100, 200, 300});
+    frame[1] ^= 0x01; // sequence byte
+    EXPECT_FALSE(packetizer.unpack(frame).valid);
+}
+
+TEST(PacketizerTest, BadSyncRejected)
+{
+    Packetizer packetizer({10});
+    auto frame = packetizer.pack(1, {5});
+    frame[0] = 0x00;
+    EXPECT_FALSE(packetizer.unpack(frame).valid);
+}
+
+TEST(PacketizerTest, TruncatedFrameRejected)
+{
+    Packetizer packetizer({10});
+    auto frame = packetizer.pack(1, {5, 6, 7});
+    frame.resize(frame.size() - 3);
+    EXPECT_FALSE(packetizer.unpack(frame).valid);
+}
+
+TEST(PacketizerTest, MismatchedBitwidthRejected)
+{
+    Packetizer tx({10});
+    Packetizer rx({12});
+    auto frame = tx.pack(1, {5});
+    EXPECT_FALSE(rx.unpack(frame).valid);
+}
+
+TEST(PacketizerDeathTest, OverRangeSamplePanics)
+{
+    Packetizer packetizer({10});
+    EXPECT_DEATH(packetizer.pack(0, {1024}), "exceeds");
+}
+
+/** Property sweep: random payload round trip for many widths/sizes. */
+class PacketizerRoundTrip
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::size_t>>
+{
+};
+
+TEST_P(PacketizerRoundTrip, RandomPayloadsSurvive)
+{
+    auto [bits, count] = GetParam();
+    Packetizer packetizer({bits});
+    Rng rng(bits * 1000 + count);
+    std::vector<std::uint32_t> samples(count);
+    const std::uint32_t cap = (1u << bits) - 1;
+    for (auto &s : samples)
+        s = static_cast<std::uint32_t>(rng.uniformInt(0, cap));
+
+    auto frame =
+        packetizer.pack(static_cast<std::uint16_t>(count), samples);
+    auto unpacked = packetizer.unpack(frame);
+    ASSERT_TRUE(unpacked.valid)
+        << "bits=" << bits << " count=" << count;
+    EXPECT_EQ(unpacked.samples, samples);
+    EXPECT_EQ(unpacked.sequence, static_cast<std::uint16_t>(count));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndSizes, PacketizerRoundTrip,
+    ::testing::Combine(::testing::Values(1u, 7u, 8u, 10u, 12u, 16u),
+                       ::testing::Values(std::size_t{1}, std::size_t{3},
+                                         std::size_t{64},
+                                         std::size_t{1024})));
+
+} // namespace
+} // namespace mindful::comm

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Wireless power transfer link tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "comm/wpt.hh"
+#include "core/scaling.hh"
+#include "core/soc_catalog.hh"
+
+namespace mindful::comm {
+namespace {
+
+TEST(WptTest, ReceiveCoilRadiusFromArea)
+{
+    // 144 mm^2 disc: r = sqrt(A/pi) = 6.77 mm.
+    double r = WptLink::receiveCoilRadius(Area::squareMillimetres(144.0));
+    EXPECT_NEAR(r, std::sqrt(144e-6 / std::numbers::pi), 1e-12);
+    EXPECT_NEAR(r * 1e3, 6.77, 0.01);
+}
+
+TEST(WptTest, CouplingInPhysicalRange)
+{
+    WptLink link;
+    for (double r_mm : {1.0, 3.0, 6.0, 10.0}) {
+        double k = link.coupling(r_mm * 1e-3);
+        EXPECT_GT(k, 0.0);
+        EXPECT_LT(k, 1.0);
+    }
+}
+
+TEST(WptTest, CouplingGrowsWithReceiveCoil)
+{
+    WptLink link;
+    double previous = 0.0;
+    for (double r_mm : {1.0, 2.0, 4.0, 8.0}) {
+        double k = link.coupling(r_mm * 1e-3);
+        EXPECT_GT(k, previous);
+        previous = k;
+    }
+}
+
+TEST(WptTest, CouplingFallsWithSeparation)
+{
+    WptLinkConfig near;
+    near.separation = 5e-3;
+    WptLinkConfig far;
+    far.separation = 15e-3;
+    EXPECT_GT(WptLink(near).coupling(5e-3), WptLink(far).coupling(5e-3));
+}
+
+TEST(WptTest, EfficiencyBoundedAndMonotone)
+{
+    WptLink link;
+    double previous = 0.0;
+    for (double mm2 : {5.0, 20.0, 80.0, 144.0}) {
+        double eta = link.endToEndEfficiency(
+            Area::squareMillimetres(mm2));
+        EXPECT_GT(eta, 0.0);
+        EXPECT_LT(eta, 1.0);
+        EXPECT_GT(eta, previous);
+        previous = eta;
+    }
+}
+
+TEST(WptTest, DeliveredPowerProportionalToTx)
+{
+    WptLink link;
+    Area area = Area::squareMillimetres(100.0);
+    Power p1 = link.deliveredPower(area, Power::milliwatts(100.0));
+    Power p2 = link.deliveredPower(area, Power::milliwatts(200.0));
+    EXPECT_NEAR(p2.inWatts(), 2.0 * p1.inWatts(), 1e-15);
+}
+
+TEST(WptTest, BiscClassImplantIsComfortablyPowerable)
+{
+    // A 144 mm^2, ~39 mW implant must be powerable at the SAR cap —
+    // published BISC-class devices are WPT-powered.
+    WptLink link;
+    auto bisc = core::scaleDesign(core::socById(1), 1024);
+    EXPECT_TRUE(link.canPower(bisc.area, bisc.power));
+    EXPECT_GT(link.maxDeliverablePower(bisc.area).inMilliwatts(), 80.0);
+}
+
+TEST(WptTest, AllCataloguedDesignsPowerableAt1024)
+{
+    // Every scaled 1024-channel design draws less than its WPT
+    // ceiling (WPT is not the binding constraint at today's scale).
+    WptLink link;
+    for (const auto &soc : core::socCatalog()) {
+        auto point = core::scaleDesign(soc, core::kStandardChannels);
+        EXPECT_TRUE(link.canPower(point.area, point.power)) << soc.name;
+    }
+}
+
+TEST(WptTest, TinyImplantsAreDeliveryLimited)
+{
+    // A millimetre-scale implant couples weakly: the link cannot
+    // deliver tens of mW regardless of the thermal budget.
+    WptLink link;
+    Power ceiling =
+        link.maxDeliverablePower(Area::squareMillimetres(1.0));
+    EXPECT_LT(ceiling.inMilliwatts(), 10.0);
+}
+
+TEST(WptTest, SarCapBindsDeliveredPower)
+{
+    WptLinkConfig config;
+    config.maxTxPower = Power::milliwatts(50.0);
+    WptLink link(config);
+    Area area = Area::squareMillimetres(144.0);
+    EXPECT_NEAR(link.maxDeliverablePower(area).inWatts(),
+                link.deliveredPower(area, Power::milliwatts(50.0))
+                    .inWatts(),
+                1e-15);
+}
+
+TEST(WptDeathTest, InvalidUsePanics)
+{
+    WptLink link;
+    EXPECT_DEATH(link.deliveredPower(Area::squareMillimetres(100.0),
+                                     Power::milliwatts(500.0)),
+                 "SAR cap");
+    EXPECT_DEATH(WptLink::receiveCoilRadius(Area::squareMillimetres(0.0)),
+                 "positive");
+}
+
+} // namespace
+} // namespace mindful::comm

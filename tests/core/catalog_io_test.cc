@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Catalog serialization tests: round trips, defaults, and strict
+ * error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/catalog_io.hh"
+#include "core/scaling.hh"
+#include "core/soc_catalog.hh"
+
+namespace mindful::core {
+namespace {
+
+const char *kMinimalEntry = R"(
+# A minimal custom design.
+[soc]
+id = 100
+name = NextGen
+channels = 2048
+area_mm2 = 400
+power_mw = 30
+sampling_khz = 10
+)";
+
+TEST(CatalogIoTest, ParsesMinimalEntryWithDefaults)
+{
+    auto designs = parseCatalogString(kMinimalEntry);
+    ASSERT_EQ(designs.size(), 1u);
+    const SocDesign &soc = designs[0];
+    EXPECT_EQ(soc.id, 100);
+    EXPECT_EQ(soc.name, "NextGen");
+    EXPECT_EQ(soc.reportedChannels, 2048u);
+    EXPECT_DOUBLE_EQ(soc.reportedArea.inSquareMillimetres(), 400.0);
+    EXPECT_DOUBLE_EQ(soc.reportedPower.inMilliwatts(), 30.0);
+    EXPECT_DOUBLE_EQ(soc.samplingFrequency.inKilohertz(), 10.0);
+    // Defaults hold for everything unspecified.
+    EXPECT_EQ(soc.sampleBits, 10u);
+    EXPECT_EQ(soc.sensorType, ni::SensorType::Electrode);
+    EXPECT_EQ(soc.recipe.law, ScalingLaw::SqrtAreaLinearPower);
+    EXPECT_DOUBLE_EQ(soc.sensingPowerFraction, 0.5);
+}
+
+TEST(CatalogIoTest, ParsesMultipleSections)
+{
+    std::string text = std::string(kMinimalEntry) + R"(
+[soc]
+id = 101
+name = SpadCam
+sensor = spad
+channels = 49152
+base_channels = 1024
+area_mm2 = 50
+power_mw = 18
+sampling_khz = 8
+wireless = true
+)";
+    auto designs = parseCatalogString(text);
+    ASSERT_EQ(designs.size(), 2u);
+    EXPECT_EQ(designs[1].sensorType, ni::SensorType::Spad);
+    EXPECT_EQ(designs[1].recipe.baseChannels, 1024u);
+    EXPECT_TRUE(designs[1].wireless);
+}
+
+TEST(CatalogIoTest, BuiltInCatalogRoundTrips)
+{
+    auto serialized = writeCatalogString(socCatalog());
+    auto reparsed = parseCatalogString(serialized);
+    ASSERT_EQ(reparsed.size(), socCatalog().size());
+    for (std::size_t i = 0; i < reparsed.size(); ++i) {
+        const SocDesign &a = socCatalog()[i];
+        const SocDesign &b = reparsed[i];
+        EXPECT_EQ(a.id, b.id);
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.sensorType, b.sensorType);
+        EXPECT_EQ(a.reportedChannels, b.reportedChannels);
+        EXPECT_NEAR(a.reportedArea.inSquareMetres(),
+                    b.reportedArea.inSquareMetres(), 1e-12);
+        EXPECT_NEAR(a.reportedPower.inWatts(), b.reportedPower.inWatts(),
+                    1e-9);
+        EXPECT_NEAR(a.samplingFrequency.inHertz(),
+                    b.samplingFrequency.inHertz(), 1e-6);
+        EXPECT_EQ(a.wireless, b.wireless);
+        EXPECT_EQ(a.recipe.law, b.recipe.law);
+        EXPECT_EQ(a.recipe.baseChannels, b.recipe.baseChannels);
+        EXPECT_NEAR(a.recipe.areaCorrection, b.recipe.areaCorrection,
+                    1e-9);
+        EXPECT_NEAR(a.recipe.powerCorrection, b.recipe.powerCorrection,
+                    1e-9);
+        EXPECT_NEAR(a.sensingPowerFraction, b.sensingPowerFraction,
+                    1e-9);
+        EXPECT_NEAR(a.sensingAreaFraction, b.sensingAreaFraction, 1e-9);
+        EXPECT_NEAR(a.commShareOfNonSensing, b.commShareOfNonSensing,
+                    1e-9);
+    }
+}
+
+TEST(CatalogIoTest, ReparsedDesignScalesIdentically)
+{
+    // The serialized form must drive the framework identically.
+    auto reparsed = parseCatalogString(writeCatalogString({socById(5)}));
+    ASSERT_EQ(reparsed.size(), 1u);
+    auto original = scaleDesign(socById(5), 1024);
+    auto copied = scaleDesign(reparsed[0], 1024);
+    EXPECT_NEAR(original.power.inWatts(), copied.power.inWatts(), 1e-12);
+    EXPECT_NEAR(original.area.inSquareMetres(),
+                copied.area.inSquareMetres(), 1e-15);
+}
+
+TEST(CatalogIoTest, CommentsAndBlankLinesIgnored)
+{
+    auto designs = parseCatalogString(
+        "\n# header comment\n[soc]\nid = 1\nname = X # inline\n"
+        "channels = 4\narea_mm2 = 1\npower_mw = 1\nsampling_khz = 1\n\n");
+    ASSERT_EQ(designs.size(), 1u);
+    EXPECT_EQ(designs[0].name, "X");
+}
+
+TEST(CatalogIoDeathTest, UnknownKeyIsFatal)
+{
+    EXPECT_EXIT(parseCatalogString("[soc]\nbogus_key = 1\n"),
+                ::testing::ExitedWithCode(1), "unknown key 'bogus_key'");
+}
+
+TEST(CatalogIoDeathTest, KeyOutsideSectionIsFatal)
+{
+    EXPECT_EXIT(parseCatalogString("id = 1\n"),
+                ::testing::ExitedWithCode(1), "outside a \\[soc\\]");
+}
+
+TEST(CatalogIoDeathTest, MalformedNumberIsFatal)
+{
+    EXPECT_EXIT(parseCatalogString("[soc]\narea_mm2 = twelve\n"),
+                ::testing::ExitedWithCode(1), "not a number");
+}
+
+TEST(CatalogIoDeathTest, MissingRequiredFieldsAreFatal)
+{
+    EXPECT_EXIT(parseCatalogString("[soc]\nid = 1\nname = X\n"),
+                ::testing::ExitedWithCode(1), "'channels'");
+}
+
+TEST(CatalogIoDeathTest, BadFractionIsFatal)
+{
+    std::string text = std::string(kMinimalEntry) +
+                       "sensing_power_fraction = 1.5\n";
+    EXPECT_EXIT(parseCatalogString(text), ::testing::ExitedWithCode(1),
+                "sensing_power_fraction");
+}
+
+TEST(CatalogIoDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(loadCatalog("/nonexistent/path/catalog.cfg"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace mindful::core

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Table 1 catalog and Sec. 4.1 scaling tests (Fig. 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/scaling.hh"
+#include "core/soc_catalog.hh"
+
+namespace mindful::core {
+namespace {
+
+TEST(CatalogTest, ElevenDesignsWithStableIds)
+{
+    const auto &catalog = socCatalog();
+    ASSERT_EQ(catalog.size(), 11u);
+    for (std::size_t i = 0; i < catalog.size(); ++i)
+        EXPECT_EQ(catalog[i].id, static_cast<int>(i) + 1);
+}
+
+TEST(CatalogTest, WirelessSubsetIsDesignsOneToEight)
+{
+    auto wireless = wirelessSocs();
+    ASSERT_EQ(wireless.size(), 8u);
+    for (std::size_t i = 0; i < wireless.size(); ++i)
+        EXPECT_EQ(wireless[i].id, static_cast<int>(i) + 1);
+    // Designs 9-11 are wired (Table 1).
+    EXPECT_FALSE(socById(9).wireless);
+    EXPECT_FALSE(socById(10).wireless);
+    EXPECT_FALSE(socById(11).wireless);
+}
+
+TEST(CatalogTest, Table1HeadlineParameters)
+{
+    const SocDesign &bisc = socById(1);
+    EXPECT_EQ(bisc.name, "BISC");
+    EXPECT_EQ(bisc.reportedChannels, 1024u);
+    EXPECT_DOUBLE_EQ(bisc.reportedArea.inSquareMillimetres(), 144.0);
+    EXPECT_NEAR(bisc.reportedPowerDensity()
+                    .inMilliwattsPerSquareCentimetre(),
+                27.0, 1e-9);
+    EXPECT_DOUBLE_EQ(bisc.samplingFrequency.inKilohertz(), 8.0);
+
+    const SocDesign &halo = socById(8);
+    EXPECT_FALSE(halo.validatedInOrExVivo); // the only "No" in Table 1
+
+    const SocDesign &spad = socById(2);
+    EXPECT_EQ(spad.sensorType, ni::SensorType::Spad);
+    EXPECT_EQ(spad.reportedChannels, 49152u);
+    EXPECT_EQ(spad.recipe.baseChannels, 1024u);
+}
+
+TEST(CatalogTest, ByIdFatalOnUnknown)
+{
+    EXPECT_EXIT(socById(99), ::testing::ExitedWithCode(1), "no SoC");
+}
+
+TEST(ScalingTest, DesignsAlreadyAt1024AreFixedPoints)
+{
+    for (int id : {1, 3, 10}) {
+        const SocDesign &soc = socById(id);
+        auto point = scaleDesign(soc, kStandardChannels);
+        EXPECT_NEAR(point.area.inSquareMetres(),
+                    soc.reportedArea.inSquareMetres(), 1e-15);
+        EXPECT_NEAR(point.power.inWatts(), soc.reportedPower.inWatts(),
+                    1e-15);
+    }
+}
+
+TEST(ScalingTest, SpadDesignsUseNominal1024Parameters)
+{
+    // SoCs 2 and 11 report 49K channels but the paper evaluates
+    // their nominal 1024-channel configuration.
+    for (int id : {2, 11}) {
+        const SocDesign &soc = socById(id);
+        auto point = scaleDesign(soc, kStandardChannels);
+        EXPECT_NEAR(point.area.inSquareMetres(),
+                    soc.reportedArea.inSquareMetres(), 1e-15);
+        EXPECT_NEAR(point.power.inWatts(), soc.reportedPower.inWatts(),
+                    1e-15);
+    }
+}
+
+TEST(ScalingTest, SqrtAreaLinearPowerLaw)
+{
+    // Eq. 1 in ratio form on a 16-channel design scaled 64x.
+    const SocDesign &shen = socById(4);
+    auto point = scaleDesign(shen, 1024);
+    EXPECT_NEAR(point.area.inSquareMillimetres(), 1.34 * 8.0, 1e-9);
+    EXPECT_NEAR(point.power.inMilliwatts(), 0.0295 * 64.0, 1e-9);
+}
+
+TEST(ScalingTest, NeuropixelsScalesLinearly)
+{
+    // Sec. 4.1: shank-replicated designs scale linearly in both.
+    const SocDesign &npx = socById(9);
+    auto point = scaleDesign(npx, 1024);
+    double factor = 1024.0 / 384.0;
+    EXPECT_NEAR(point.area.inSquareMillimetres(), 22.0 * factor, 1e-9);
+    EXPECT_NEAR(point.power.inMilliwatts(), 4.62 * factor, 1e-9);
+    // Linear scaling preserves power density exactly.
+    EXPECT_NEAR(point.powerDensity().inMilliwattsPerSquareCentimetre(),
+                npx.reportedPowerDensity()
+                    .inMilliwattsPerSquareCentimetre(),
+                1e-9);
+}
+
+TEST(ScalingTest, MullerAreaCutGivesPaperDensity)
+{
+    // Sec. 4.1: SoC 5 lands at 20 mW/cm^2 after the 2x area cut.
+    auto point = scaleDesign(socById(5), 1024);
+    EXPECT_NEAR(point.powerDensity().inMilliwattsPerSquareCentimetre(),
+                20.0, 0.1);
+}
+
+TEST(ScalingTest, Fig4AllScaledDesignsAreSafe)
+{
+    // The Fig. 4 claim: every design scaled to 1024 channels falls
+    // below the power-budget line.
+    thermal::PowerBudget budget;
+    for (const auto &soc : socCatalog()) {
+        auto point = scaleDesign(soc, kStandardChannels);
+        EXPECT_LE(point.power.inWatts(),
+                  budget.budget(point.area).inWatts())
+            << "SoC " << soc.id << " (" << soc.name << ")";
+    }
+}
+
+TEST(ScalingTest, HaloStarWasRescuedFromUnsafeDensity)
+{
+    // HALO as reported is far beyond the budget; HALO* is within it.
+    const SocDesign &halo = socById(8);
+    EXPECT_GT(halo.reportedPowerDensity()
+                  .inMilliwattsPerSquareCentimetre(),
+              1000.0);
+    auto rescaled = scaleDesign(halo, 1024);
+    EXPECT_LE(
+        rescaled.powerDensity().inMilliwattsPerSquareCentimetre(),
+        40.0);
+}
+
+TEST(ImplantModelTest, DecompositionSumsToTotals)
+{
+    ImplantModel implant(socById(1));
+    EXPECT_NEAR((implant.referenceSensingPower() +
+                 implant.nonSensingPower())
+                    .inWatts(),
+                implant.referencePower().inWatts(), 1e-15);
+    EXPECT_NEAR((implant.referenceSensingArea() + implant.nonSensingArea())
+                    .inSquareMetres(),
+                implant.referenceArea().inSquareMetres(), 1e-18);
+    EXPECT_NEAR((implant.commPower() + implant.digitalPower()).inWatts(),
+                implant.nonSensingPower().inWatts(), 1e-15);
+}
+
+TEST(ImplantModelTest, SensingScalesLinearly)
+{
+    ImplantModel implant(socById(1));
+    EXPECT_NEAR(implant.sensingPower(2048).inWatts(),
+                2.0 * implant.referenceSensingPower().inWatts(), 1e-15);
+    EXPECT_NEAR(implant.sensingArea(512).inSquareMetres(),
+                0.5 * implant.referenceSensingArea().inSquareMetres(),
+                1e-18);
+}
+
+TEST(ImplantModelTest, ThroughputAndPeriod)
+{
+    ImplantModel implant(socById(1)); // 8 kHz, 10 b
+    EXPECT_NEAR(implant.referenceDataRate().inMegabitsPerSecond(), 81.92,
+                1e-9);
+    EXPECT_NEAR(implant.sensingThroughput(2048).inMegabitsPerSecond(),
+                163.84, 1e-9);
+    EXPECT_NEAR(implant.samplePeriod().inMicroseconds(), 125.0, 1e-9);
+}
+
+TEST(ImplantModelTest, CommEnergyPerBitIsImplantRealistic)
+{
+    // Inferred transceiver Eb should land in the 10-500 pJ/b range
+    // reported across published implant radios.
+    for (const auto &soc : wirelessSocs()) {
+        ImplantModel implant(soc);
+        double eb = implant.commEnergyPerBit().inPicojoulesPerBit();
+        EXPECT_GT(eb, 5.0) << soc.name;
+        EXPECT_LT(eb, 2000.0) << soc.name;
+    }
+}
+
+TEST(ImplantModelTest, PowerBudgetUsesTotalArea)
+{
+    ImplantModel implant(socById(1));
+    EXPECT_NEAR(
+        implant.powerBudget(Area::squareMillimetres(144.0)).inMilliwatts(),
+        57.6, 1e-9);
+}
+
+} // namespace
+} // namespace mindful::core

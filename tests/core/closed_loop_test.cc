@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Closed-loop study tests (paper Sec. 7 extension).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/closed_loop.hh"
+#include "core/experiments.hh"
+#include "core/soc_catalog.hh"
+
+namespace mindful::core {
+namespace {
+
+ClosedLoopStudy
+makeStudy(int soc_id, StimulatorSpec stim = {}, ClosedLoopConfig cfg = {})
+{
+    return ClosedLoopStudy(ImplantModel(socById(soc_id)),
+                           experiments::speechModelBuilder(
+                               experiments::SpeechModel::Mlp),
+                           stim, cfg);
+}
+
+TEST(StimulatorSpecTest, MeanPowerComposition)
+{
+    StimulatorSpec stim;
+    stim.sites = 16;
+    stim.activeFraction = 0.25;
+    stim.pulseRateHz = 200.0;
+    stim.energyPerPulse = Energy::microjoules(1.0);
+    stim.staticOverhead = Power::microwatts(150.0);
+    // 16 * 0.25 * 200 = 800 pulses/s * 1 uJ = 0.8 mW + 0.15 mW.
+    EXPECT_NEAR(stim.meanPower().inMilliwatts(), 0.95, 1e-12);
+}
+
+TEST(ClosedLoopTest, PowerComponentsSumToTotal)
+{
+    auto point = makeStudy(1).evaluate(1024);
+    EXPECT_NEAR((point.sensingPower + point.computePower +
+                 point.stimulationPower + point.digitalPower +
+                 point.telemetryPower)
+                    .inWatts(),
+                point.totalPower.inWatts(), 1e-15);
+}
+
+TEST(ClosedLoopTest, LatencyComposition)
+{
+    auto point = makeStudy(1).evaluate(1024);
+    EXPECT_NEAR((point.acquisitionLatency + point.decodeLatency +
+                 point.stimulationLatency)
+                    .inSeconds(),
+                point.loopLatency.inSeconds(), 1e-15);
+    // MLP window: 12 samples at 2 kHz = 6 ms acquisition.
+    EXPECT_NEAR(point.acquisitionLatency.inMilliseconds(), 6.0, 1e-9);
+}
+
+TEST(ClosedLoopTest, LoopClosesWellWithinReactionTime)
+{
+    // The paper's real-time definition: the whole loop inside the
+    // ~0.18 s brain reaction time. At 1024 channels the loop closes
+    // with an order of magnitude of margin.
+    auto point = makeStudy(1).evaluate(1024);
+    ASSERT_TRUE(point.bound.feasible);
+    EXPECT_TRUE(point.meetsDeadline);
+    EXPECT_LT(point.loopLatency.inSeconds(), 0.02);
+}
+
+TEST(ClosedLoopTest, FeasibleOnBiscAtStandardScale)
+{
+    auto point = makeStudy(1).evaluate(1024);
+    EXPECT_TRUE(point.feasible());
+    EXPECT_LE(point.budgetUtilization, 1.0);
+}
+
+TEST(ClosedLoopTest, TelemetryIsNegligibleVsStreaming)
+{
+    auto point = makeStudy(1).evaluate(1024);
+    ImplantModel implant(socById(1));
+    EXPECT_LT(point.telemetryPower.inWatts(),
+              implant.commPower().inWatts() / 1000.0);
+}
+
+TEST(ClosedLoopTest, StimulationShiftsTheFrontier)
+{
+    // A heavy stimulator (all sites, high rate) eats budget that the
+    // decoder could otherwise use.
+    StimulatorSpec heavy;
+    heavy.sites = 64;
+    heavy.activeFraction = 1.0;
+    heavy.pulseRateHz = 300.0;
+    heavy.energyPerPulse = Energy::microjoules(2.0);
+
+    auto light_max = makeStudy(3).maxChannels();
+    auto heavy_max = makeStudy(3, heavy).maxChannels();
+    EXPECT_LT(heavy_max, light_max);
+}
+
+TEST(ClosedLoopTest, TightDeadlineCanBindBeforePower)
+{
+    // With a sub-window deadline the loop can never close even when
+    // the budget is generous.
+    ClosedLoopConfig tight;
+    tight.reactionDeadline = Time::milliseconds(1.0);
+    auto point = makeStudy(1, {}, tight).evaluate(1024);
+    EXPECT_FALSE(point.meetsDeadline);
+    EXPECT_TRUE(point.withinBudget);
+    EXPECT_FALSE(point.feasible());
+    EXPECT_EQ(makeStudy(1, {}, tight).maxChannels(2048, 256), 0u);
+}
+
+TEST(ClosedLoopTest, ClosedLoopBeatsOpenLoopOnCommBoundSocs)
+{
+    // Dropping the raw-data uplink frees real budget: the closed-loop
+    // frontier is at least the open-loop computation-centric one
+    // (same decoder, deadline, technology) minus the stimulator tax.
+    CompCentricModel open(ImplantModel(socById(1)),
+                          experiments::speechModelBuilder(
+                              experiments::SpeechModel::Mlp));
+    StimulatorSpec tiny;
+    tiny.sites = 1;
+    tiny.activeFraction = 0.0; // sensing-only loop
+    tiny.staticOverhead = Power::microwatts(0.0);
+    tiny.setupLatency = Time::milliseconds(0.0);
+    auto closed_max = makeStudy(1, tiny).maxChannels();
+    EXPECT_GE(closed_max + 64, open.maxChannels());
+}
+
+TEST(ClosedLoopDeathTest, InvalidConfigPanics)
+{
+    StimulatorSpec bad;
+    bad.sites = 0;
+    EXPECT_DEATH(makeStudy(1, bad), "at least one site");
+    ClosedLoopConfig cfg;
+    cfg.reactionDeadline = Time::seconds(0.0);
+    EXPECT_DEATH(makeStudy(1, {}, cfg), "deadline");
+}
+
+} // namespace
+} // namespace mindful::core

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Communication-centric scaling tests (Figs. 5-6), parameterized
+ * over the eight wireless SoCs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/comm_centric.hh"
+#include "core/soc_catalog.hh"
+
+namespace mindful::core {
+namespace {
+
+class CommCentricSocSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    ImplantModel implant() const { return ImplantModel(socById(GetParam())); }
+};
+
+TEST_P(CommCentricSocSweep, NaiveUtilizationIsChannelIndependent)
+{
+    // Fig. 5 left: both Psoc and Pbudget scale linearly, so the
+    // ratio never changes.
+    CommCentricModel model(implant(), CommScalingStrategy::Naive);
+    double anchor = model.project(1024).budgetUtilization;
+    for (std::uint64_t n : {2048u, 4096u, 8192u, 65536u})
+        EXPECT_NEAR(model.project(n).budgetUtilization, anchor, 1e-12);
+}
+
+TEST_P(CommCentricSocSweep, NaiveSensingAreaFractionFrozen)
+{
+    // Fig. 6 left: volumetric efficiency never improves.
+    CommCentricModel model(implant(), CommScalingStrategy::Naive);
+    double anchor = model.project(1024).sensingAreaFraction;
+    for (std::uint64_t n : {2048u, 4096u, 8192u})
+        EXPECT_NEAR(model.project(n).sensingAreaFraction, anchor, 1e-12);
+}
+
+TEST_P(CommCentricSocSweep, HighMarginUtilizationGrows)
+{
+    // Fig. 5 right: Psoc grows faster than Pbudget.
+    CommCentricModel model(implant(), CommScalingStrategy::HighMargin);
+    double previous = 0.0;
+    for (std::uint64_t n : {1024u, 2048u, 4096u, 8192u}) {
+        double utilization = model.project(n).budgetUtilization;
+        EXPECT_GT(utilization, previous);
+        previous = utilization;
+    }
+}
+
+TEST_P(CommCentricSocSweep, HighMarginEventuallyExceedsBudget)
+{
+    // Fig. 5: "Psoc eventually exceeds Pbudget for all SoCs."
+    CommCentricModel model(implant(), CommScalingStrategy::HighMargin);
+    EXPECT_FALSE(model.project(65536).safe())
+        << "SoC " << GetParam() << " never crosses the budget";
+}
+
+TEST_P(CommCentricSocSweep, HighMarginSensingAreaFractionApproachesOne)
+{
+    // Fig. 6 right / Eq. 4: sensing area becomes dominant.
+    CommCentricModel model(implant(), CommScalingStrategy::HighMargin);
+    double at_1k = model.project(1024).sensingAreaFraction;
+    double at_8k = model.project(8192).sensingAreaFraction;
+    double at_64k = model.project(65536).sensingAreaFraction;
+    EXPECT_GT(at_8k, at_1k);
+    EXPECT_GT(at_64k, 0.85);
+}
+
+TEST_P(CommCentricSocSweep, StrategiesAgreeAtTheReferencePoint)
+{
+    CommCentricModel naive(implant(), CommScalingStrategy::Naive);
+    CommCentricModel margin(implant(), CommScalingStrategy::HighMargin);
+    auto a = naive.project(1024);
+    auto b = margin.project(1024);
+    EXPECT_NEAR(a.totalPower.inWatts(), b.totalPower.inWatts(), 1e-15);
+    EXPECT_NEAR(a.totalArea.inSquareMetres(), b.totalArea.inSquareMetres(),
+                1e-18);
+}
+
+TEST_P(CommCentricSocSweep, ReferencePointIsSafe)
+{
+    // All scaled 1024-channel designs sit below the budget (Fig. 4),
+    // and both strategies must reproduce that at n = 1024.
+    CommCentricModel model(implant(), CommScalingStrategy::HighMargin);
+    EXPECT_TRUE(model.project(1024).safe());
+}
+
+TEST_P(CommCentricSocSweep, DataRateMatchesEq6)
+{
+    CommCentricModel model(implant(), CommScalingStrategy::Naive);
+    auto point = model.project(4096);
+    ImplantModel im = implant();
+    EXPECT_NEAR(point.dataRate.inBitsPerSecond(),
+                im.sensingThroughput(4096).inBitsPerSecond(), 1e-6);
+}
+
+TEST_P(CommCentricSocSweep, ComponentsSumToTotals)
+{
+    for (auto strategy : {CommScalingStrategy::Naive,
+                          CommScalingStrategy::HighMargin}) {
+        CommCentricModel model(implant(), strategy);
+        auto point = model.project(3072);
+        EXPECT_NEAR((point.sensingPower + point.nonSensingPower).inWatts(),
+                    point.totalPower.inWatts(), 1e-15);
+        EXPECT_NEAR(
+            (point.sensingArea + point.nonSensingArea).inSquareMetres(),
+            point.totalArea.inSquareMetres(), 1e-18);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(WirelessSocs, CommCentricSocSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(CommCentricTest, MaxSafeChannelsBracketsTheCrossover)
+{
+    CommCentricModel model(ImplantModel(socById(1)),
+                           CommScalingStrategy::HighMargin);
+    std::uint64_t max_safe = model.maxSafeChannels();
+    ASSERT_GT(max_safe, 1024u);
+    EXPECT_TRUE(model.project(max_safe).safe());
+    EXPECT_FALSE(model.project(max_safe + 64).safe());
+}
+
+TEST(CommCentricTest, NaiveNeverCrosses)
+{
+    CommCentricModel model(ImplantModel(socById(1)),
+                           CommScalingStrategy::Naive);
+    EXPECT_EQ(model.maxSafeChannels(16384, 1024), 16384u);
+}
+
+TEST(CommCentricTest, SweepPreservesOrder)
+{
+    CommCentricModel model(ImplantModel(socById(3)),
+                           CommScalingStrategy::HighMargin);
+    auto points = model.sweep({1024, 2048, 4096});
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_EQ(points[0].channels, 1024u);
+    EXPECT_EQ(points[2].channels, 4096u);
+}
+
+} // namespace
+} // namespace mindful::core

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Computation-centric study tests (Fig. 10) and partitioning
+ * (Fig. 11), including the paper's per-SoC feasibility pattern.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/comp_centric.hh"
+#include "core/experiments.hh"
+#include "core/partition.hh"
+#include "core/soc_catalog.hh"
+#include "dnn/models.hh"
+
+namespace mindful::core {
+namespace {
+
+using experiments::SpeechModel;
+using experiments::speechModelBuilder;
+
+CompCentricModel
+makeModel(int soc_id, SpeechModel model = SpeechModel::Mlp,
+          CompCentricConfig config = {})
+{
+    return CompCentricModel(ImplantModel(socById(soc_id)),
+                            speechModelBuilder(model), config);
+}
+
+TEST(CompCentricTest, PowerComponentsSumToTotal)
+{
+    auto point = makeModel(1).evaluate(1024);
+    EXPECT_NEAR((point.sensingPower + point.digitalPower +
+                 point.computePower + point.commPower)
+                    .inWatts(),
+                point.totalPower.inWatts(), 1e-15);
+}
+
+TEST(CompCentricTest, ComputePowerIsTheMacLowerBound)
+{
+    auto point = makeModel(1).evaluate(1024);
+    ASSERT_TRUE(point.bound.feasible);
+    EXPECT_NEAR(point.computePower.inWatts(),
+                static_cast<double>(point.bound.macUnits) * 0.05e-3,
+                1e-12);
+    EXPECT_GT(point.bound.macUnits, 0u);
+}
+
+TEST(CompCentricTest, TransmitsOnlyTheLabels)
+{
+    // Computation-centric: n_out = 40 labels, not n samples.
+    auto point = makeModel(1).evaluate(1024);
+    EXPECT_EQ(point.transmittedElements, 40u);
+    // Comm power is correspondingly tiny vs the raw-streaming cost.
+    ImplantModel implant(socById(1));
+    EXPECT_LT(point.commPower.inWatts(),
+              implant.commPower().inWatts() / 100.0);
+}
+
+TEST(CompCentricTest, PaperMlpFeasibilityPatternAt1024)
+{
+    // Fig. 10 (MLP): "only SoCs 3-5 cannot integrate it at 1024
+    // channels."
+    for (const auto &soc : wirelessSocs()) {
+        auto point = makeModel(soc.id).evaluate(1024);
+        bool expected_feasible =
+            soc.id != 3 && soc.id != 4 && soc.id != 5;
+        EXPECT_EQ(point.feasible, expected_feasible)
+            << "SoC " << soc.id << " (" << soc.name << ") utilization "
+            << point.budgetUtilization;
+    }
+}
+
+TEST(CompCentricTest, DnCnnHarderThanMlpEverywhere)
+{
+    for (const auto &soc : wirelessSocs()) {
+        auto mlp = makeModel(soc.id, SpeechModel::Mlp).evaluate(1024);
+        auto cnn = makeModel(soc.id, SpeechModel::DnCnn).evaluate(1024);
+        EXPECT_GT(cnn.budgetUtilization, mlp.budgetUtilization)
+            << soc.name;
+    }
+}
+
+TEST(CompCentricTest, DnCnnFeasibleOnlyOnLargeSocsAt1024)
+{
+    // Paper: only SoCs 1-2 fit the DN-CNN at 1024. Our calibration
+    // reproduces 1-2 and additionally admits SoC 7 (WIMAGINE) whose
+    // scaled budget is BISC-sized — recorded in EXPERIMENTS.md.
+    for (const auto &soc : wirelessSocs()) {
+        auto point = makeModel(soc.id, SpeechModel::DnCnn).evaluate(1024);
+        bool expected =
+            soc.id == 1 || soc.id == 2 || soc.id == 7;
+        EXPECT_EQ(point.feasible, expected) << soc.name;
+    }
+}
+
+TEST(CompCentricTest, SmallSocsExceedBudgetManyTimesForDnCnn)
+{
+    // Paper: "SoCs 4 and 5 exceed the power budget by a factor of 5x
+    // and fall outside the bounds of the plot."
+    for (int id : {4, 5}) {
+        auto point = makeModel(id, SpeechModel::DnCnn).evaluate(1024);
+        EXPECT_GT(point.budgetUtilization, 5.0) << "SoC " << id;
+    }
+}
+
+TEST(CompCentricTest, UtilizationGrowsWithChannels)
+{
+    auto model = makeModel(1);
+    double previous = 0.0;
+    for (std::uint64_t n : {1024u, 2048u, 4096u, 8192u}) {
+        double u = model.evaluate(n).budgetUtilization;
+        EXPECT_GT(u, previous);
+        previous = u;
+    }
+}
+
+TEST(CompCentricTest, MaxChannelsNearTwiceTheStandardForFeasibleSocs)
+{
+    // Paper: "the average maximum channel count appears at n ~ 1800
+    // for MLP" over the feasible SoCs; our calibration lands in the
+    // same regime (recorded per-SoC in EXPERIMENTS.md).
+    double total = 0.0;
+    int feasible = 0;
+    for (int id : {1, 2, 6, 7, 8}) {
+        auto max_n = makeModel(id).maxChannels();
+        EXPECT_GT(max_n, 1024u) << "SoC " << id;
+        total += static_cast<double>(max_n);
+        ++feasible;
+    }
+    double average = total / feasible;
+    EXPECT_GT(average, 1400.0);
+    EXPECT_LT(average, 2600.0);
+}
+
+TEST(CompCentricTest, DnCnnMaxChannelsBelowMlp)
+{
+    // Paper: DN-CNN max ~1400 vs MLP ~1800 (lower for the CNN).
+    for (int id : {1, 2}) {
+        auto mlp = makeModel(id, SpeechModel::Mlp).maxChannels();
+        auto cnn = makeModel(id, SpeechModel::DnCnn).maxChannels();
+        EXPECT_LT(cnn, mlp) << "SoC " << id;
+        EXPECT_GT(cnn, 512u) << "SoC " << id;
+    }
+}
+
+TEST(CompCentricTest, ChannelDropoutRestoresFeasibility)
+{
+    // SoC 3 cannot run the full 2048-channel MLP, but some dropout
+    // level must fit (Sec. 6.2 ChDr).
+    auto model = makeModel(3);
+    EXPECT_FALSE(model.evaluate(2048).feasible);
+    auto active = model.maxActiveChannels(2048);
+    ASSERT_GT(active, 0u);
+    ASSERT_LT(active, 2048u);
+    EXPECT_TRUE(model.evaluate(2048, active).feasible);
+    EXPECT_FALSE(model.evaluate(2048, active + 1).feasible);
+}
+
+TEST(CompCentricTest, TechnologyScalingExtendsReach)
+{
+    CompCentricConfig scaled;
+    scaled.mac = accel::scaled12nm();
+    auto base = makeModel(1).maxChannels();
+    auto with_tech = makeModel(1, SpeechModel::Mlp, scaled).maxChannels();
+    EXPECT_GT(with_tech, base);
+}
+
+TEST(CompCentricTest, ChannelDensityShrinksTheBudget)
+{
+    CompCentricConfig dense;
+    dense.sensingAreaScale = 0.5;
+    auto base = makeModel(1).evaluate(1024);
+    auto densified = makeModel(1, SpeechModel::Mlp, dense).evaluate(1024);
+    EXPECT_LT(densified.powerBudget.inWatts(),
+              base.powerBudget.inWatts());
+    EXPECT_GT(densified.budgetUtilization, base.budgetUtilization);
+}
+
+TEST(PartitionTest, EarliestViableCutOnMlp)
+{
+    auto network = dnn::buildSpeechMlp(2048);
+    auto plan = earliestViableCut(network, 1024);
+    ASSERT_TRUE(plan.viable);
+    EXPECT_EQ(plan.cutElements, 1024u); // the latent bottleneck
+    EXPECT_LT(plan.onImplantLayers, network.layerCount());
+    EXPECT_GT(plan.onImplantMacFraction, 0.3);
+    EXPECT_LT(plan.onImplantMacFraction, 1.0);
+}
+
+TEST(PartitionTest, TightLimitMakesCutInviable)
+{
+    auto network = dnn::buildSpeechMlp(2048);
+    auto plan = earliestViableCut(network, 16);
+    EXPECT_FALSE(plan.viable);
+    EXPECT_EQ(plan.onImplantLayers, network.layerCount());
+    EXPECT_DOUBLE_EQ(plan.onImplantMacFraction, 1.0);
+}
+
+TEST(PartitionTest, DnCnnCutDropsAlmostNothing)
+{
+    // Fig. 11: the DN-CNN's only narrow point sits behind all the
+    // convolutions, so a cut saves ~nothing.
+    auto network = dnn::buildSpeechDnCnn(2048);
+    auto plan = earliestViableCut(network, 1024);
+    if (plan.viable) {
+        EXPECT_GT(plan.onImplantMacFraction, 0.99);
+    }
+}
+
+TEST(PartitionTest, PartitioningNeverHurts)
+{
+    // The cut is opportunistic: the partitioned design is at most as
+    // power-hungry as the full one.
+    for (int id : {1, 3, 6}) {
+        auto model = makeModel(id);
+        for (std::uint64_t n : {1024u, 2048u, 4096u}) {
+            auto full = model.evaluate(n, n, false);
+            auto part = model.evaluate(n, n, true);
+            EXPECT_LE(part.totalPower.inWatts(),
+                      full.totalPower.inWatts() + 1e-15)
+                << "SoC " << id << " n=" << n;
+        }
+    }
+}
+
+TEST(PartitionTest, MlpGainsButDnCnnDoesNot)
+{
+    // Fig. 11 headline: partitioning helps the MLP (up to ~tens of
+    // percent) and does not help the DN-CNN.
+    auto mlp_rows = experiments::partitionGains(SpeechModel::Mlp);
+    double best = 0.0;
+    double sum = 0.0;
+    for (const auto &row : mlp_rows) {
+        EXPECT_GE(row.gain, 1.0) << row.name;
+        best = std::max(best, row.gain);
+        sum += row.gain;
+    }
+    EXPECT_GT(best, 1.2);                       // best SoC gains > 20%
+    EXPECT_GT(sum / mlp_rows.size(), 1.05);     // average gain
+
+    for (const auto &row :
+         experiments::partitionGains(SpeechModel::DnCnn)) {
+        EXPECT_NEAR(row.gain, 1.0, 0.05) << row.name;
+    }
+}
+
+TEST(CompCentricTest, PartitionCutLimitRespectsUplinkAndFrame)
+{
+    // min(1024, 1024 * f_soc / f_app): SoC 5 samples at 1 kHz so its
+    // cut limit halves; SoC 1 (8 kHz) caps at the 1024-value frame.
+    EXPECT_EQ(makeModel(1).partitionCutLimit(), 1024u);
+    EXPECT_EQ(makeModel(5).partitionCutLimit(), 512u);
+}
+
+TEST(CompCentricDeathTest, InvalidArgumentsPanic)
+{
+    auto model = makeModel(1);
+    EXPECT_DEATH(model.evaluate(0), "positive");
+    EXPECT_DEATH(model.evaluate(std::uint64_t{100}, std::uint64_t{200}),
+                 "active channels");
+}
+
+} // namespace
+} // namespace mindful::core

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Equation traceability: one numeric assertion per paper equation,
+ * using the paper's own worked examples wherever it gives one. This
+ * file is the audit trail from the text's math to this codebase.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/lower_bound.hh"
+#include "comm/modulation.hh"
+#include "core/comp_centric.hh"
+#include "core/experiments.hh"
+#include "core/soc_catalog.hh"
+#include "dnn/conv.hh"
+#include "dnn/dense.hh"
+
+namespace mindful::core {
+namespace {
+
+TEST(PaperEquationsTest, Eq1_ScalingTo1024)
+{
+    // Asoc(n) = sqrt(n/n0) * A0, Psoc(n) = (n/n0) * P0 (ratio form).
+    // Shen: 16 ch, 1.34 mm^2, 29.5 uW -> 1024 ch.
+    auto point = scaleDesign(socById(4), 1024);
+    EXPECT_NEAR(point.area.inSquareMillimetres(),
+                std::sqrt(1024.0 / 16.0) * 1.34, 1e-9);
+    EXPECT_NEAR(point.power.inMicrowatts(), (1024.0 / 16.0) * 29.5,
+                0.01);
+}
+
+TEST(PaperEquationsTest, Eq2_ComponentDecomposition)
+{
+    // Asoc = Asensing + Anon-sensing; Psoc likewise.
+    ImplantModel implant(socById(1));
+    EXPECT_NEAR((implant.referenceSensingArea() + implant.nonSensingArea())
+                    .inSquareMetres(),
+                implant.referenceArea().inSquareMetres(), 1e-18);
+    EXPECT_NEAR(
+        (implant.referenceSensingPower() + implant.nonSensingPower())
+            .inWatts(),
+        implant.referencePower().inWatts(), 1e-15);
+}
+
+TEST(PaperEquationsTest, Eq3_PowerBudget)
+{
+    // Pbudget(n) = Asoc(n) * 40 mW/cm^2.
+    thermal::PowerBudget budget;
+    EXPECT_NEAR(
+        budget.budget(Area::squareCentimetres(1.44)).inMilliwatts(),
+        1.44 * 40.0, 1e-9);
+}
+
+TEST(PaperEquationsTest, Eq4_VolumetricEfficiencyLimit)
+{
+    // lim n->inf Asensing/Asoc = 1 under high-margin scaling.
+    CommCentricModel model(ImplantModel(socById(1)),
+                           CommScalingStrategy::HighMargin);
+    EXPECT_GT(model.project(1 << 20).sensingAreaFraction, 0.99);
+}
+
+TEST(PaperEquationsTest, Eq5_LinearSensingScaling)
+{
+    // Asensing(n) = n * Asensing(1024) / 1024; same for power.
+    ImplantModel implant(socById(3));
+    EXPECT_NEAR(implant.sensingArea(3072).inSquareMetres(),
+                3.0 * implant.referenceSensingArea().inSquareMetres(),
+                1e-18);
+    EXPECT_NEAR(implant.sensingPower(3072).inWatts(),
+                3.0 * implant.referenceSensingPower().inWatts(), 1e-15);
+}
+
+TEST(PaperEquationsTest, Eq6_SensingThroughput)
+{
+    // Tsensing = d * n / Ts; the paper's example system: d = 10,
+    // n = 1024, f = 8 kHz -> 81.92 Mbps ("82 Mbps" in the text).
+    ImplantModel implant(socById(1));
+    EXPECT_NEAR(
+        implant.sensingThroughput(1024).inMegabitsPerSecond(), 81.92,
+        1e-9);
+}
+
+TEST(PaperEquationsTest, Eq7_CommCentricThroughputEquality)
+{
+    // Comm-centric: Tcomp ~ Tcomm ~ Tsensing (n_out ~ n). The
+    // model's uplink at any n equals the sensing throughput.
+    CommCentricModel model(ImplantModel(socById(1)),
+                           CommScalingStrategy::HighMargin);
+    ImplantModel implant(socById(1));
+    for (std::uint64_t n : {1024u, 4096u}) {
+        EXPECT_NEAR(model.project(n).dataRate.inBitsPerSecond(),
+                    implant.sensingThroughput(n).inBitsPerSecond(),
+                    1e-3);
+    }
+}
+
+TEST(PaperEquationsTest, Eq8_CompCentricOutputThroughput)
+{
+    // Tcomm(n_out) = d * n_out / Ts with n_out = 40 labels at the
+    // 2 kHz application rate: 10 b * 40 * 2 kHz = 800 kbps, priced at
+    // the implant's Eb.
+    CompCentricModel model(ImplantModel(socById(1)),
+                           experiments::speechModelBuilder(
+                               experiments::SpeechModel::Mlp));
+    auto point = model.evaluate(1024);
+    ImplantModel implant(socById(1));
+    double expected_rate = 10.0 * 40.0 * 2000.0;
+    EXPECT_NEAR(point.commPower.inWatts(),
+                expected_rate *
+                    implant.commEnergyPerBit().inJoulesPerBit(),
+                1e-12);
+}
+
+TEST(PaperEquationsTest, Eq9_OokCommPower)
+{
+    // Pcomm = Tcomm * Eb; the Sec. 5.1 worked example: a transceiver
+    // at Eb = 50 pJ/b carrying 82 Mbps burns ~4.1 mW.
+    comm::OokModulation ook(EnergyPerBit::picojoulesPerBit(50.0),
+                            DataRate::megabitsPerSecond(100.0));
+    EXPECT_NEAR(ook.transmitPower(DataRate::megabitsPerSecond(81.92))
+                    .inMilliwatts(),
+                4.096, 1e-9);
+}
+
+TEST(PaperEquationsTest, Eq10_MacCensusFig8Examples)
+{
+    // Fig. 8 top: A(4x3) x B(3x4): #MAC_op = 4, MAC_seq = 3.
+    dnn::DenseLayer dense(3, 4);
+    auto d = dense.census({3});
+    EXPECT_EQ(d.macOp, 4u);
+    EXPECT_EQ(d.macSeq, 3u);
+    // Fig. 8 bottom: 2 in-ch, 1 out-ch, kernel 4, output 4:
+    // #MAC_op = 4, MAC_seq = 8.
+    dnn::Conv2dLayer conv(2, 1, 1, 4, 4, dnn::Padding::Valid);
+    auto c = conv.census({2, 1, 16});
+    EXPECT_EQ(c.macOp, 4u);
+    EXPECT_EQ(c.macSeq, 8u);
+}
+
+TEST(PaperEquationsTest, Eq11_SharedPoolRuntime)
+{
+    // t_i = MAC_seq^i * t_MAC * ceil(#MAC_op^i / #MAC_hw).
+    accel::LowerBoundSolver solver(accel::nangate45());
+    std::vector<dnn::MacCensus> census{{10, 7}, {4, 3}};
+    // units = 3: ceil(10/3)=4 passes * 7 + ceil(4/3)=2 * 3 = 34
+    // steps * 2 ns.
+    EXPECT_NEAR(solver.sharedPoolLatency(census, 3).inNanoseconds(),
+                68.0, 1e-9);
+}
+
+TEST(PaperEquationsTest, Eq12_UnitCapAtMaxMacOp)
+{
+    // #MAC_hw <= max_i(#MAC_op): the solver never returns more.
+    accel::LowerBoundSolver solver(accel::nangate45());
+    std::vector<dnn::MacCensus> census{{10, 7}, {4, 3}};
+    auto bound =
+        solver.solveSharedPool(census, Time::nanoseconds(100.0));
+    ASSERT_TRUE(bound.feasible);
+    EXPECT_LE(bound.macUnits, 10u);
+}
+
+TEST(PaperEquationsTest, Eq13_PowerLowerBound)
+{
+    // Pcomp = #MAC_hw * P_MAC.
+    accel::LowerBoundSolver solver(accel::nangate45());
+    std::vector<dnn::MacCensus> census{{64, 100}};
+    auto bound = solver.solveSharedPool(census, Time::microseconds(10.0));
+    ASSERT_TRUE(bound.feasible);
+    EXPECT_NEAR(bound.power.inWatts(),
+                static_cast<double>(bound.macUnits) * 0.05e-3, 1e-15);
+}
+
+TEST(PaperEquationsTest, Eq14_15_PipelinedDiscipline)
+{
+    // Pipelined: max_i(t_i) <= t with per-layer units, total = sum.
+    accel::LowerBoundSolver solver(accel::nangate45());
+    std::vector<dnn::MacCensus> census{{8, 4}, {2, 10}};
+    auto bound = solver.solvePipelined(census, Time::nanoseconds(40.0));
+    ASSERT_TRUE(bound.feasible);
+    EXPECT_EQ(bound.macUnits,
+              bound.perLayerUnits[0] + bound.perLayerUnits[1]);
+    EXPECT_LE(bound.latency, Time::nanoseconds(40.0));
+    // Eq. 15 cap: no layer gets more units than its #MAC_op.
+    EXPECT_LE(bound.perLayerUnits[0], 8u);
+    EXPECT_LE(bound.perLayerUnits[1], 2u);
+}
+
+TEST(PaperEquationsTest, Sec53_MacParameters)
+{
+    // "tMAC = 2 ns and PMAC = 0.05 mW" (45 nm); "tMAC = 1 ns and
+    // PMAC = 0.026 mW" (12 nm).
+    EXPECT_DOUBLE_EQ(accel::nangate45().macTime.inNanoseconds(), 2.0);
+    EXPECT_DOUBLE_EQ(accel::nangate45().macPower.inMilliwatts(), 0.05);
+    EXPECT_DOUBLE_EQ(accel::scaled12nm().macTime.inNanoseconds(), 1.0);
+    EXPECT_DOUBLE_EQ(accel::scaled12nm().macPower.inMilliwatts(), 0.026);
+}
+
+TEST(PaperEquationsTest, Sec52_QamNominalParameters)
+{
+    // "BER = 1e-6, path loss = 60 dB, and margin = 20 dB".
+    QamStudyConfig config;
+    EXPECT_DOUBLE_EQ(config.targetBer, 1e-6);
+    EXPECT_DOUBLE_EQ(config.link.pathLossDb, 60.0);
+    EXPECT_DOUBLE_EQ(config.link.marginDb, 20.0);
+}
+
+TEST(PaperEquationsTest, Sec32_SafetyConstants)
+{
+    // "a power density of 40 mW/cm^2 is considered the upper limit"
+    // and "an increase ... of up to 1-2 degC ... may be the upper
+    // limit of safety".
+    thermal::SafetyLimits limits;
+    EXPECT_DOUBLE_EQ(
+        limits.maxPowerDensity.inMilliwattsPerSquareCentimetre(), 40.0);
+    EXPECT_DOUBLE_EQ(limits.maxTemperatureRise.inCelsius(), 2.0);
+}
+
+} // namespace
+} // namespace mindful::core

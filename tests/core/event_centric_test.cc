@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Event-centric (spike-streaming) dataflow tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/comm_centric.hh"
+#include "core/event_centric.hh"
+#include "core/soc_catalog.hh"
+
+namespace mindful::core {
+namespace {
+
+EventCentricModel
+makeModel(int soc_id, EventStreamConfig config = {})
+{
+    return EventCentricModel(ImplantModel(socById(soc_id)), config);
+}
+
+TEST(EventCentricTest, BitsPerEventComposition)
+{
+    auto model = makeModel(1); // d = 10 bits, snippet 16 samples
+    // 1024 channels: 11 id bits (1025 values) + 16 ts + 160 snippet.
+    EXPECT_EQ(model.bitsPerEvent(1024), 11u + 16u + 160u);
+    // 8192 channels: 14 id bits.
+    EXPECT_EQ(model.bitsPerEvent(8192), 14u + 16u + 160u);
+}
+
+TEST(EventCentricTest, EventOnlyModeDropsSnippetBits)
+{
+    EventStreamConfig config;
+    config.snippetSamples = 0;
+    auto model = makeModel(1, config);
+    EXPECT_EQ(model.bitsPerEvent(1024), 11u + 16u);
+}
+
+TEST(EventCentricTest, UplinkCollapsesVsRawStreaming)
+{
+    // The architecture's reason to exist: at 20 Hz spiking, the event
+    // uplink is orders of magnitude below the raw rate.
+    auto point = makeModel(1).evaluate(4096);
+    EXPECT_LT(point.dataRate.inBitsPerSecond(),
+              point.rawDataRate.inBitsPerSecond() / 10.0);
+    EXPECT_NEAR(point.eventRate, 4096.0 * 20.0, 1e-9);
+}
+
+TEST(EventCentricTest, DetectionPowerIsLinearAndSmall)
+{
+    auto model = makeModel(1);
+    auto a = model.evaluate(1024);
+    auto b = model.evaluate(2048);
+    EXPECT_NEAR(b.detectionPower.inWatts(),
+                2.0 * a.detectionPower.inWatts(), 1e-15);
+    // 3 ops x 8 kHz x 1024 ch x 0.1 pJ ~ 2.5 uW: negligible.
+    EXPECT_LT(a.detectionPower.inMilliwatts(), 0.1);
+}
+
+TEST(EventCentricTest, PowerComponentsSumToTotal)
+{
+    auto point = makeModel(3).evaluate(2048);
+    EXPECT_NEAR((point.sensingPower + point.detectionPower +
+                 point.commPower + point.digitalPower)
+                    .inWatts(),
+                point.totalPower.inWatts(), 1e-15);
+}
+
+TEST(EventCentricTest, OutscalesHighMarginStreamingEverywhere)
+{
+    // Replacing the raw uplink with events must never be worse than
+    // high-margin raw streaming at the same channel count.
+    for (const auto &soc : wirelessSocs()) {
+        ImplantModel implant(soc);
+        EventCentricModel events(implant);
+        CommCentricModel raw(implant, CommScalingStrategy::HighMargin);
+        for (std::uint64_t n : {2048u, 8192u}) {
+            EXPECT_LT(events.evaluate(n).totalPower.inWatts(),
+                      raw.project(n).totalPower.inWatts())
+                << soc.name << " n=" << n;
+        }
+    }
+}
+
+TEST(EventCentricTest, SensingBecomesTheWall)
+{
+    // With the uplink solved, the residual constraint is sensing
+    // power density: BISC's per-channel sensing sits under its
+    // per-channel budget, so event streaming never crosses the cap...
+    auto bisc = makeModel(1);
+    EXPECT_EQ(bisc.maxSafeChannels(32768), 32768u);
+    // ...while Neuralink's sensing slope exceeds its budget slope, so
+    // even event streaming hits a ceiling.
+    auto neuralink = makeModel(3);
+    auto ceiling = neuralink.maxSafeChannels(32768);
+    EXPECT_GT(ceiling, 1024u);
+    EXPECT_LT(ceiling, 32768u);
+    EXPECT_FALSE(neuralink.evaluate(ceiling + 64).safe());
+}
+
+TEST(EventCentricTest, BurstyActivityRaisesCommPower)
+{
+    EventStreamConfig bursty;
+    bursty.meanSpikeRateHz = 200.0;
+    auto calm = makeModel(1).evaluate(4096);
+    auto storm = makeModel(1, bursty).evaluate(4096);
+    EXPECT_NEAR(storm.commPower.inWatts(), 10.0 * calm.commPower.inWatts(),
+                calm.commPower.inWatts() * 1e-6);
+}
+
+TEST(EventCentricDeathTest, InvalidConfigPanics)
+{
+    EventStreamConfig bad;
+    bad.meanSpikeRateHz = 0.0;
+    EXPECT_DEATH(makeModel(1, bad), "spike rate");
+}
+
+} // namespace
+} // namespace mindful::core

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Experiment-runner tests: every table/figure generator produces
+ * complete, well-formed output (the bench binaries print these).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiments.hh"
+
+namespace mindful::core::experiments {
+namespace {
+
+std::string
+render(const Table &table)
+{
+    std::ostringstream os;
+    table.print(os);
+    return os.str();
+}
+
+TEST(ExperimentsTest, Table1HasElevenRows)
+{
+    Table table = table1();
+    EXPECT_EQ(table.rows(), 11u);
+    std::string out = render(table);
+    for (const char *name : {"BISC", "Neuralink", "WIMAGINE", "HALO*",
+                             "Neuropixels", "Jang", "Pollman"})
+        EXPECT_NE(out.find(name), std::string::npos) << name;
+}
+
+TEST(ExperimentsTest, Fig4AllRowsSafe)
+{
+    auto rows = fig4Rows();
+    ASSERT_EQ(rows.size(), 11u);
+    for (const auto &row : rows) {
+        EXPECT_TRUE(row.safe) << row.point.name;
+        EXPECT_EQ(row.point.channels, 1024u);
+    }
+    EXPECT_EQ(fig4Table().rows(), 11u);
+}
+
+TEST(ExperimentsTest, Fig5SweepCoversAllWirelessSocs)
+{
+    auto series = commCentricSweep(CommScalingStrategy::HighMargin,
+                                   fig5Channels());
+    ASSERT_EQ(series.size(), 8u);
+    for (const auto &entry : series) {
+        EXPECT_EQ(entry.points.size(), fig5Channels().size());
+        EXPECT_EQ(entry.strategy, CommScalingStrategy::HighMargin);
+    }
+    EXPECT_EQ(fig5Table(CommScalingStrategy::Naive).rows(), 8u);
+    EXPECT_EQ(fig5Table(CommScalingStrategy::HighMargin).rows(), 8u);
+}
+
+TEST(ExperimentsTest, Fig6TableShape)
+{
+    Table table = fig6Table(CommScalingStrategy::HighMargin);
+    EXPECT_EQ(table.rows(), 8u);
+    EXPECT_EQ(table.columns(), 2u + fig6Channels().size());
+}
+
+TEST(ExperimentsTest, Fig7SweepAndTable)
+{
+    auto channels = fig7Channels();
+    EXPECT_EQ(channels.front(), 1024u);
+    EXPECT_EQ(channels.back(), 6144u);
+    auto series = qamSweep(channels, {});
+    ASSERT_EQ(series.size(), 8u);
+    EXPECT_EQ(series[0].points.size(), channels.size());
+    EXPECT_EQ(fig7Table().rows(), channels.size());
+}
+
+TEST(ExperimentsTest, Fig9TwelveDesigns)
+{
+    auto rows = fig9Rows();
+    ASSERT_EQ(rows.size(), 12u);
+    EXPECT_EQ(rows.front().design, 1);
+    EXPECT_EQ(rows.back().design, 12);
+    EXPECT_EQ(fig9Table().rows(), 12u);
+}
+
+TEST(ExperimentsTest, Fig10SweepBothModels)
+{
+    for (auto model : {SpeechModel::Mlp, SpeechModel::DnCnn}) {
+        auto series = dnnPowerSweep(model, {1024, 2048});
+        ASSERT_EQ(series.size(), 8u);
+        for (const auto &entry : series) {
+            EXPECT_EQ(entry.points.size(), 2u);
+            EXPECT_EQ(entry.model, model);
+        }
+    }
+    EXPECT_EQ(fig10Table(SpeechModel::Mlp).rows(), 8u);
+}
+
+TEST(ExperimentsTest, Fig11RowsPerSocAndModel)
+{
+    auto rows = partitionGains(SpeechModel::Mlp);
+    ASSERT_EQ(rows.size(), 8u);
+    Table table = fig11Table();
+    EXPECT_EQ(table.rows(), 16u); // 8 SoCs x 2 models
+}
+
+TEST(ExperimentsTest, Fig12TablePerSoc)
+{
+    Table table = fig12Table(1);
+    EXPECT_EQ(table.rows(), fig12Channels().size());
+    EXPECT_EQ(table.columns(), 5u);
+}
+
+TEST(ExperimentsTest, ModelNamesRender)
+{
+    EXPECT_EQ(toString(SpeechModel::Mlp), "MLP");
+    EXPECT_EQ(toString(SpeechModel::DnCnn), "DN-CNN");
+}
+
+TEST(ExperimentsTest, BuilderProducesScaledModels)
+{
+    auto builder = speechModelBuilder(SpeechModel::Mlp);
+    EXPECT_GT(builder(2048).totalMacs(), builder(1024).totalMacs());
+}
+
+TEST(ExperimentsTest, CsvRenderingWorksForAllTables)
+{
+    for (const Table &table :
+         {table1(), fig4Table(), fig7Table(), fig9Table()}) {
+        std::ostringstream os;
+        table.printCsv(os);
+        EXPECT_GT(os.str().size(), 100u);
+    }
+}
+
+} // namespace
+} // namespace mindful::core::experiments

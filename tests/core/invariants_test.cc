@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Framework-wide property tests: invariants that must hold for every
+ * (SoC, channel count) combination, swept with TEST_P across the full
+ * wireless catalog. These are the guardrails that keep the analytical
+ * machinery self-consistent as constants get recalibrated.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/comm_centric.hh"
+#include "core/comp_centric.hh"
+#include "core/experiments.hh"
+#include "core/qam_study.hh"
+#include "core/soc_catalog.hh"
+
+namespace mindful::core {
+namespace {
+
+class SocChannelSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>>
+{
+  protected:
+    int socId() const { return std::get<0>(GetParam()); }
+    std::uint64_t channels() const { return std::get<1>(GetParam()); }
+    ImplantModel implant() const { return ImplantModel(socById(socId())); }
+};
+
+TEST_P(SocChannelSweep, DecompositionIdentitiesHold)
+{
+    ImplantModel model = implant();
+    std::uint64_t n = channels();
+
+    // Eq. 2: components sum to totals under both strategies.
+    for (auto strategy : {CommScalingStrategy::Naive,
+                          CommScalingStrategy::HighMargin}) {
+        auto point = CommCentricModel(model, strategy).project(n);
+        EXPECT_NEAR((point.sensingPower + point.nonSensingPower).inWatts(),
+                    point.totalPower.inWatts(), 1e-15);
+        EXPECT_NEAR(
+            (point.sensingArea + point.nonSensingArea).inSquareMetres(),
+            point.totalArea.inSquareMetres(), 1e-18);
+        // Eq. 3: the budget is exactly density cap x area.
+        EXPECT_NEAR(point.powerBudget.inWatts(),
+                    model.powerBudget(point.totalArea).inWatts(), 1e-15);
+        // Fractions and utilizations are well-formed.
+        EXPECT_GT(point.sensingAreaFraction, 0.0);
+        EXPECT_LT(point.sensingAreaFraction, 1.0);
+        EXPECT_GT(point.budgetUtilization, 0.0);
+    }
+}
+
+TEST_P(SocChannelSweep, SensingScalingIsExactlyLinear)
+{
+    ImplantModel model = implant();
+    std::uint64_t n = channels();
+    double ratio = static_cast<double>(n) / 1024.0;
+    EXPECT_NEAR(model.sensingPower(n).inWatts(),
+                model.referenceSensingPower().inWatts() * ratio, 1e-15);
+    EXPECT_NEAR(model.sensingArea(n).inSquareMetres(),
+                model.referenceSensingArea().inSquareMetres() * ratio,
+                1e-18);
+    EXPECT_NEAR(model.sensingThroughput(n).inBitsPerSecond(),
+                model.referenceDataRate().inBitsPerSecond() * ratio,
+                1e-3);
+}
+
+TEST_P(SocChannelSweep, HighMarginDominatesNaivePowerBeyondReference)
+{
+    // Above 1024 channels the naive design duplicates non-sensing
+    // blocks, so it always burns at least as much power (and area)
+    // as the high-margin design.
+    if (channels() < 1024)
+        return;
+    ImplantModel model = implant();
+    auto naive =
+        CommCentricModel(model, CommScalingStrategy::Naive)
+            .project(channels());
+    auto margin =
+        CommCentricModel(model, CommScalingStrategy::HighMargin)
+            .project(channels());
+    EXPECT_GE(naive.totalPower.inWatts(),
+              margin.totalPower.inWatts() - 1e-15);
+    EXPECT_GE(naive.totalArea.inSquareMetres(),
+              margin.totalArea.inSquareMetres() - 1e-18);
+}
+
+TEST_P(SocChannelSweep, QamPointIsInternallyConsistent)
+{
+    QamStudy study(implant());
+    auto point = study.evaluate(channels());
+    // Required bits per symbol covers the data rate within the frozen
+    // symbol budget.
+    double symbol_rate = study.transceiver().symbolRate().inHertz();
+    EXPECT_GE(static_cast<double>(point.bitsPerSymbol) * symbol_rate,
+              point.dataRate.inBitsPerSecond() - 1e-3);
+    if (point.bitsPerSymbol > 1) {
+        EXPECT_LT(
+            static_cast<double>(point.bitsPerSymbol - 1) * symbol_rate,
+            point.dataRate.inBitsPerSecond());
+    }
+    // eta = ideal / allowance whenever the allowance is positive.
+    if (point.commAllowance.inWatts() > 0.0) {
+        EXPECT_NEAR(point.minimumEfficiency,
+                    point.idealTxPower / point.commAllowance, 1e-12);
+    }
+}
+
+TEST_P(SocChannelSweep, CompCentricFeasibilityMonotoneInDropout)
+{
+    // If the design fits with n' active channels it must also fit
+    // with fewer — the premise the ChDr binary search rests on.
+    CompCentricModel model(
+        implant(), experiments::speechModelBuilder(
+                       experiments::SpeechModel::Mlp));
+    std::uint64_t n = channels();
+    auto best = model.maxActiveChannels(n);
+    if (best == 0)
+        return;
+    for (double fraction : {0.75, 0.5, 0.25}) {
+        auto active = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   static_cast<double>(best) * fraction));
+        EXPECT_TRUE(model.evaluate(n, active).feasible)
+            << "active=" << active << " best=" << best;
+    }
+}
+
+TEST_P(SocChannelSweep, CompCentricPowerMonotoneInActiveChannels)
+{
+    CompCentricModel model(
+        implant(), experiments::speechModelBuilder(
+                       experiments::SpeechModel::Mlp));
+    std::uint64_t n = channels();
+    double previous = 0.0;
+    for (double fraction : {0.25, 0.5, 1.0}) {
+        auto active = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   static_cast<double>(n) * fraction));
+        double power =
+            model.evaluate(n, active).computePower.inWatts();
+        EXPECT_GE(power, previous - 1e-15);
+        previous = power;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWirelessSocs, SocChannelSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                       ::testing::Values(std::uint64_t{1024},
+                                         std::uint64_t{2048},
+                                         std::uint64_t{4096})),
+    [](const auto &info) {
+        return "soc" + std::to_string(std::get<0>(info.param)) + "_n" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace mindful::core

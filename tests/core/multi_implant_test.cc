@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Multi-implant study tests (SCALO-style scaling extension).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/comm_centric.hh"
+#include "core/multi_implant.hh"
+#include "core/soc_catalog.hh"
+
+namespace mindful::core {
+namespace {
+
+MultiImplantStudy
+makeStudy(int soc_id)
+{
+    return MultiImplantStudy(ImplantModel(socById(soc_id)));
+}
+
+TEST(MultiImplantTest, SingleImplantMatchesHighMarginModel)
+{
+    // count == 1 degenerates to the high-margin comm-centric model.
+    ImplantModel implant(socById(1));
+    MultiImplantStudy study(implant);
+    CommCentricModel margin(implant, CommScalingStrategy::HighMargin);
+
+    for (std::uint64_t n : {1024u, 2048u, 4096u}) {
+        auto multi = study.evaluate(n, 1);
+        auto single = margin.project(n);
+        EXPECT_NEAR(multi.perImplantPower.inWatts(),
+                    single.totalPower.inWatts(), 1e-15)
+            << "n=" << n;
+        EXPECT_NEAR(multi.perImplantBudget.inWatts(),
+                    single.powerBudget.inWatts(), 1e-15);
+    }
+}
+
+TEST(MultiImplantTest, ChannelsSplitAcrossImplants)
+{
+    auto point = makeStudy(1).evaluate(8192, 4);
+    EXPECT_EQ(point.channelsPerImplant, 2048u);
+    EXPECT_EQ(point.implants, 4u);
+    // Aggregate rate covers all channels.
+    ImplantModel implant(socById(1));
+    EXPECT_NEAR(point.aggregateRate.inBitsPerSecond(),
+                implant.sensingThroughput(8192).inBitsPerSecond(), 1e-3);
+}
+
+TEST(MultiImplantTest, SplittingRestoresFeasibility)
+{
+    // BISC cannot stream 8192 channels from one implant (Fig. 5) but
+    // can from several — SCALO's premise.
+    auto study = makeStudy(1);
+    EXPECT_FALSE(study.evaluate(8192, 1).feasible);
+    auto minimum = study.minimumImplants(8192);
+    ASSERT_GT(minimum, 1u);
+    EXPECT_TRUE(study.evaluate(8192, minimum).feasible);
+    EXPECT_FALSE(study.evaluate(8192, minimum - 1).feasible);
+}
+
+TEST(MultiImplantTest, ReplicationCostsTotalPowerAndArea)
+{
+    // More implants than necessary: total power and area only grow
+    // (replicated non-sensing blocks + comm overhead).
+    auto study = makeStudy(1);
+    auto two = study.evaluate(4096, 2);
+    auto eight = study.evaluate(4096, 8);
+    EXPECT_GT(eight.totalPower.inWatts(), two.totalPower.inWatts());
+    EXPECT_GT(eight.totalArea.inSquareMetres(),
+              two.totalArea.inSquareMetres());
+    EXPECT_LT(eight.sensingAreaFraction, two.sensingAreaFraction);
+}
+
+TEST(MultiImplantTest, BestCountIsTheFewestFeasible)
+{
+    // Total power rises with count, so the cheapest feasible count is
+    // the minimum feasible count.
+    auto study = makeStudy(1);
+    for (std::uint64_t n : {4096u, 8192u, 16384u}) {
+        auto minimum = study.minimumImplants(n);
+        if (minimum == 0)
+            continue;
+        EXPECT_EQ(study.bestImplantCount(n), minimum) << "n=" << n;
+    }
+}
+
+TEST(MultiImplantTest, CommOverheadPenalizesSharing)
+{
+    MultiImplantConfig pricey;
+    pricey.commOverheadPerExtraImplant = 0.5;
+    MultiImplantStudy cheap(ImplantModel(socById(1)), {});
+    MultiImplantStudy costly(ImplantModel(socById(1)), pricey);
+    auto a = cheap.evaluate(8192, 4);
+    auto b = costly.evaluate(8192, 4);
+    EXPECT_GT(b.totalPower.inWatts(), a.totalPower.inWatts());
+    // At zero overhead the per-implant point is count-independent.
+    auto c = cheap.evaluate(8192, 8);
+    EXPECT_GT(c.perImplantUtilization, 0.0);
+}
+
+TEST(MultiImplantTest, SweepCoversAllCounts)
+{
+    auto sweep = makeStudy(3).sweep(4096, 6);
+    ASSERT_EQ(sweep.size(), 6u);
+    for (std::uint32_t i = 0; i < 6; ++i)
+        EXPECT_EQ(sweep[i].implants, i + 1);
+}
+
+TEST(MultiImplantTest, UnreachableScaleReportsZero)
+{
+    // Even many implants cannot make an over-dense design feasible if
+    // per-implant utilization exceeds 1 at every split. Gilhotra at
+    // extreme totals with few implants allowed:
+    auto study = makeStudy(2);
+    auto minimum = study.minimumImplants(1u << 22, 2);
+    EXPECT_EQ(minimum, 0u);
+}
+
+TEST(MultiImplantDeathTest, InvalidArgumentsPanic)
+{
+    auto study = makeStudy(1);
+    EXPECT_DEATH(study.evaluate(0, 1), "positive");
+    EXPECT_DEATH(study.evaluate(1024, 0), "at least one implant");
+}
+
+} // namespace
+} // namespace mindful::core

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Opaque-workload and Kalman-decoder workload tests (the extension
+ * comparing traditional algorithms against the Fig. 10 DNNs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/comp_centric.hh"
+#include "core/soc_catalog.hh"
+#include "core/workloads.hh"
+#include "dnn/models.hh"
+#include "dnn/opaque.hh"
+
+namespace mindful::core {
+namespace {
+
+TEST(OpaqueLayerTest, DeclaredCensusAndShapes)
+{
+    dnn::OpaqueMacLayer layer("stage", 16, 4, {8, 32}, 100);
+    EXPECT_EQ(layer.outputShape({16}), (dnn::Shape{4}));
+    EXPECT_EQ(layer.outputShape({4, 4}), (dnn::Shape{4}));
+    auto census = layer.census({16});
+    EXPECT_EQ(census.macOp, 8u);
+    EXPECT_EQ(census.macSeq, 32u);
+    EXPECT_EQ(layer.weightCount(), 100u);
+}
+
+TEST(OpaqueLayerDeathTest, ForwardIsAnalysisOnly)
+{
+    dnn::OpaqueMacLayer layer("stage", 4, 2, {2, 2});
+    dnn::Tensor x(dnn::Shape{4});
+    EXPECT_EXIT(layer.forward(x), ::testing::ExitedWithCode(1),
+                "analysis-only");
+}
+
+TEST(OpaqueLayerDeathTest, ShapeMismatchPanics)
+{
+    dnn::OpaqueMacLayer layer("stage", 4, 2, {2, 2});
+    EXPECT_DEATH(layer.outputShape({5}), "expects 4 inputs");
+}
+
+TEST(KalmanWorkloadTest, StructureAndOutput)
+{
+    auto net = buildKalmanWorkload(256);
+    EXPECT_EQ(net.inputShape(), (dnn::Shape{256}));
+    // Output is the decoded state vector.
+    EXPECT_EQ(dnn::elementCount(net.outputShape()),
+              KalmanWorkloadSpec{}.stateDim);
+    EXPECT_GT(net.layerCount(), 8u);
+}
+
+TEST(KalmanWorkloadTest, MacCountMatchesClosedForm)
+{
+    // Total = 2 m^2 n + 2 m n^2 + n^3/3 + n^2 m + nm + mn + 3 m^3
+    //         + m^2 (predict) — verify against the closed form for a
+    //         couple of (m, n) pairs.
+    for (std::uint64_t n : {64u, 256u}) {
+        KalmanWorkloadSpec spec;
+        const std::uint64_t m = spec.stateDim;
+        std::uint64_t expected =
+            m * m              // A x
+            + 2 * m * m * m    // A P A^T
+            + n * m            // H x-
+            + n * m * m        // H P-
+            + n * m * n        // (H P-) H^T
+            + n * n * (n / 3)  // invert S
+            + m * m * n        // P- H^T
+            + m * n * n        // (P- H^T) S^-1
+            + m * n            // x update
+            + m * n * m        // K H
+            + m * m * m;       // (I - KH) P-
+        EXPECT_EQ(kalmanIterationMacs(n, spec), expected) << "n=" << n;
+    }
+}
+
+TEST(KalmanWorkloadTest, CubicScalingInChannels)
+{
+    double at_1k = static_cast<double>(kalmanIterationMacs(1024));
+    double at_4k = static_cast<double>(kalmanIterationMacs(4096));
+    // 4x the channels: cost grows ~64x (dominated by n^3).
+    EXPECT_GT(at_4k / at_1k, 40.0);
+    EXPECT_LT(at_4k / at_1k, 70.0);
+}
+
+TEST(KalmanWorkloadTest, WeightsIncludeModelMatrices)
+{
+    KalmanWorkloadSpec spec;
+    auto net = buildKalmanWorkload(512, spec);
+    // At least A, Q (m^2 each) and H (n m).
+    EXPECT_GE(net.totalWeights(),
+              2 * spec.stateDim * spec.stateDim + 512 * spec.stateDim);
+}
+
+TEST(KalmanWorkloadTest, FeasibleOnBiscAtStandardScale)
+{
+    // One iteration per 50 ms bin: generous deadline, modest power.
+    CompCentricConfig config;
+    config.applicationRate = Frequency::hertz(20.0);
+    CompCentricModel model(
+        ImplantModel(socById(1)),
+        [](std::uint64_t n) { return buildKalmanWorkload(n); }, config);
+
+    auto point = model.evaluate(1024);
+    EXPECT_TRUE(point.feasible);
+    EXPECT_EQ(point.transmittedElements, KalmanWorkloadSpec{}.stateDim);
+    // Far cheaper than the MLP at the same channel count.
+    CompCentricModel mlp(ImplantModel(socById(1)),
+                         [](std::uint64_t n) {
+                             return dnn::buildSpeechMlp(n);
+                         });
+    EXPECT_LT(point.computePower.inWatts(),
+              mlp.evaluate(1024).computePower.inWatts());
+}
+
+TEST(KalmanWorkloadTest, CubicCostEventuallyBindsHarderThanMlp)
+{
+    // The MAC-cost ratio Kalman/MLP grows with n (O(n^3) vs ~O(n^2)).
+    double ratio_1k =
+        static_cast<double>(kalmanIterationMacs(1024)) /
+        static_cast<double>(dnn::buildSpeechMlp(1024).totalMacs());
+    double ratio_8k =
+        static_cast<double>(kalmanIterationMacs(8192)) /
+        static_cast<double>(dnn::buildSpeechMlp(8192).totalMacs());
+    EXPECT_GT(ratio_8k, 4.0 * ratio_1k);
+}
+
+TEST(KalmanWorkloadTest, MaxChannelsFiniteDespiteGenerousDeadline)
+{
+    CompCentricConfig config;
+    config.applicationRate = Frequency::hertz(20.0);
+    CompCentricModel model(
+        ImplantModel(socById(3)),
+        [](std::uint64_t n) { return buildKalmanWorkload(n); }, config);
+    auto max_n = model.maxChannels();
+    EXPECT_GT(max_n, 1024u);
+    EXPECT_LT(max_n, 8192u); // the n^3 wall
+}
+
+} // namespace
+} // namespace mindful::core

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Reference speech-model tests: structure at the published operating
+ * point, the alpha scaling law of Sec. 5.3, and the properties the
+ * paper's studies rely on (super-linear compute growth, fixed output
+ * size, DN-CNN's lack of narrow cuts).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/models.hh"
+
+namespace mindful::dnn {
+namespace {
+
+TEST(ScalingAlphaTest, RatioToBaseChannels)
+{
+    EXPECT_DOUBLE_EQ(scalingAlpha(128, 128), 1.0);
+    EXPECT_DOUBLE_EQ(scalingAlpha(1024, 128), 8.0);
+    EXPECT_DOUBLE_EQ(scalingAlpha(64, 128), 0.5);
+}
+
+TEST(ExtraDepthTest, LogarithmicGrowth)
+{
+    EXPECT_EQ(extraDepth(0.5), 0u);
+    EXPECT_EQ(extraDepth(1.0), 0u);
+    EXPECT_EQ(extraDepth(2.0), 1u);
+    EXPECT_EQ(extraDepth(8.0), 3u);
+    EXPECT_EQ(extraDepth(16.0), 4u);
+}
+
+TEST(ScaledWidthTest, ScalesAndClamps)
+{
+    EXPECT_EQ(scaledWidth(256, 2.0), 512u);
+    EXPECT_EQ(scaledWidth(256, 0.5), 128u);
+    EXPECT_EQ(scaledWidth(3, 0.01), 1u);
+}
+
+TEST(SpeechMlpTest, BaseOperatingPoint)
+{
+    Network mlp = buildSpeechMlp(128);
+    EXPECT_EQ(mlp.inputShape(),
+              (Shape{128u * MlpSpec{}.windowSamples}));
+    EXPECT_EQ(mlp.outputShape(), (Shape{40})); // 40 speech labels
+    EXPECT_GT(mlp.totalMacs(), 100000u); // non-trivial model
+}
+
+TEST(SpeechMlpTest, OutputSizeIndependentOfChannels)
+{
+    // Sec. 5.3: classification output is a fixed label vector.
+    for (std::uint64_t n : {128u, 512u, 1024u, 4096u})
+        EXPECT_EQ(buildSpeechMlp(n).outputShape(), (Shape{40}));
+}
+
+TEST(SpeechMlpTest, ComputeGrowsSuperLinearly)
+{
+    // The curse of dimensionality: 8x the channels must cost much
+    // more than 8x the MACs.
+    double base = static_cast<double>(buildSpeechMlp(128).totalMacs());
+    double scaled = static_cast<double>(buildSpeechMlp(1024).totalMacs());
+    EXPECT_GT(scaled / base, 20.0);
+}
+
+TEST(SpeechMlpTest, DepthGrowsWithAlpha)
+{
+    EXPECT_GT(buildSpeechMlp(2048).layerCount(),
+              buildSpeechMlp(128).layerCount());
+}
+
+TEST(SpeechMlpTest, HasLatentBottleneckCut)
+{
+    // The Sec. 6.1 partition point: some intermediate layer output
+    // is <= 1024 elements even for large n, with MACs behind it.
+    Network mlp = buildSpeechMlp(2048);
+    bool found = false;
+    for (std::size_t i = 0; i + 1 < mlp.layerCount() && !found; ++i) {
+        if (mlp.outputElements(i) <= 1024) {
+            auto census = mlp.census();
+            std::uint64_t behind = 0;
+            for (std::size_t j = i + 1; j < mlp.layerCount(); ++j)
+                behind += census[j].totalMacs();
+            found = behind > 0;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(SpeechMlpTest, ForwardExecutesAtBaseScale)
+{
+    Network mlp = buildSpeechMlp(128);
+    Rng rng(7);
+    mlp.initializeWeights(rng);
+    Tensor x(mlp.inputShape());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = 0.01f * static_cast<float>(i % 100);
+    Tensor y = mlp.forward(x);
+    ASSERT_EQ(y.size(), 40u);
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < y.size(); ++i)
+        sum += y[i];
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+}
+
+TEST(SpeechDnCnnTest, BaseOperatingPoint)
+{
+    Network cnn = buildSpeechDnCnn(128);
+    EXPECT_EQ(cnn.inputShape(),
+              (Shape{1, 128, DnCnnSpec{}.windowSamples}));
+    EXPECT_EQ(cnn.outputShape(), (Shape{40}));
+}
+
+TEST(SpeechDnCnnTest, MoreExpensiveThanMlpAtScale)
+{
+    // Fig. 10: the DN-CNN hits the budget earlier than the MLP.
+    EXPECT_GT(buildSpeechDnCnn(1024).totalMacs(),
+              buildSpeechMlp(1024).totalMacs());
+}
+
+TEST(SpeechDnCnnTest, ComputeGrowsSuperLinearly)
+{
+    double base = static_cast<double>(buildSpeechDnCnn(128).totalMacs());
+    double scaled =
+        static_cast<double>(buildSpeechDnCnn(1024).totalMacs());
+    EXPECT_GT(scaled / base, 12.0);
+}
+
+TEST(SpeechDnCnnTest, NoNarrowCutBeforeTheClassifier)
+{
+    // Fig. 11: every intermediate feature map is wider than 1024
+    // values until the global pool right before the classifier —
+    // partitioning cannot help this model.
+    Network cnn = buildSpeechDnCnn(2048);
+    auto census = cnn.census();
+    for (std::size_t i = 0; i + 1 < cnn.layerCount(); ++i) {
+        if (cnn.outputElements(i) > 1024)
+            continue;
+        // A narrow point: almost no MACs may remain behind it.
+        std::uint64_t behind = 0;
+        for (std::size_t j = i + 1; j < cnn.layerCount(); ++j)
+            behind += census[j].totalMacs();
+        EXPECT_LT(static_cast<double>(behind),
+                  0.01 * static_cast<double>(cnn.totalMacs()));
+    }
+}
+
+TEST(SpeechDnCnnTest, ForwardExecutesAtBaseScale)
+{
+    Network cnn = buildSpeechDnCnn(128);
+    Rng rng(9);
+    cnn.initializeWeights(rng);
+    Tensor x(cnn.inputShape());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = 0.001f * static_cast<float>(i % 97);
+    Tensor y = cnn.forward(x);
+    ASSERT_EQ(y.size(), 40u);
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < y.size(); ++i)
+        sum += y[i];
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+}
+
+TEST(SpeechDnCnnTest, SpatialCapBoundsFeatureHeight)
+{
+    // The stem pool caps the channel-axis extent near spatialCap so
+    // conv cost scales through growth/depth, not raw map height.
+    Network cnn = buildSpeechDnCnn(4096);
+    bool found_capped = false;
+    for (std::size_t i = 0; i < cnn.layerCount(); ++i) {
+        const Shape &s = cnn.shapeAfter(i);
+        if (s.size() == 3 && s[1] <= 160 && s[2] <= 16) {
+            found_capped = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(found_capped);
+}
+
+/** Property sweep: model invariants across channel counts. */
+class ModelScalingSweep
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ModelScalingSweep, MacsMonotoneInChannels)
+{
+    std::uint64_t n = GetParam();
+    EXPECT_GE(buildSpeechMlp(n + 256).totalMacs(),
+              buildSpeechMlp(n).totalMacs());
+    EXPECT_GE(buildSpeechDnCnn(n + 256).totalMacs(),
+              buildSpeechDnCnn(n).totalMacs());
+}
+
+TEST_P(ModelScalingSweep, WeightsMonotoneInChannels)
+{
+    std::uint64_t n = GetParam();
+    EXPECT_GE(buildSpeechMlp(n + 256).totalWeights(),
+              buildSpeechMlp(n).totalWeights());
+}
+
+TEST_P(ModelScalingSweep, CensusConsistentWithTotals)
+{
+    std::uint64_t n = GetParam();
+    Network mlp = buildSpeechMlp(n);
+    EXPECT_EQ(totalMacs(mlp.census()), mlp.totalMacs());
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, ModelScalingSweep,
+                         ::testing::Values(128u, 256u, 512u, 1024u,
+                                           2048u, 4096u));
+
+} // namespace
+} // namespace mindful::dnn

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tensor container tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/tensor.hh"
+
+namespace mindful::dnn {
+namespace {
+
+TEST(ShapeTest, ElementCountAndToString)
+{
+    EXPECT_EQ(elementCount({4, 3, 2}), 24u);
+    EXPECT_EQ(elementCount({7}), 7u);
+    EXPECT_EQ(elementCount({}), 0u);
+    EXPECT_EQ(toString({4, 3, 2}), "4x3x2");
+    EXPECT_EQ(toString({5}), "5");
+}
+
+TEST(TensorTest, ZeroInitialized)
+{
+    Tensor t(Shape{2, 3});
+    EXPECT_EQ(t.size(), 6u);
+    EXPECT_EQ(t.rank(), 2u);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_FLOAT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, ExplicitData)
+{
+    Tensor t(Shape{2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+    EXPECT_FLOAT_EQ(t.at(0, 1), 2.0f);
+    EXPECT_FLOAT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(TensorTest, ThreeDimensionalAccessRowMajor)
+{
+    Tensor t(Shape{2, 3, 4});
+    t.at(1, 2, 3) = 9.0f;
+    EXPECT_FLOAT_EQ(t[1 * 12 + 2 * 4 + 3], 9.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData)
+{
+    Tensor t(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+    t.reshape({6});
+    EXPECT_EQ(t.rank(), 1u);
+    EXPECT_FLOAT_EQ(t[4], 5.0f);
+}
+
+TEST(TensorTest, MaxAbsAndDiff)
+{
+    Tensor a(Shape{3}, {1.0f, -5.0f, 2.0f});
+    Tensor b(Shape{3}, {1.0f, -4.0f, 2.5f});
+    EXPECT_FLOAT_EQ(a.maxAbs(), 5.0f);
+    EXPECT_FLOAT_EQ(a.maxAbsDiff(b), 1.0f);
+}
+
+TEST(TensorTest, Argmax)
+{
+    Tensor t(Shape{4}, {0.1f, 0.7f, 0.15f, 0.05f});
+    EXPECT_EQ(t.argmax(), 1u);
+}
+
+TEST(TensorDeathTest, ShapeViolationsPanic)
+{
+    EXPECT_DEATH(Tensor(Shape{2, 0}), "positive");
+    EXPECT_DEATH(Tensor(Shape{2}, {1.0f}), "element count");
+    Tensor t(Shape{2, 2});
+    EXPECT_DEATH(t.reshape({3}), "preserve");
+    Tensor r1(Shape{4});
+    EXPECT_DEATH(r1.at(0, 0), "rank");
+}
+
+} // namespace
+} // namespace mindful::dnn

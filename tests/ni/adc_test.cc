@@ -1,0 +1,104 @@
+/**
+ * @file
+ * ADC quantizer tests, including a parameterized bitwidth sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ni/adc.hh"
+
+namespace mindful::ni {
+namespace {
+
+AdcModel
+makeAdc(unsigned bits)
+{
+    return AdcModel(bits, 1000.0, Frequency::kilohertz(8.0));
+}
+
+TEST(AdcTest, CodeRangeAndLsb)
+{
+    AdcModel adc = makeAdc(10);
+    EXPECT_EQ(adc.maxCode(), 1023u);
+    EXPECT_NEAR(adc.lsbMicrovolts(), 2000.0 / 1024.0, 1e-12);
+}
+
+TEST(AdcTest, MidScaleMapsToMidCode)
+{
+    AdcModel adc = makeAdc(10);
+    EXPECT_EQ(adc.quantize(0.0), 512u);
+}
+
+TEST(AdcTest, SaturatesAtRails)
+{
+    AdcModel adc = makeAdc(10);
+    EXPECT_EQ(adc.quantize(5000.0), 1023u);
+    EXPECT_EQ(adc.quantize(-5000.0), 0u);
+    EXPECT_EQ(adc.quantize(1000.0), 1023u);
+    EXPECT_EQ(adc.quantize(-1000.0), 0u);
+}
+
+TEST(AdcTest, MonotoneCodes)
+{
+    AdcModel adc = makeAdc(8);
+    std::uint32_t prev = 0;
+    for (double v = -1000.0; v <= 1000.0; v += 7.3) {
+        std::uint32_t code = adc.quantize(v);
+        EXPECT_GE(code, prev);
+        prev = code;
+    }
+}
+
+TEST(AdcTest, PerChannelRateIsBitsTimesSampling)
+{
+    AdcModel adc = makeAdc(10);
+    EXPECT_NEAR(adc.perChannelRate().inBitsPerSecond(), 80000.0, 1e-9);
+}
+
+TEST(AdcTest, BufferQuantization)
+{
+    AdcModel adc = makeAdc(10);
+    auto codes = adc.quantize(std::vector<double>{0.0, 500.0, -500.0});
+    ASSERT_EQ(codes.size(), 3u);
+    EXPECT_EQ(codes[0], 512u);
+    EXPECT_GT(codes[1], codes[0]);
+    EXPECT_LT(codes[2], codes[0]);
+}
+
+/** Property sweep: round-trip error is bounded by half an LSB. */
+class AdcRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(AdcRoundTrip, QuantizeDequantizeWithinHalfLsb)
+{
+    AdcModel adc = makeAdc(GetParam());
+    double half_lsb = adc.lsbMicrovolts() / 2.0;
+    for (double v = -999.0; v <= 999.0; v += 13.7) {
+        double reconstructed = adc.dequantize(adc.quantize(v));
+        EXPECT_NEAR(reconstructed, v, half_lsb + 1e-9)
+            << "bits=" << GetParam() << " v=" << v;
+    }
+}
+
+TEST_P(AdcRoundTrip, AllCodesReachable)
+{
+    AdcModel adc = makeAdc(GetParam());
+    // The dequantized centre of every code must map back to itself.
+    for (std::uint32_t code = 0; code <= adc.maxCode(); ++code)
+        EXPECT_EQ(adc.quantize(adc.dequantize(code)), code);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bitwidths, AdcRoundTrip,
+                         ::testing::Values(4u, 6u, 8u, 10u, 12u, 16u));
+
+TEST(AdcDeathTest, RejectsInvalidBitwidth)
+{
+    EXPECT_DEATH(AdcModel(0, 1000.0, Frequency::kilohertz(8.0)),
+                 "bitwidth");
+    EXPECT_DEATH(AdcModel(17, 1000.0, Frequency::kilohertz(8.0)),
+                 "bitwidth");
+}
+
+} // namespace
+} // namespace mindful::ni

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * AFE (NEF) power-model and SPAD-imager tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/stats.hh"
+#include "core/scaling.hh"
+#include "core/soc_catalog.hh"
+#include "ni/afe.hh"
+#include "ni/spad_imager.hh"
+
+namespace mindful::ni {
+namespace {
+
+TEST(AfeModelTest, ThermalVoltageAtBodyTemperature)
+{
+    AfeModel afe;
+    // kT/q at 310 K ~ 26.7 mV.
+    EXPECT_NEAR(afe.thermalVoltage(), 0.0267, 0.0005);
+}
+
+TEST(AfeModelTest, PerChannelPowerIsMicrowattScale)
+{
+    // NEF 4, 5 uV noise, 5 kHz bandwidth, 1 V: a few uW per channel —
+    // the regime published neural front-ends occupy.
+    AfeModel afe;
+    double uw = afe.perChannelPower().inMicrowatts();
+    EXPECT_GT(uw, 0.2);
+    EXPECT_LT(uw, 20.0);
+}
+
+TEST(AfeModelTest, ArrayPowerIsExactlyLinear)
+{
+    // The Sec. 4.1 premise (Simmich et al.): constant NEF => power
+    // linear in channel count.
+    AfeModel afe;
+    double p1 = afe.arrayPower(1024).inWatts();
+    EXPECT_NEAR(afe.arrayPower(2048).inWatts(), 2.0 * p1, 1e-18);
+    EXPECT_NEAR(afe.arrayPower(4096).inWatts(), 4.0 * p1, 1e-18);
+}
+
+TEST(AfeModelTest, PowerQuadraticInNefOverNoise)
+{
+    AfeSpec base;
+    AfeSpec quiet = base;
+    quiet.inputNoiseVrms = base.inputNoiseVrms / 2.0;
+    // Halving the noise target quadruples the power.
+    EXPECT_NEAR(AfeModel(quiet).perChannelPower().inWatts(),
+                4.0 * AfeModel(base).perChannelPower().inWatts(), 1e-15);
+
+    AfeSpec better = base;
+    better.nef = base.nef / 2.0;
+    // Halving NEF (a better amplifier) quarters the power.
+    EXPECT_NEAR(AfeModel(better).perChannelPower().inWatts(),
+                AfeModel(base).perChannelPower().inWatts() / 4.0, 1e-15);
+}
+
+TEST(AfeModelTest, NoiseAtPowerInvertsTheLaw)
+{
+    AfeModel afe;
+    Power p = afe.perChannelPower();
+    EXPECT_NEAR(afe.noiseAtPower(p), afe.spec().inputNoiseVrms, 1e-12);
+    // Quadruple the power budget: noise halves.
+    EXPECT_NEAR(afe.noiseAtPower(p * 4.0),
+                afe.spec().inputNoiseVrms / 2.0, 1e-12);
+}
+
+TEST(AfeModelTest, ConsistentWithCatalogSensingPower)
+{
+    // The catalog's calibrated sensing power per channel should sit
+    // within an order of magnitude of the NEF model (the AFE is the
+    // core of a sensing channel; ADC/mux add the rest).
+    core::ImplantModel implant(core::socById(1)); // BISC
+    double catalog_uw =
+        implant.referenceSensingPower().inMicrowatts() / 1024.0;
+    double model_uw = AfeModel().perChannelPower().inMicrowatts();
+    EXPECT_GT(catalog_uw / model_uw, 0.5);
+    EXPECT_LT(catalog_uw / model_uw, 50.0);
+}
+
+TEST(AfeModelDeathTest, SubUnityNefPanics)
+{
+    AfeSpec bad;
+    bad.nef = 0.5;
+    EXPECT_DEATH(AfeModel{bad}, "unphysical");
+}
+
+SpadImagerConfig
+smallImager()
+{
+    SpadImagerConfig config;
+    config.pixels = 64;
+    config.frameRate = Frequency::kilohertz(1.0);
+    config.darkCountRateHz = 200.0;
+    config.peakPhotonRateHz = 50000.0;
+    config.activeFraction = 0.5;
+    config.seed = 99;
+    return config;
+}
+
+TEST(SpadImagerTest, RecordingShapeAndDeterminism)
+{
+    SpadImager a(smallImager());
+    SpadImager b(smallImager());
+    auto ra = a.generate(500);
+    auto rb = b.generate(500);
+    EXPECT_EQ(ra.pixels, 64u);
+    EXPECT_EQ(ra.frames, 500u);
+    EXPECT_EQ(ra.counts.size(), 64u * 500u);
+    EXPECT_EQ(ra.counts, rb.counts);
+    EXPECT_EQ(a.activePixels(), 32u);
+}
+
+TEST(SpadImagerTest, ActivePixelsCountMorePhotons)
+{
+    SpadImager imager(smallImager());
+    auto rec = imager.generate(2000);
+    double active_mean = 0.0, dark_mean = 0.0;
+    std::uint64_t active = 0, dark = 0;
+    for (std::uint64_t p = 0; p < rec.pixels; ++p) {
+        auto total = static_cast<double>(rec.totalCounts(p));
+        if (imager.isActive(p)) {
+            active_mean += total;
+            ++active;
+        } else {
+            dark_mean += total;
+            ++dark;
+        }
+    }
+    active_mean /= static_cast<double>(active);
+    dark_mean /= static_cast<double>(dark);
+    EXPECT_GT(active_mean, 5.0 * dark_mean);
+}
+
+TEST(SpadImagerTest, DarkPixelsFollowPoissonStatistics)
+{
+    // Poisson: variance == mean. Check on a dark pixel's counts.
+    SpadImager imager(smallImager());
+    auto rec = imager.generate(20000);
+    std::uint64_t dark_pixel = 0;
+    while (imager.isActive(dark_pixel))
+        ++dark_pixel;
+
+    RunningStats stats;
+    for (std::size_t t = 0; t < rec.frames; ++t)
+        stats.add(static_cast<double>(rec.count(dark_pixel, t)));
+    EXPECT_NEAR(stats.mean(), imager.expectedDarkCounts(), 0.02);
+    EXPECT_NEAR(stats.variance(), stats.mean(),
+                0.15 * std::max(stats.mean(), 0.05));
+}
+
+TEST(SpadImagerTest, CountsTrackLatentActivity)
+{
+    // Frames with high latent activity carry more photons on active
+    // pixels (the optogenetic signal the Sec. 2.1 imagers read out).
+    SpadImager imager(smallImager());
+    auto rec = imager.generate(4000);
+
+    double high_sum = 0.0, low_sum = 0.0;
+    std::size_t high_frames = 0, low_frames = 0;
+    for (std::size_t t = 0; t < rec.frames; ++t) {
+        double frame_total = 0.0;
+        for (std::uint64_t p = 0; p < rec.pixels; ++p)
+            if (imager.isActive(p))
+                frame_total += rec.count(p, t);
+        if (rec.activity[t] > 0.7) {
+            high_sum += frame_total;
+            ++high_frames;
+        } else if (rec.activity[t] < 0.3) {
+            low_sum += frame_total;
+            ++low_frames;
+        }
+    }
+    ASSERT_GT(high_frames, 10u);
+    ASSERT_GT(low_frames, 10u);
+    EXPECT_GT(high_sum / high_frames, 1.5 * (low_sum / low_frames));
+}
+
+TEST(SpadImagerTest, ExpectedCountHelpers)
+{
+    SpadImager imager(smallImager());
+    // 200 Hz dark counts at 1 kHz frames: 0.2 per frame.
+    EXPECT_NEAR(imager.expectedDarkCounts(), 0.2, 1e-12);
+    // Full activity adds 50 counts per frame.
+    EXPECT_NEAR(imager.expectedActiveCounts(1.0), 50.2, 1e-12);
+}
+
+TEST(SpadImagerDeathTest, InvalidConfigPanics)
+{
+    auto config = smallImager();
+    config.activeFraction = 2.0;
+    EXPECT_DEATH(SpadImager{config}, "active fraction");
+}
+
+} // namespace
+} // namespace mindful::ni

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Neural-interface rate / geometry tests (Eq. 6 and the Sec. 3.2
+ * density goal).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ni/neural_interface.hh"
+
+namespace mindful::ni {
+namespace {
+
+NeuralInterfaceConfig
+biscLike()
+{
+    NeuralInterfaceConfig config;
+    config.channels = 1024;
+    config.samplingFrequency = Frequency::kilohertz(8.0);
+    config.sampleBits = 10;
+    return config;
+}
+
+TEST(NeuralInterfaceTest, SensingThroughputMatchesEq6)
+{
+    NeuralInterface ni{biscLike()};
+    // Tsensing = d * n * f = 10 * 1024 * 8 kHz = 81.92 Mbps.
+    EXPECT_NEAR(ni.sensingThroughput().inMegabitsPerSecond(), 81.92, 1e-9);
+}
+
+TEST(NeuralInterfaceTest, ThroughputLinearInChannels)
+{
+    NeuralInterface ni{biscLike()};
+    auto doubled = ni.withChannels(2048);
+    EXPECT_NEAR(doubled.sensingThroughput().inBitsPerSecond(),
+                2.0 * ni.sensingThroughput().inBitsPerSecond(), 1e-6);
+}
+
+TEST(NeuralInterfaceTest, SamplesPerSecondAndFrameBits)
+{
+    NeuralInterface ni{biscLike()};
+    EXPECT_DOUBLE_EQ(ni.samplesPerSecond(), 1024.0 * 8000.0);
+    EXPECT_EQ(ni.bitsPerFrame(), 10240u);
+}
+
+TEST(NeuralInterfaceTest, ChannelSpacingSquareGrid)
+{
+    NeuralInterface ni{biscLike()};
+    // 1024 channels over 144 mm^2: sqrt(144e6 um^2 / 1024) = 375 um.
+    EXPECT_NEAR(ni.channelSpacingMicrometres(Area::squareMillimetres(144.0)),
+                375.0, 1e-9);
+}
+
+TEST(NeuralInterfaceTest, DensityGoalAt20Micrometres)
+{
+    NeuralInterface ni{biscLike()};
+    // 1024 channels at 20 um spacing need <= 0.4096 mm^2.
+    EXPECT_TRUE(ni.meetsDensityGoal(Area::squareMillimetres(0.4096)));
+    EXPECT_FALSE(ni.meetsDensityGoal(Area::squareMillimetres(0.5)));
+}
+
+TEST(NeuralInterfaceTest, SensorTypeNames)
+{
+    EXPECT_EQ(toString(SensorType::Electrode), "Electrodes");
+    EXPECT_EQ(toString(SensorType::Spad), "SPAD");
+}
+
+TEST(VolumetricEfficiencyTest, FractionOfTotalArea)
+{
+    EXPECT_DOUBLE_EQ(volumetricEfficiency(Area::squareMillimetres(72.0),
+                                          Area::squareMillimetres(144.0)),
+                     0.5);
+    EXPECT_DOUBLE_EQ(volumetricEfficiency(Area::squareMillimetres(0.0),
+                                          Area::squareMillimetres(10.0)),
+                     0.0);
+}
+
+TEST(VolumetricEfficiencyDeathTest, SensingBeyondTotalPanics)
+{
+    EXPECT_DEATH(volumetricEfficiency(Area::squareMillimetres(11.0),
+                                      Area::squareMillimetres(10.0)),
+                 "within the total");
+}
+
+TEST(NeuralInterfaceDeathTest, ZeroChannelsPanics)
+{
+    NeuralInterfaceConfig config = biscLike();
+    config.channels = 0;
+    EXPECT_DEATH(NeuralInterface{config}, "at least one channel");
+}
+
+} // namespace
+} // namespace mindful::ni

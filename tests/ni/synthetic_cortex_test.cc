@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Synthetic cortical recording generator tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ni/synthetic_cortex.hh"
+
+namespace mindful::ni {
+namespace {
+
+SyntheticCortexConfig
+smallConfig()
+{
+    SyntheticCortexConfig config;
+    config.channels = 16;
+    config.samplingFrequency = Frequency::kilohertz(8.0);
+    config.activeFraction = 0.5;
+    config.seed = 1234;
+    return config;
+}
+
+TEST(SyntheticCortexTest, RecordingShape)
+{
+    SyntheticCortex cortex{smallConfig()};
+    Recording rec = cortex.generate(4000);
+    EXPECT_EQ(rec.channels, 16u);
+    EXPECT_EQ(rec.steps, 4000u);
+    EXPECT_EQ(rec.samples.size(), 16u * 4000u);
+    EXPECT_EQ(rec.spikeRaster.size(), 16u * 4000u);
+    ASSERT_EQ(rec.intent.size(), 2u);
+    EXPECT_EQ(rec.intent[0].size(), 4000u);
+}
+
+TEST(SyntheticCortexTest, DeterministicForEqualSeeds)
+{
+    SyntheticCortex a{smallConfig()};
+    SyntheticCortex b{smallConfig()};
+    Recording ra = a.generate(1000);
+    Recording rb = b.generate(1000);
+    EXPECT_EQ(ra.samples, rb.samples);
+    EXPECT_EQ(ra.spikeRaster, rb.spikeRaster);
+}
+
+TEST(SyntheticCortexTest, DifferentSeedsDiffer)
+{
+    auto config = smallConfig();
+    SyntheticCortex a{config};
+    config.seed = 999;
+    SyntheticCortex b{config};
+    EXPECT_NE(a.generate(500).samples, b.generate(500).samples);
+}
+
+TEST(SyntheticCortexTest, ActiveFractionHonoured)
+{
+    auto config = smallConfig();
+    config.channels = 100;
+    config.activeFraction = 0.6;
+    SyntheticCortex cortex{config};
+    EXPECT_EQ(cortex.activeChannels(), 60u);
+
+    std::uint64_t counted = 0;
+    for (std::uint64_t ch = 0; ch < 100; ++ch)
+        counted += cortex.isActive(ch);
+    EXPECT_EQ(counted, 60u);
+}
+
+TEST(SyntheticCortexTest, TuningVectorsAreUnitNorm)
+{
+    SyntheticCortex cortex{smallConfig()};
+    for (std::uint64_t ch = 0; ch < 16; ++ch) {
+        if (!cortex.isActive(ch))
+            continue;
+        const auto &dir = cortex.tuning(ch);
+        double norm = 0.0;
+        for (double v : dir)
+            norm += v * v;
+        EXPECT_NEAR(norm, 1.0, 1e-12);
+    }
+}
+
+TEST(SyntheticCortexTest, ActiveChannelsSpikeMoreThanInactive)
+{
+    auto config = smallConfig();
+    config.channels = 40;
+    SyntheticCortex cortex{config};
+    Recording rec = cortex.generate(16000); // 2 s
+
+    double active_rate = 0.0, inactive_rate = 0.0;
+    std::uint64_t active = 0, inactive = 0;
+    for (std::uint64_t ch = 0; ch < rec.channels; ++ch) {
+        auto spikes = static_cast<double>(rec.spikeCount(ch));
+        if (cortex.isActive(ch)) {
+            active_rate += spikes;
+            ++active;
+        } else {
+            inactive_rate += spikes;
+            ++inactive;
+        }
+    }
+    ASSERT_GT(active, 0u);
+    ASSERT_GT(inactive, 0u);
+    EXPECT_GT(active_rate / static_cast<double>(active),
+              4.0 * inactive_rate / static_cast<double>(inactive));
+}
+
+TEST(SyntheticCortexTest, IntentHasUnitScaleVariance)
+{
+    SyntheticCortex cortex{smallConfig()};
+    Recording rec = cortex.generate(80000); // 10 s
+    double sum = 0.0, sum_sq = 0.0;
+    for (double v : rec.intent[0]) {
+        sum += v;
+        sum_sq += v * v;
+    }
+    double n = static_cast<double>(rec.intent[0].size());
+    double mean = sum / n;
+    double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(var, 1.0, 0.4); // OU stationary variance is 1
+}
+
+TEST(SyntheticCortexTest, SpikeWaveformRaisesAmplitudeAtSpikes)
+{
+    auto config = smallConfig();
+    config.noiseRmsUv = 0.5;
+    config.lfpAmplitudeUv = 0.0;
+    SyntheticCortex cortex{config};
+    Recording rec = cortex.generate(16000);
+
+    // At a spike time, the next ~1 ms of trace must include an
+    // excursion close to the configured spike amplitude.
+    bool checked = false;
+    for (std::uint64_t ch = 0; ch < rec.channels && !checked; ++ch) {
+        for (std::size_t t = 0; t + 12 < rec.steps; ++t) {
+            if (!rec.spikeAt(ch, t))
+                continue;
+            double peak = 0.0;
+            for (std::size_t s = 0; s < 12; ++s)
+                peak = std::max(peak, std::abs(rec.sample(ch, t + s)));
+            EXPECT_GT(peak, config.spikeAmplitudeUv * 0.5);
+            checked = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(checked);
+}
+
+TEST(SyntheticCortexTest, BinnedCountsMatchRaster)
+{
+    SyntheticCortex cortex{smallConfig()};
+    Recording rec = cortex.generate(4000);
+    auto counts = rec.binnedCounts(400);
+    ASSERT_EQ(counts.size(), rec.channels);
+    ASSERT_EQ(counts[0].size(), 10u);
+    for (std::uint64_t ch = 0; ch < rec.channels; ++ch) {
+        double total = 0.0;
+        for (double c : counts[ch])
+            total += c;
+        EXPECT_DOUBLE_EQ(total, static_cast<double>(rec.spikeCount(ch)));
+    }
+}
+
+TEST(SyntheticCortexTest, BinnedIntentAveragesWindows)
+{
+    SyntheticCortex cortex{smallConfig()};
+    Recording rec = cortex.generate(1000);
+    auto binned = rec.binnedIntent(100);
+    ASSERT_EQ(binned.size(), 2u);
+    ASSERT_EQ(binned[0].size(), 10u);
+    double expected = 0.0;
+    for (std::size_t t = 0; t < 100; ++t)
+        expected += rec.intent[0][t];
+    EXPECT_NEAR(binned[0][0], expected / 100.0, 1e-12);
+}
+
+TEST(SyntheticCortexDeathTest, InvalidConfigPanics)
+{
+    auto config = smallConfig();
+    config.activeFraction = 1.5;
+    EXPECT_DEATH(SyntheticCortex{config}, "activeFraction");
+}
+
+} // namespace
+} // namespace mindful::ni

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Channel-ranking (channel-dropout substrate) tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ni/synthetic_cortex.hh"
+#include "signal/channel_ranking.hh"
+
+namespace mindful::signal {
+namespace {
+
+struct Fixture
+{
+    ni::SyntheticCortex cortex;
+    ni::Recording recording;
+};
+
+Fixture
+makeFixture(std::uint64_t channels, double active_fraction,
+            std::uint64_t seed)
+{
+    ni::SyntheticCortexConfig config;
+    config.channels = channels;
+    config.activeFraction = active_fraction;
+    config.maxRateHz = 60.0;
+    config.inactiveRateHz = 0.2;
+    config.noiseRmsUv = 6.0;
+    config.seed = seed;
+    ni::SyntheticCortex cortex(config);
+    ni::Recording recording = cortex.generate(24000); // 3 s
+    return {std::move(cortex), std::move(recording)};
+}
+
+ni::Recording
+makeRecording(std::uint64_t channels, double active_fraction,
+              std::uint64_t seed)
+{
+    return makeFixture(channels, active_fraction, seed).recording;
+}
+
+TEST(ChannelRankingTest, RankedListCoversAllChannels)
+{
+    auto rec = makeRecording(24, 0.5, 61);
+    ChannelRanker ranker;
+    auto ranking = ranker.rank(rec);
+    ASSERT_EQ(ranking.ranked.size(), 24u);
+
+    std::vector<bool> seen(24, false);
+    for (const auto &activity : ranking.ranked) {
+        ASSERT_LT(activity.channel, 24u);
+        EXPECT_FALSE(seen[activity.channel]) << "duplicate channel";
+        seen[activity.channel] = true;
+    }
+}
+
+TEST(ChannelRankingTest, ScoresAreSortedDescending)
+{
+    auto rec = makeRecording(24, 0.5, 63);
+    auto ranking = ChannelRanker().rank(rec);
+    for (std::size_t i = 1; i < ranking.ranked.size(); ++i)
+        EXPECT_GE(ranking.ranked[i - 1].score, ranking.ranked[i].score);
+}
+
+TEST(ChannelRankingTest, ActiveChannelsRankAboveInactive)
+{
+    auto fixture = makeFixture(40, 0.5, 67);
+    auto ranking = ChannelRanker().rank(fixture.recording);
+
+    // Count tuned channels in the top half of the ranking: should be
+    // heavily enriched (at least 80% of the top half).
+    std::uint64_t tuned_on_top = 0;
+    for (std::size_t i = 0; i < 20; ++i)
+        tuned_on_top += fixture.cortex.isActive(ranking.ranked[i].channel);
+    EXPECT_GE(tuned_on_top, 16u);
+}
+
+TEST(ChannelRankingTest, KeepSetTruncatesAndPreservesOrder)
+{
+    auto rec = makeRecording(16, 0.5, 69);
+    auto ranking = ChannelRanker().rank(rec);
+    auto keep = ranking.keepSet(5);
+    ASSERT_EQ(keep.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i)
+        EXPECT_EQ(keep[i], ranking.ranked[i].channel);
+    EXPECT_EQ(ranking.keepSet(100).size(), 16u);
+}
+
+TEST(ChannelRankingTest, ActivityFractionNeedsFewerThanAllChannels)
+{
+    // With half the channels nearly silent, 90% of spikes should be
+    // retained by much fewer than all channels — the channel-dropout
+    // premise (Sec. 6.2).
+    auto rec = makeRecording(40, 0.5, 71);
+    auto ranking = ChannelRanker().rank(rec);
+    auto needed = ranking.channelsForActivityFraction(0.9);
+    EXPECT_GT(needed, 0u);
+    EXPECT_LT(needed, 30u);
+    // 100% of activity needs every *spiking* channel (<= all 40);
+    // 0% needs none.
+    auto all_active = ranking.channelsForActivityFraction(1.0);
+    EXPECT_GE(all_active, needed);
+    EXPECT_LE(all_active, 40u);
+    EXPECT_EQ(ranking.channelsForActivityFraction(0.0), 0u);
+}
+
+TEST(ChannelRankingTest, RateWeightZeroRanksByRms)
+{
+    auto rec = makeRecording(12, 0.5, 73);
+    ChannelRankerConfig config;
+    config.rateWeight = 0.0;
+    auto ranking = ChannelRanker(config).rank(rec);
+    for (std::size_t i = 1; i < ranking.ranked.size(); ++i)
+        EXPECT_GE(ranking.ranked[i - 1].signalRmsUv,
+                  ranking.ranked[i].signalRmsUv);
+}
+
+} // namespace
+} // namespace mindful::signal

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Spike-detector tests on constructed and synthetic traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/random.hh"
+#include "ni/synthetic_cortex.hh"
+#include "signal/filters.hh"
+#include "signal/spike_detect.hh"
+
+namespace mindful::signal {
+namespace {
+
+/** White-noise trace with biphasic spikes injected at known times. */
+std::vector<double>
+makeTrace(const std::vector<std::size_t> &spike_times, double noise_rms,
+          double amplitude, std::size_t length, std::uint64_t seed = 77)
+{
+    Rng rng(seed);
+    std::vector<double> trace(length);
+    for (auto &v : trace)
+        v = rng.gaussian(0.0, noise_rms);
+    for (std::size_t t0 : spike_times) {
+        static const double kernel[] = {-0.2, -0.7, -1.0, -0.6, 0.1,
+                                        0.3,  0.2,  0.1};
+        for (std::size_t s = 0; s < 8 && t0 + s < length; ++s)
+            trace[t0 + s] += amplitude * kernel[s];
+    }
+    return trace;
+}
+
+TEST(MadNoiseTest, MatchesGaussianSigma)
+{
+    Rng rng(5);
+    std::vector<double> noise(20000);
+    for (auto &v : noise)
+        v = rng.gaussian(0.0, 7.0);
+    EXPECT_NEAR(madNoiseEstimate(noise), 7.0, 0.3);
+}
+
+TEST(MadNoiseTest, RobustToSpikeOutliers)
+{
+    // Classic motivation for MAD: spikes barely move the estimate.
+    auto clean = makeTrace({}, 5.0, 0.0, 20000);
+    auto spiky = makeTrace({100, 500, 900, 4000, 9000, 15000}, 5.0, 120.0,
+                           20000);
+    EXPECT_NEAR(madNoiseEstimate(spiky), madNoiseEstimate(clean), 0.5);
+}
+
+TEST(ThresholdDetectorTest, FindsInjectedSpikes)
+{
+    std::vector<std::size_t> truth{200, 1000, 2500, 4000, 7000};
+    auto trace = makeTrace(truth, 4.0, 90.0, 10000);
+    ThresholdDetector detector;
+    auto events = detector.detect(trace);
+    ASSERT_EQ(events.size(), truth.size());
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        // Peak lands within the 8-sample waveform of the onset.
+        EXPECT_GE(events[i].sampleIndex, truth[i]);
+        EXPECT_LE(events[i].sampleIndex, truth[i] + 8);
+        EXPECT_LT(events[i].amplitude, 0.0); // negative-going
+    }
+}
+
+TEST(ThresholdDetectorTest, NoSpikesInPureNoise)
+{
+    auto trace = makeTrace({}, 4.0, 0.0, 20000);
+    ThresholdDetector detector;
+    // 4.5 sigma on Gaussian noise: expected false positives ~ 0.07;
+    // allow a small number for robustness.
+    EXPECT_LE(detector.detect(trace).size(), 2u);
+}
+
+TEST(ThresholdDetectorTest, RefractoryMergesAdjacentCrossings)
+{
+    std::vector<std::size_t> truth{1000, 1004}; // overlapping waveforms
+    auto trace = makeTrace(truth, 2.0, 90.0, 4000);
+    SpikeDetectorConfig config;
+    config.refractorySamples = 32;
+    ThresholdDetector detector(config);
+    EXPECT_EQ(detector.detect(trace).size(), 1u);
+}
+
+TEST(ThresholdDetectorTest, PositiveGoingMode)
+{
+    std::vector<double> trace(2000, 0.0);
+    Rng rng(3);
+    for (auto &v : trace)
+        v = rng.gaussian(0.0, 1.0);
+    trace[700] = 60.0;
+    SpikeDetectorConfig config;
+    config.negativeGoing = false;
+    ThresholdDetector detector(config);
+    auto events = detector.detect(trace);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].sampleIndex, 700u);
+    EXPECT_GT(events[0].amplitude, 0.0);
+}
+
+TEST(ThresholdDetectorTest, EmptyTraceReturnsNothing)
+{
+    ThresholdDetector detector;
+    EXPECT_TRUE(detector.detect({}).empty());
+}
+
+TEST(NeoDetectorTest, EnergyOperatorDefinition)
+{
+    std::vector<double> x{1.0, 2.0, 3.0, 5.0, 2.0};
+    auto psi = NeoDetector::energy(x);
+    ASSERT_EQ(psi.size(), 5u);
+    EXPECT_DOUBLE_EQ(psi[0], 0.0);
+    EXPECT_DOUBLE_EQ(psi[1], 4.0 - 3.0);
+    EXPECT_DOUBLE_EQ(psi[2], 9.0 - 10.0);
+    EXPECT_DOUBLE_EQ(psi[3], 25.0 - 6.0);
+    EXPECT_DOUBLE_EQ(psi[4], 0.0);
+}
+
+TEST(NeoDetectorTest, FindsInjectedSpikes)
+{
+    std::vector<std::size_t> truth{500, 2000, 5000};
+    auto trace = makeTrace(truth, 4.0, 100.0, 8000);
+    SpikeDetectorConfig config;
+    config.thresholdSigmas = 8.0; // NEO thresholds on mean energy
+    NeoDetector detector(config);
+    auto events = detector.detect(trace);
+    ASSERT_GE(events.size(), truth.size());
+    // Every true spike has a detection nearby.
+    for (std::size_t t0 : truth) {
+        bool found = false;
+        for (const auto &e : events)
+            found |= e.sampleIndex >= t0 && e.sampleIndex <= t0 + 8;
+        EXPECT_TRUE(found) << "missed spike at " << t0;
+    }
+}
+
+TEST(NeoDetectorTest, ShortTraceIsSafe)
+{
+    NeoDetector detector;
+    EXPECT_TRUE(detector.detect({1.0, 2.0}).empty());
+}
+
+TEST(DetectorIntegrationTest, SyntheticCortexSpikeRecovery)
+{
+    // End-to-end: generate a realistic channel, band-pass it, detect,
+    // and compare against the generator's ground-truth raster.
+    ni::SyntheticCortexConfig config;
+    config.channels = 1;
+    config.activeFraction = 1.0;
+    config.maxRateHz = 40.0;
+    config.noiseRmsUv = 6.0;
+    config.seed = 21;
+    ni::SyntheticCortex cortex(config);
+    auto rec = cortex.generate(40000); // 5 s @ 8 kHz
+
+    std::vector<double> raw(rec.samples.begin(),
+                            rec.samples.begin() + 40000);
+    auto filtered =
+        BiquadCascade::spikeBand(rec.samplingFrequency).apply(raw);
+
+    ThresholdDetector detector;
+    auto events = detector.detect(filtered);
+
+    auto truth = rec.spikeCount(0);
+    ASSERT_GT(truth, 20u);
+    // Detection within +-40% of ground truth on a noisy channel.
+    EXPECT_GT(static_cast<double>(events.size()), 0.6 * truth);
+    EXPECT_LT(static_cast<double>(events.size()), 1.4 * truth);
+}
+
+} // namespace
+} // namespace mindful::signal

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Template-matching spike-sorter tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/random.hh"
+#include "signal/spike_detect.hh"
+#include "signal/spike_sorter.hh"
+
+namespace mindful::signal {
+namespace {
+
+/** Two clearly distinct biphasic unit shapes. */
+Snippet
+unitShape(int unit, std::size_t length)
+{
+    Snippet shape(length, 0.0);
+    for (std::size_t s = 0; s < length; ++s) {
+        double t = static_cast<double>(s) / static_cast<double>(length);
+        if (unit == 0) {
+            // Narrow, deep trough.
+            shape[s] = -100.0 * std::exp(-std::pow((t - 0.25) / 0.06, 2));
+        } else {
+            // Wide trough with a strong rebound.
+            shape[s] = -60.0 * std::exp(-std::pow((t - 0.3) / 0.15, 2)) +
+                       45.0 * std::exp(-std::pow((t - 0.6) / 0.12, 2));
+        }
+    }
+    return shape;
+}
+
+std::vector<Snippet>
+makeSnippets(std::size_t per_unit, double noise, std::uint64_t seed,
+             std::vector<int> *truth = nullptr)
+{
+    Rng rng(seed);
+    std::vector<Snippet> snippets;
+    for (std::size_t i = 0; i < per_unit * 2; ++i) {
+        int unit = static_cast<int>(i % 2);
+        Snippet snippet = unitShape(unit, 32);
+        for (auto &v : snippet)
+            v += rng.gaussian(0.0, noise);
+        snippets.push_back(std::move(snippet));
+        if (truth)
+            truth->push_back(unit);
+    }
+    return snippets;
+}
+
+TEST(ExtractSnippetsTest, WindowsAroundEvents)
+{
+    std::vector<double> trace(100, 0.0);
+    trace[50] = -1.0;
+    std::vector<SpikeEvent> events{{50, -1.0}, {2, 0.0}, {98, 0.0}};
+    auto snippets = extractSnippets(trace, events, 8, 16);
+    // Events at 2 and 98 lack a full window and are skipped.
+    ASSERT_EQ(snippets.size(), 1u);
+    EXPECT_EQ(snippets[0].size(), 25u);
+    EXPECT_DOUBLE_EQ(snippets[0][8], -1.0); // the peak sits at `pre`
+}
+
+TEST(SpikeSorterTest, SeparatesTwoUnits)
+{
+    std::vector<int> truth;
+    auto snippets = makeSnippets(60, 5.0, 17, &truth);
+
+    SpikeSorterConfig config;
+    config.units = 2;
+    TemplateSpikeSorter sorter(config);
+    sorter.train(snippets);
+    ASSERT_TRUE(sorter.trained());
+    ASSERT_EQ(sorter.templates().size(), 2u);
+
+    auto results = sorter.classify(snippets);
+    // Clustering may swap labels; count the majority mapping.
+    std::size_t agree = 0, swapped = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        ASSERT_GE(results[i].unit, 0);
+        if (results[i].unit == truth[i])
+            ++agree;
+        else
+            ++swapped;
+    }
+    EXPECT_GE(std::max(agree, swapped), results.size() * 95 / 100);
+}
+
+TEST(SpikeSorterTest, TemplatesApproximateTrueShapes)
+{
+    auto snippets = makeSnippets(100, 4.0, 23);
+    TemplateSpikeSorter sorter({2, 16, 6.0, 99});
+    sorter.train(snippets);
+
+    // Each true shape must be close to one learned template.
+    for (int unit = 0; unit < 2; ++unit) {
+        Snippet shape = unitShape(unit, 32);
+        double best = 1e18;
+        for (const auto &temp : sorter.templates()) {
+            double d = 0.0;
+            for (std::size_t s = 0; s < 32; ++s)
+                d += (temp[s] - shape[s]) * (temp[s] - shape[s]);
+            best = std::min(best, std::sqrt(d / 32.0));
+        }
+        EXPECT_LT(best, 4.0) << "unit " << unit; // ~noise floor
+    }
+}
+
+TEST(SpikeSorterTest, OutliersAreRejected)
+{
+    auto snippets = makeSnippets(60, 3.0, 31);
+    SpikeSorterConfig config;
+    config.units = 2;
+    config.rejectionSigmas = 4.0;
+    TemplateSpikeSorter sorter(config);
+    sorter.train(snippets);
+
+    // An artifact nothing like either unit.
+    Snippet artifact(32, 0.0);
+    for (std::size_t s = 0; s < 32; ++s)
+        artifact[s] = 300.0 * ((s % 2) ? 1.0 : -1.0);
+    EXPECT_EQ(sorter.classify(artifact).unit, -1);
+
+    // A genuine snippet still classifies.
+    EXPECT_GE(sorter.classify(snippets.front()).unit, 0);
+}
+
+TEST(SpikeSorterTest, DeterministicAcrossRuns)
+{
+    auto snippets = makeSnippets(40, 5.0, 47);
+    TemplateSpikeSorter a({2, 16, 6.0, 1234});
+    TemplateSpikeSorter b({2, 16, 6.0, 1234});
+    a.train(snippets);
+    b.train(snippets);
+    for (std::size_t u = 0; u < 2; ++u)
+        EXPECT_EQ(a.templates()[u], b.templates()[u]);
+}
+
+TEST(SpikeSorterTest, SingleTemplateDegeneratesToAveraging)
+{
+    auto snippets = makeSnippets(30, 2.0, 53);
+    TemplateSpikeSorter sorter({1, 8, 10.0, 7});
+    sorter.train(snippets);
+    ASSERT_EQ(sorter.templates().size(), 1u);
+    for (const auto &result : sorter.classify(snippets))
+        EXPECT_EQ(result.unit, 0);
+}
+
+TEST(SpikeSorterTest, EndToEndFromDetectedEvents)
+{
+    // Build a trace with interleaved occurrences of both units,
+    // detect, extract, sort — the full on-implant reduction chain.
+    Rng rng(61);
+    std::vector<double> trace(40000);
+    for (auto &v : trace)
+        v = rng.gaussian(0.0, 4.0);
+
+    std::vector<int> truth;
+    std::vector<std::size_t> times;
+    for (std::size_t t = 200; t + 200 < trace.size(); t += 397) {
+        int unit = static_cast<int>((t / 397) % 2);
+        Snippet shape = unitShape(unit, 32);
+        for (std::size_t s = 0; s < 32; ++s)
+            trace[t + s] += shape[s];
+        times.push_back(t);
+        truth.push_back(unit);
+    }
+
+    ThresholdDetector detector;
+    auto events = detector.detect(trace);
+    EXPECT_NEAR(static_cast<double>(events.size()),
+                static_cast<double>(times.size()),
+                0.15 * static_cast<double>(times.size()));
+
+    auto snippets = extractSnippets(trace, events, 10, 24);
+    ASSERT_GE(snippets.size(), 50u);
+
+    TemplateSpikeSorter sorter({2, 16, 8.0, 3});
+    sorter.train(snippets);
+    auto sorted = sorter.classify(snippets);
+
+    // Both units must be represented with a meaningful share.
+    std::size_t unit0 = 0, unit1 = 0;
+    for (const auto &s : sorted) {
+        unit0 += s.unit == 0;
+        unit1 += s.unit == 1;
+    }
+    EXPECT_GT(unit0, sorted.size() / 5);
+    EXPECT_GT(unit1, sorted.size() / 5);
+}
+
+TEST(SpikeSorterDeathTest, InvalidUsePanics)
+{
+    TemplateSpikeSorter sorter({2, 8, 6.0, 1});
+    EXPECT_DEATH(sorter.classify(Snippet(8, 0.0)), "trained");
+    EXPECT_DEATH(sorter.train({Snippet(8, 0.0)}), "as many snippets");
+}
+
+} // namespace
+} // namespace mindful::signal

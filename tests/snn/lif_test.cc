@@ -1,0 +1,202 @@
+/**
+ * @file
+ * LIF neuron / spiking-network substrate tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "snn/lif.hh"
+
+namespace mindful::snn {
+namespace {
+
+constexpr double kDt = 1e-3;
+
+LifLayer
+singleNeuron(double weight, LifParams params = {})
+{
+    LifLayer layer(1, 1, params);
+    layer.weights()[0] = weight;
+    return layer;
+}
+
+TEST(LifLayerTest, SubthresholdInputNeverFires)
+{
+    auto layer = singleNeuron(0.2); // threshold 1.0, tau 20 ms
+    std::vector<std::uint8_t> spike{1};
+    std::vector<std::uint8_t> silent{0};
+    // Sparse input: the membrane decays between spikes and never
+    // accumulates past threshold.
+    for (int t = 0; t < 1000; ++t) {
+        auto out = layer.step(t % 50 == 0 ? spike : silent, kDt);
+        EXPECT_EQ(out[0], 0) << "step " << t;
+    }
+    EXPECT_EQ(layer.spikesEmitted(), 0u);
+}
+
+TEST(LifLayerTest, SuprathresholdInputFiresImmediately)
+{
+    auto layer = singleNeuron(1.5);
+    auto out = layer.step({1}, kDt);
+    EXPECT_EQ(out[0], 1);
+    EXPECT_EQ(layer.spikesEmitted(), 1u);
+    // Potential is reset after the spike.
+    EXPECT_DOUBLE_EQ(layer.potential(0), 0.0);
+}
+
+TEST(LifLayerTest, MembraneIntegratesAndLeaks)
+{
+    auto layer = singleNeuron(0.4);
+    layer.step({1}, kDt);
+    double after_one = layer.potential(0);
+    EXPECT_NEAR(after_one, 0.4, 1e-12);
+    // One silent step: pure decay by exp(-dt/tau).
+    layer.step({0}, kDt);
+    EXPECT_NEAR(layer.potential(0), 0.4 * std::exp(-kDt / 20e-3), 1e-12);
+    // Next input lifts v to ~0.76 (no spike); the one after crosses
+    // threshold (0.76 * decay + 0.4 = 1.12 >= 1).
+    EXPECT_EQ(layer.step({1}, kDt)[0], 0);
+    EXPECT_NEAR(layer.potential(0), 0.762, 1e-3);
+    EXPECT_EQ(layer.step({1}, kDt)[0], 1);
+}
+
+TEST(LifLayerTest, RefractoryPeriodBlocksFiring)
+{
+    LifParams params;
+    params.refractory = 5e-3;
+    auto layer = singleNeuron(2.0, params);
+    EXPECT_EQ(layer.step({1}, kDt)[0], 1);
+    // For the next 5 ms the neuron cannot fire despite strong input.
+    for (int t = 0; t < 5; ++t)
+        EXPECT_EQ(layer.step({1}, kDt)[0], 0) << "refractory step " << t;
+    EXPECT_EQ(layer.step({1}, kDt)[0], 1);
+}
+
+TEST(LifLayerTest, SynapticOpsCountOnlyActiveInputs)
+{
+    LifLayer layer(4, 3);
+    for (auto &w : layer.weights())
+        w = 0.01;
+    layer.step({1, 0, 1, 0}, kDt); // 2 active inputs x 3 neurons
+    EXPECT_EQ(layer.synapticOps(), 6u);
+    layer.step({0, 0, 0, 0}, kDt); // silence costs nothing
+    EXPECT_EQ(layer.synapticOps(), 6u);
+    layer.step({1, 1, 1, 1}, kDt);
+    EXPECT_EQ(layer.synapticOps(), 18u);
+}
+
+TEST(LifLayerTest, RefractoryNeuronsSkipSynapticWork)
+{
+    LifParams params;
+    params.refractory = 10e-3;
+    auto layer = singleNeuron(2.0, params);
+    layer.step({1}, kDt); // fires, 1 synop
+    layer.step({1}, kDt); // refractory: event skipped
+    EXPECT_EQ(layer.synapticOps(), 1u);
+}
+
+TEST(LifLayerTest, ResetStateClearsDynamicsNotCounters)
+{
+    auto layer = singleNeuron(0.4);
+    layer.step({1}, kDt);
+    layer.resetState();
+    EXPECT_DOUBLE_EQ(layer.potential(0), 0.0);
+    EXPECT_EQ(layer.synapticOps(), 1u); // counters persist
+}
+
+TEST(LifLayerTest, FiringRateTracksInputRate)
+{
+    // Rate coding: a neuron driven harder fires more.
+    Rng rng(3);
+    auto weak = singleNeuron(0.3);
+    auto strong = singleNeuron(0.3);
+    std::uint64_t weak_spikes = 0, strong_spikes = 0;
+    for (int t = 0; t < 20000; ++t) {
+        std::uint8_t lo = rng.bernoulli(0.05);
+        std::uint8_t hi = rng.bernoulli(0.4);
+        weak_spikes += weak.step({lo}, kDt)[0];
+        strong_spikes += strong.step({hi}, kDt)[0];
+    }
+    EXPECT_GT(strong_spikes, 4 * std::max<std::uint64_t>(weak_spikes, 1));
+}
+
+TEST(SpikingNetworkTest, LayerChainingAndShapes)
+{
+    SpikingNetwork net(16);
+    net.addLayer(8);
+    net.addLayer(4);
+    EXPECT_EQ(net.layerCount(), 2u);
+    EXPECT_EQ(net.outputs(), 4u);
+    EXPECT_EQ(net.layer(0).inputs(), 16u);
+    EXPECT_EQ(net.layer(1).inputs(), 8u);
+    EXPECT_EQ(net.totalSynapses(), 16u * 8u + 8u * 4u);
+}
+
+TEST(SpikingNetworkTest, PropagatesSpikesThroughLayers)
+{
+    SpikingNetwork net(4);
+    net.addLayer(3);
+    net.addLayer(2);
+    // Strong uniform weights: any input spike cascades to the output.
+    for (std::size_t l = 0; l < 2; ++l)
+        for (auto &w : net.layer(l).weights())
+            w = 2.0;
+    auto out = net.step({1, 0, 0, 0}, kDt);
+    // Layer 1 fires all 3 neurons; layer 2 sees 3 strong inputs.
+    EXPECT_EQ(out, (std::vector<std::uint8_t>{1, 1}));
+}
+
+TEST(SpikingNetworkTest, RunCollectsStatistics)
+{
+    Rng rng(7);
+    SpikingNetwork net(8);
+    net.addLayer(6);
+    net.addLayer(3);
+    net.initializeWeights(rng, 2.0);
+
+    std::vector<std::vector<std::uint8_t>> raster(500,
+                                                  std::vector<std::uint8_t>(
+                                                      8, 0));
+    for (auto &frame : raster)
+        for (auto &s : frame)
+            s = rng.bernoulli(0.2);
+
+    auto stats = net.run(raster, kDt);
+    EXPECT_EQ(stats.steps, 500u);
+    EXPECT_NEAR(stats.duration, 0.5, 1e-12);
+    EXPECT_GT(stats.inputSpikes, 0u);
+    EXPECT_GT(stats.synapticOps, 0u);
+    ASSERT_EQ(stats.outputCounts.size(), 3u);
+    std::uint64_t total = 0;
+    for (auto c : stats.outputCounts)
+        total += c;
+    EXPECT_EQ(total, stats.outputSpikes);
+    EXPECT_GT(stats.synapticOpsPerSecond(), 0.0);
+}
+
+TEST(SpikingNetworkTest, SynapticOpsScaleWithActivityNotSize)
+{
+    // The event-driven premise: a silent input costs nothing even on
+    // a large network.
+    SpikingNetwork net(128);
+    net.addLayer(256);
+    std::vector<std::vector<std::uint8_t>> silent(
+        100, std::vector<std::uint8_t>(128, 0));
+    auto stats = net.run(silent, kDt);
+    EXPECT_EQ(stats.synapticOps, 0u);
+}
+
+TEST(LifLayerDeathTest, InvalidConfigPanics)
+{
+    LifParams bad;
+    bad.threshold = 0.0;
+    EXPECT_DEATH(LifLayer(1, 1, bad), "threshold");
+    LifLayer layer(2, 1);
+    EXPECT_DEATH(layer.step({1}, kDt), "length");
+    EXPECT_DEATH(layer.step({1, 0}, 0.0), "time step");
+}
+
+} // namespace
+} // namespace mindful::snn

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Power-budget rule tests (paper Sec. 3.2, Eq. 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "thermal/safety.hh"
+
+namespace mindful::thermal {
+namespace {
+
+TEST(PowerBudgetTest, DefaultLimitsMatchThePaper)
+{
+    PowerBudget budget;
+    EXPECT_DOUBLE_EQ(budget.limits()
+                         .maxPowerDensity.inMilliwattsPerSquareCentimetre(),
+                     40.0);
+    EXPECT_DOUBLE_EQ(budget.limits().maxTemperatureRise.inCelsius(), 2.0);
+}
+
+TEST(PowerBudgetTest, BudgetScalesLinearlyWithArea)
+{
+    PowerBudget budget;
+    // The BISC anchor: 144 mm^2 -> 57.6 mW.
+    EXPECT_NEAR(budget.budget(Area::squareMillimetres(144.0))
+                    .inMilliwatts(),
+                57.6, 1e-9);
+    EXPECT_NEAR(budget.budget(Area::squareMillimetres(288.0))
+                    .inMilliwatts(),
+                115.2, 1e-9);
+}
+
+TEST(PowerBudgetTest, MinimumAreaInvertsBudget)
+{
+    PowerBudget budget;
+    Area area = budget.minimumArea(Power::milliwatts(15.0));
+    EXPECT_NEAR(area.inSquareMillimetres(), 37.5, 1e-9);
+    EXPECT_NEAR(budget.budget(area).inMilliwatts(), 15.0, 1e-9);
+}
+
+TEST(PowerBudgetTest, CheckSafeDesign)
+{
+    PowerBudget budget;
+    auto verdict =
+        budget.check(Power::milliwatts(38.88), Area::squareMillimetres(144));
+    EXPECT_TRUE(verdict.safe);
+    EXPECT_NEAR(verdict.budgetUtilization, 0.675, 1e-9);
+    EXPECT_NEAR(verdict.density.inMilliwattsPerSquareCentimetre(), 27.0,
+                1e-9);
+    EXPECT_NEAR(verdict.headroom.inMilliwatts(), 18.72, 1e-9);
+}
+
+TEST(PowerBudgetTest, CheckUnsafeDesign)
+{
+    PowerBudget budget;
+    // HALO as reported: 15 mW over 1 mm^2 = 1500 mW/cm^2.
+    auto verdict =
+        budget.check(Power::milliwatts(15.0), Area::squareMillimetres(1.0));
+    EXPECT_FALSE(verdict.safe);
+    EXPECT_NEAR(verdict.density.inMilliwattsPerSquareCentimetre(), 1500.0,
+                1e-9);
+    EXPECT_LT(verdict.headroom.inMilliwatts(), 0.0);
+    EXPECT_NEAR(verdict.budgetUtilization, 37.5, 1e-9);
+}
+
+TEST(PowerBudgetTest, BoundaryIsExactlySafe)
+{
+    PowerBudget budget;
+    auto verdict =
+        budget.check(Power::milliwatts(40.0), Area::squareCentimetres(1.0));
+    EXPECT_TRUE(verdict.safe);
+    EXPECT_DOUBLE_EQ(verdict.budgetUtilization, 1.0);
+}
+
+TEST(PowerBudgetTest, CustomLimits)
+{
+    SafetyLimits strict;
+    strict.maxPowerDensity =
+        PowerDensity::milliwattsPerSquareCentimetre(20.0);
+    PowerBudget budget(strict);
+    EXPECT_NEAR(budget.budget(Area::squareCentimetres(1.0)).inMilliwatts(),
+                20.0, 1e-12);
+}
+
+TEST(PowerBudgetDeathTest, RejectsNonPositiveArea)
+{
+    PowerBudget budget;
+    EXPECT_DEATH(budget.check(Power::milliwatts(1.0),
+                              Area::squareMillimetres(0.0)),
+                 "positive chip area");
+}
+
+} // namespace
+} // namespace mindful::thermal
