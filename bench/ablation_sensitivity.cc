@@ -89,6 +89,7 @@ h3FeasibilityPattern(const Scenario &scenario)
 int
 main(int argc, char **argv)
 {
+    mindful::bench::ObsGuard _obs(argc, argv);
     bool csv = bench::csvOnly(argc, argv);
 
     std::vector<Scenario> scenarios;

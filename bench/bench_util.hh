@@ -5,16 +5,26 @@
  * Every binary under bench/ regenerates one table or figure of the
  * paper (DESIGN.md Sec. 4) and prints it in both human-readable and
  * CSV form. Pass --csv to print CSV only (for external plotting).
+ *
+ * All binaries also accept the observability flags:
+ *   --trace-out FILE    enable span tracing, write Chrome trace JSON
+ *   --metrics-out FILE  write a metric-registry snapshot as CSV
+ * Call parseObsOptions() early and finalizeObs() before exit (or use
+ * ObsGuard, which does both).
  */
 
 #ifndef MINDFUL_BENCH_BENCH_UTIL_HH
 #define MINDFUL_BENCH_BENCH_UTIL_HH
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "base/logging.hh"
 #include "base/table.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace mindful::bench {
 
@@ -38,6 +48,95 @@ emit(const Table &table, bool csv)
         table.print(std::cout);
     std::cout << '\n';
 }
+
+/** Observability output destinations requested on the command line. */
+struct ObsOptions
+{
+    std::string traceOut;   //!< Chrome trace JSON path ("" = off)
+    std::string metricsOut; //!< metric snapshot CSV path ("" = off)
+
+    bool any() const { return !traceOut.empty() || !metricsOut.empty(); }
+};
+
+/**
+ * Extract --trace-out FILE / --metrics-out FILE (also the
+ * --flag=FILE spelling) and *remove them from argv* so downstream
+ * parsers (e.g. google-benchmark) never see them. Enables span
+ * tracing when --trace-out is present.
+ */
+inline ObsOptions
+parseObsOptions(int &argc, char **argv)
+{
+    ObsOptions options;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto take_value = [&](const std::string &flag,
+                              std::string &dest) -> bool {
+            if (arg == flag) {
+                if (i + 1 >= argc)
+                    MINDFUL_FATAL(flag, " requires a file argument");
+                dest = argv[++i];
+                return true;
+            }
+            if (arg.rfind(flag + "=", 0) == 0) {
+                dest = arg.substr(flag.size() + 1);
+                return true;
+            }
+            return false;
+        };
+        if (take_value("--trace-out", options.traceOut) ||
+            take_value("--metrics-out", options.metricsOut))
+            continue;
+        argv[out++] = argv[i];
+    }
+    argc = out;
+
+    if (!options.traceOut.empty())
+        obs::TraceSession::global().setEnabled(true);
+    return options;
+}
+
+/** Write the requested trace / metrics files (no-op when unset). */
+inline void
+finalizeObs(const ObsOptions &options)
+{
+    if (!options.traceOut.empty()) {
+        std::ofstream os(options.traceOut);
+        if (!os)
+            MINDFUL_FATAL("cannot open trace output ", options.traceOut);
+        obs::TraceSession::global().writeJson(os);
+        MINDFUL_INFORM("wrote ",
+                       obs::TraceSession::global().eventCount(),
+                       " trace events to ", options.traceOut);
+    }
+    if (!options.metricsOut.empty()) {
+        std::ofstream os(options.metricsOut);
+        if (!os)
+            MINDFUL_FATAL("cannot open metrics output ",
+                          options.metricsOut);
+        obs::MetricRegistry::global().snapshotTable().printCsv(os);
+        MINDFUL_INFORM("wrote ", obs::MetricRegistry::global().size(),
+                       " metrics to ", options.metricsOut);
+    }
+}
+
+/** RAII wrapper: parse at construction, finalize at destruction. */
+class ObsGuard
+{
+  public:
+    ObsGuard(int &argc, char **argv)
+        : _options(parseObsOptions(argc, argv))
+    {
+    }
+
+    ~ObsGuard() { finalizeObs(_options); }
+
+    const ObsOptions &options() const { return _options; }
+
+  private:
+    ObsOptions _options;
+};
 
 } // namespace mindful::bench
 

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "bench_util.hh"
 #include "core/experiments.hh"
 
 namespace {
@@ -28,6 +29,7 @@ write(const std::filesystem::path &dir, const std::string &name,
 int
 main(int argc, char **argv)
 {
+    mindful::bench::ObsGuard _obs(argc, argv);
     using namespace mindful::core;
     namespace fs = std::filesystem;
 

@@ -12,6 +12,7 @@
 int
 main(int argc, char **argv)
 {
+    mindful::bench::ObsGuard _obs(argc, argv);
     using namespace mindful;
     bench::emit(core::experiments::fig11Table(),
                 bench::csvOnly(argc, argv));

@@ -13,6 +13,7 @@
 int
 main(int argc, char **argv)
 {
+    mindful::bench::ObsGuard _obs(argc, argv);
     using namespace mindful;
     bool csv = bench::csvOnly(argc, argv);
     for (int soc_id = 1; soc_id <= 8; ++soc_id)

@@ -11,6 +11,7 @@
 int
 main(int argc, char **argv)
 {
+    mindful::bench::ObsGuard _obs(argc, argv);
     using namespace mindful;
     using namespace mindful::core;
     bool csv = bench::csvOnly(argc, argv);

@@ -9,6 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+
+#include "bench_util.hh"
+
 #include "accel/lower_bound.hh"
 #include "accel/simulator.hh"
 #include "base/matrix.hh"
@@ -251,4 +255,29 @@ BENCHMARK(BM_WptEfficiency);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main instead of BENCHMARK_MAIN(): the instrumented substrates
+ * (channel simulator, accelerator simulator, DNN forward) publish into
+ * the metric registry while the benchmarks run, and we emit that
+ * snapshot through the single shared reporting path (table / CSV /
+ * --metrics-out) rather than ad-hoc prints. --trace-out additionally
+ * captures spans, though benchmark loops produce *many* of them.
+ */
+int
+main(int argc, char **argv)
+{
+    // Strip --trace-out/--metrics-out before google-benchmark parses.
+    auto obs = mindful::bench::parseObsOptions(argc, argv);
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    std::cout << '\n';
+    mindful::obs::MetricRegistry::global().snapshotTable().print(
+        std::cout);
+    mindful::bench::finalizeObs(obs);
+    return 0;
+}

@@ -9,6 +9,7 @@
 int
 main(int argc, char **argv)
 {
+    mindful::bench::ObsGuard _obs(argc, argv);
     using namespace mindful;
     bench::emit(core::experiments::table1(), bench::csvOnly(argc, argv));
     return 0;

@@ -5,6 +5,8 @@
 #include "base/logging.hh"
 #include "base/special_math.hh"
 #include "dnn/dense.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace mindful::accel {
 
@@ -62,6 +64,10 @@ SimulationResult
 AcceleratorSimulator::run(const dnn::Network &network,
                           const dnn::Tensor &input) const
 {
+    MINDFUL_TRACE_SPAN(run_span, "accel", "simulator.run");
+    run_span.arg("network", network.name())
+        .arg("mac_units", _config.macUnits);
+
     SimulationResult result;
     result.layerCycles.assign(network.layerCount(), 0);
 
@@ -71,21 +77,46 @@ AcceleratorSimulator::run(const dnn::Network &network,
         dnn::MacCensus census = layer.census(activation.shape());
         std::uint64_t layer_cycles = 0;
 
-        if (const auto *dense =
-                dynamic_cast<const dnn::DenseLayer *>(&layer)) {
-            activation = runDenseOnPes(*dense, activation,
-                                       _config.macUnits, layer_cycles);
-        } else {
-            if (!census.empty()) {
-                layer_cycles = ceilDiv(census.macOp, _config.macUnits) *
-                               census.macSeq;
+        {
+            MINDFUL_TRACE_SPAN(layer_span, "accel",
+                               "layer." + layer.name());
+            layer_span.arg("index", static_cast<std::uint64_t>(i))
+                .arg("macs", census.totalMacs());
+
+            if (const auto *dense =
+                    dynamic_cast<const dnn::DenseLayer *>(&layer)) {
+                activation = runDenseOnPes(*dense, activation,
+                                           _config.macUnits,
+                                           layer_cycles);
+            } else {
+                if (!census.empty()) {
+                    layer_cycles =
+                        ceilDiv(census.macOp, _config.macUnits) *
+                        census.macSeq;
+                }
+                activation = layer.forward(activation);
             }
-            activation = layer.forward(activation);
+            layer_span.arg("cycles", layer_cycles);
         }
 
         result.layerCycles[i] = layer_cycles;
         result.cycles += layer_cycles;
         result.macsExecuted += census.totalMacs();
+
+        if (census.totalMacs() > 0) {
+            Energy layer_energy = _config.mac.energyPerMac() *
+                                  static_cast<double>(census.totalMacs());
+            MINDFUL_METRIC_RECORD("accel.layer.energy_pj",
+                                  layer_energy.inPicojoules());
+            MINDFUL_METRIC_RECORD(
+                "accel.layer.latency_us",
+                (_config.mac.macTime *
+                 static_cast<double>(layer_cycles))
+                    .inMicroseconds());
+            MINDFUL_METRIC_RECORD(
+                "accel.layer.macs",
+                static_cast<double>(census.totalMacs()));
+        }
     }
 
     result.output = std::move(activation);
@@ -97,6 +128,14 @@ AcceleratorSimulator::run(const dnn::Network &network,
     result.utilization =
         capacity > 0.0 ? static_cast<double>(result.macsExecuted) / capacity
                        : 0.0;
+
+    MINDFUL_METRIC_COUNT("accel.sim.runs", 1);
+    MINDFUL_METRIC_COUNT("accel.sim.cycles", result.cycles);
+    MINDFUL_METRIC_COUNT("accel.sim.macs", result.macsExecuted);
+    MINDFUL_METRIC_GAUGE("accel.sim.utilization", result.utilization);
+    run_span.arg("cycles", result.cycles)
+        .arg("macs", result.macsExecuted)
+        .arg("utilization", result.utilization);
     return result;
 }
 

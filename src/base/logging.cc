@@ -1,26 +1,100 @@
 #include "base/logging.hh"
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <iomanip>
 #include <iostream>
+#include <mutex>
+#include <unordered_set>
 
 namespace mindful {
 
 namespace {
 
-LogLevel globalLevel = LogLevel::Info;
+std::atomic<LogLevel> globalLevel{LogLevel::Info};
+std::atomic<bool> elapsedPrefix{false};
+
+/**
+ * Serializes writes to the log sinks so concurrent warn()/inform()
+ * calls (e.g. from parallel Monte-Carlo workers) cannot interleave
+ * mid-line. panic()/fatal() also take it, then abort/exit while
+ * holding it — safe, since neither returns.
+ */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::mutex &
+warnOnceMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::unordered_set<std::string> &
+warnOnceSeen()
+{
+    static std::unordered_set<std::string> seen;
+    return seen;
+}
+
+std::chrono::steady_clock::time_point
+processStart()
+{
+    static const auto start = std::chrono::steady_clock::now();
+    return start;
+}
+
+// Touch the start time at static-init so the epoch is process start,
+// not the first log line.
+const auto initProcessStart = processStart();
+
+void
+writePrefix(std::ostream &os)
+{
+    if (!elapsedPrefix.load(std::memory_order_relaxed))
+        return;
+    auto elapsed = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - processStart());
+    os << "[" << std::setw(9) << std::fixed << std::setprecision(3)
+       << elapsed.count() << "s] " << std::defaultfloat;
+}
 
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    globalLevel = level;
+    globalLevel.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return globalLevel;
+    return globalLevel.load(std::memory_order_relaxed);
+}
+
+void
+setLogElapsedPrefix(bool enabled)
+{
+    elapsedPrefix.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+logElapsedPrefix()
+{
+    return elapsedPrefix.load(std::memory_order_relaxed);
+}
+
+void
+resetWarnOnce()
+{
+    std::lock_guard<std::mutex> lock(warnOnceMutex());
+    warnOnceSeen().clear();
 }
 
 namespace detail {
@@ -28,31 +102,56 @@ namespace detail {
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        writePrefix(std::cerr);
+        std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line
+                  << std::endl;
+    }
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        writePrefix(std::cerr);
+        std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line
+                  << std::endl;
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (globalLevel >= LogLevel::Warning)
-        std::cerr << "warn: " << msg << std::endl;
+    if (logLevel() < LogLevel::Warning)
+        return;
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    writePrefix(std::cerr);
+    std::cerr << "warn: " << msg << std::endl;
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (globalLevel >= LogLevel::Info)
-        std::cout << "info: " << msg << std::endl;
+    if (logLevel() < LogLevel::Info)
+        return;
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    writePrefix(std::cout);
+    std::cout << "info: " << msg << std::endl;
+}
+
+void
+warnOnceImpl(const std::string &key, const std::string &msg)
+{
+    {
+        std::lock_guard<std::mutex> lock(warnOnceMutex());
+        if (!warnOnceSeen().insert(key).second)
+            return;
+    }
+    warnImpl(msg);
 }
 
 } // namespace detail

@@ -32,6 +32,22 @@ void setLogLevel(LogLevel level);
 /** Current process-wide verbosity. */
 LogLevel logLevel();
 
+/**
+ * Prefix every warn()/inform() line with the monotonic time elapsed
+ * since process start, e.g. "[  12.345s] ". Off by default; useful
+ * when correlating log lines with trace spans (src/obs).
+ */
+void setLogElapsedPrefix(bool enabled);
+
+/** Whether the monotonic-elapsed prefix is currently enabled. */
+bool logElapsedPrefix();
+
+/**
+ * Forget which warnings MINDFUL_WARN_ONCE / warnOnce() have already
+ * emitted (intended for tests).
+ */
+void resetWarnOnce();
+
 namespace detail {
 
 [[noreturn]] void panicImpl(const char *file, int line,
@@ -40,6 +56,13 @@ namespace detail {
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+
+/**
+ * Emit @p msg as a warning the first time @p key is seen; drop it
+ * afterwards. Monte-Carlo loops use this so a per-sample anomaly
+ * cannot flood stderr with millions of identical lines.
+ */
+void warnOnceImpl(const std::string &key, const std::string &msg);
 
 /** Concatenate any streamable arguments into one string. */
 template <typename... Args>
@@ -66,6 +89,20 @@ concat(Args &&...args)
 /** Emit a warning that execution continues past. */
 #define MINDFUL_WARN(...) \
     ::mindful::detail::warnImpl(::mindful::detail::concat(__VA_ARGS__))
+
+/**
+ * Emit a warning at most once per distinct message text. The message
+ * is still formatted on every hit (to compute the dedup key), so keep
+ * the arguments cheap in hot loops — or hoist the call out of the
+ * per-sample path and count occurrences instead.
+ */
+#define MINDFUL_WARN_ONCE(...) \
+    do { \
+        std::string _mindful_warn_msg = \
+            ::mindful::detail::concat(__VA_ARGS__); \
+        ::mindful::detail::warnOnceImpl(_mindful_warn_msg, \
+                                        _mindful_warn_msg); \
+    } while (0)
 
 /** Emit an informational status message. */
 #define MINDFUL_INFORM(...) \

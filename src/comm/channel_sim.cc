@@ -2,10 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
+#include "base/decibel.hh"
 #include "base/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace mindful::comm {
+
+#ifndef MINDFUL_OBS_DISABLED
+namespace {
+
+/** "10.0" for 10 dB — used in per-Eb/N0 metric names. */
+std::string
+formatDb(double eb_n0_linear)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", toDecibels(eb_n0_linear));
+    return buf;
+}
+
+} // namespace
+#endif
 
 QamConstellation::QamConstellation(unsigned bits_per_symbol)
     : _bits(bits_per_symbol), _iBits((bits_per_symbol + 1) / 2),
@@ -104,6 +123,11 @@ AwgnChannelSimulator::measureBer(double eb_n0_linear, std::uint64_t symbols)
     // variance is N0 / 2.
     const double sigma = std::sqrt(0.5 / eb_n0_linear);
 
+    MINDFUL_TRACE_SPAN(span, "comm", "qam.measure_ber");
+    span.arg("bits_per_symbol", static_cast<std::uint64_t>(k))
+        .arg("ebn0_db", toDecibels(eb_n0_linear))
+        .arg("symbols", symbols);
+
     BerMeasurement measurement;
     for (std::uint64_t s = 0; s < symbols; ++s) {
         auto tx_bits = static_cast<std::uint32_t>(
@@ -118,6 +142,22 @@ AwgnChannelSimulator::measureBer(double eb_n0_linear, std::uint64_t symbols)
             static_cast<std::uint64_t>(__builtin_popcount(diff));
         measurement.bitsSent += k;
     }
+
+    // Publish per-call aggregates (never per-symbol: recording inside
+    // the loop would dominate the Monte-Carlo cost).
+    MINDFUL_METRIC_COUNT("comm.qam.symbols", symbols);
+    MINDFUL_METRIC_COUNT("comm.qam.bits_sent", measurement.bitsSent);
+    MINDFUL_METRIC_COUNT("comm.qam.bit_errors", measurement.bitErrors);
+    // 1 uniformInt + 2 gaussians per symbol.
+    MINDFUL_METRIC_COUNT("comm.qam.rng_draws", 3 * symbols);
+#ifndef MINDFUL_OBS_DISABLED
+    const std::string db = formatDb(eb_n0_linear);
+    MINDFUL_METRIC_COUNT("comm.qam.ebn0_" + db + "db.bits_sent",
+                         measurement.bitsSent);
+    MINDFUL_METRIC_COUNT("comm.qam.ebn0_" + db + "db.bit_errors",
+                         measurement.bitErrors);
+#endif
+    span.arg("bit_errors", measurement.bitErrors);
     return measurement;
 }
 
@@ -137,6 +177,9 @@ OokChannelSimulator::measureBer(double eb_n0_linear, std::uint64_t bits)
     const double sigma = std::sqrt(0.5 / eb_n0_linear);
     const double threshold = amplitude / 2.0;
 
+    MINDFUL_TRACE_SPAN(span, "comm", "ook.measure_ber");
+    span.arg("ebn0_db", toDecibels(eb_n0_linear)).arg("bits", bits);
+
     BerMeasurement measurement;
     measurement.bitsSent = bits;
     for (std::uint64_t i = 0; i < bits; ++i) {
@@ -145,6 +188,17 @@ OokChannelSimulator::measureBer(double eb_n0_linear, std::uint64_t bits)
         bool decoded = rx > threshold;
         measurement.bitErrors += decoded != tx;
     }
+
+    MINDFUL_METRIC_COUNT("comm.ook.bits_sent", bits);
+    MINDFUL_METRIC_COUNT("comm.ook.bit_errors", measurement.bitErrors);
+    // 1 bernoulli + 1 gaussian per bit.
+    MINDFUL_METRIC_COUNT("comm.ook.rng_draws", 2 * bits);
+#ifndef MINDFUL_OBS_DISABLED
+    const std::string db = formatDb(eb_n0_linear);
+    MINDFUL_METRIC_COUNT("comm.ook.ebn0_" + db + "db.bit_errors",
+                         measurement.bitErrors);
+#endif
+    span.arg("bit_errors", measurement.bitErrors);
     return measurement;
 }
 

@@ -5,6 +5,8 @@
 #include "base/logging.hh"
 #include "core/soc_catalog.hh"
 #include "dnn/models.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace mindful::core::experiments {
 
@@ -30,6 +32,8 @@ formatPercent(double fraction)
 Table
 table1()
 {
+    MINDFUL_TRACE_SCOPE("core", "experiments.table1");
+    MINDFUL_METRIC_COUNT("core.experiments.runs", 1);
     Table table("Table 1: summary of implanted SoC designs");
     table.setHeader({"#", "SoC", "NI Type", "#Channels", "Area (mm^2)",
                      "Power (mW)", "Pd (mW/cm^2)", "f (kHz)", "Wireless",
@@ -57,6 +61,8 @@ table1()
 std::vector<Fig4Row>
 fig4Rows()
 {
+    MINDFUL_TRACE_SCOPE("core", "experiments.fig4");
+    MINDFUL_METRIC_COUNT("core.experiments.runs", 1);
     thermal::PowerBudget budget;
     std::vector<Fig4Row> rows;
     for (const auto &soc : socCatalog()) {
@@ -107,6 +113,8 @@ std::vector<CommSweepSeries>
 commCentricSweep(CommScalingStrategy strategy,
                  const std::vector<std::uint64_t> &channels)
 {
+    MINDFUL_TRACE_SCOPE("core", "experiments.comm_sweep");
+    MINDFUL_METRIC_COUNT("core.experiments.runs", 1);
     std::vector<CommSweepSeries> series;
     for (const auto &soc : wirelessSocs()) {
         CommCentricModel model{ImplantModel(soc), strategy};
@@ -187,6 +195,8 @@ fig7Channels()
 std::vector<QamSeries>
 qamSweep(const std::vector<std::uint64_t> &channels, QamStudyConfig config)
 {
+    MINDFUL_TRACE_SCOPE("core", "experiments.qam_sweep");
+    MINDFUL_METRIC_COUNT("core.experiments.runs", 1);
     std::vector<QamSeries> series;
     for (const auto &soc : wirelessSocs()) {
         QamStudy study{ImplantModel(soc), config};
@@ -202,6 +212,8 @@ qamSweep(const std::vector<std::uint64_t> &channels, QamStudyConfig config)
 QamSummary
 qamSummary(double efficiency, QamStudyConfig config)
 {
+    MINDFUL_TRACE_SCOPE("core", "experiments.qam_summary");
+    MINDFUL_METRIC_COUNT("core.experiments.runs", 1);
     QamSummary summary;
     summary.efficiency = efficiency;
     double total = 0.0;
@@ -251,6 +263,8 @@ fig7Table()
 std::vector<Fig9Row>
 fig9Rows()
 {
+    MINDFUL_TRACE_SCOPE("core", "experiments.fig9");
+    MINDFUL_METRIC_COUNT("core.experiments.runs", 1);
     accel::SynthesisModel model;
     std::vector<Fig9Row> rows;
     int design = 1;
@@ -313,6 +327,8 @@ fig10Channels()
 std::vector<DnnPowerSeries>
 dnnPowerSweep(SpeechModel model, const std::vector<std::uint64_t> &channels)
 {
+    MINDFUL_TRACE_SCOPE("core", "experiments.dnn_power_sweep");
+    MINDFUL_METRIC_COUNT("core.experiments.runs", 1);
     std::vector<DnnPowerSeries> series;
     for (const auto &soc : wirelessSocs()) {
         CompCentricModel comp{ImplantModel(soc),
@@ -364,6 +380,8 @@ fig10Table(SpeechModel model)
 std::vector<PartitionGainRow>
 partitionGains(SpeechModel model)
 {
+    MINDFUL_TRACE_SCOPE("core", "experiments.partition_gains");
+    MINDFUL_METRIC_COUNT("core.experiments.runs", 1);
     std::vector<PartitionGainRow> rows;
     for (const auto &soc : wirelessSocs()) {
         CompCentricModel comp{ImplantModel(soc),
@@ -413,6 +431,8 @@ fig12Channels()
 std::vector<OptimizationSeries>
 optimizationSweep(int soc_id, SpeechModel model)
 {
+    MINDFUL_TRACE_SCOPE("core", "experiments.optimization_sweep");
+    MINDFUL_METRIC_COUNT("core.experiments.runs", 1);
     const SocDesign &soc = socById(soc_id);
     OptimizationStudy study{ImplantModel(soc), speechModelBuilder(model)};
 

@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "base/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace mindful::dnn {
 
@@ -64,6 +66,13 @@ Network::forwardPrefix(const Tensor &input, std::size_t layers) const
     MINDFUL_ASSERT(input.shape() == _shapes.front(),
                    "input shape ", toString(input.shape()),
                    " != expected ", toString(_shapes.front()));
+
+    MINDFUL_TRACE_SPAN(span, "dnn", "network.forward");
+    span.arg("network", _name)
+        .arg("layers", static_cast<std::uint64_t>(layers));
+    MINDFUL_METRIC_COUNT("dnn.forward.calls", 1);
+    MINDFUL_METRIC_COUNT("dnn.forward.layers", layers);
+
     Tensor activation = input;
     for (std::size_t i = 0; i < layers; ++i)
         activation = _layers[i]->forward(activation);

@@ -1,0 +1,328 @@
+#include "obs/metrics.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace mindful::obs {
+
+HistogramMetric::HistogramMetric(HistogramOptions options)
+    : _histogram(options.lo, options.hi, options.bins)
+{
+}
+
+void
+HistogramMetric::record(double value)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _histogram.add(value);
+    _stats.add(value);
+}
+
+void
+HistogramMetric::merge(const HistogramMetric &other)
+{
+    // Lock ordering: by address, to keep A.merge(B) and B.merge(A)
+    // running concurrently from deadlocking.
+    const HistogramMetric *first = this < &other ? this : &other;
+    const HistogramMetric *second = this < &other ? &other : this;
+    std::lock_guard<std::mutex> lock_a(first->_mutex);
+    std::lock_guard<std::mutex> lock_b(second->_mutex);
+    _histogram.merge(other._histogram);
+    _stats.merge(other._stats);
+}
+
+std::size_t
+HistogramMetric::count() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _stats.count();
+}
+
+double
+HistogramMetric::mean() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _stats.mean();
+}
+
+double
+HistogramMetric::min() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _stats.count() ? _stats.min() : 0.0;
+}
+
+double
+HistogramMetric::max() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _stats.count() ? _stats.max() : 0.0;
+}
+
+double
+HistogramMetric::sum() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _stats.sum();
+}
+
+double
+HistogramMetric::percentile(double p) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _histogram.percentile(p);
+}
+
+MetricRegistry &
+MetricRegistry::global()
+{
+    static MetricRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Entry &entry = _entries[name];
+    MINDFUL_ASSERT(!entry.gauge && !entry.histogram,
+                   "metric '", name, "' already registered with "
+                   "a different kind");
+    if (!entry.counter)
+        entry.counter = std::make_unique<Counter>();
+    return *entry.counter;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Entry &entry = _entries[name];
+    MINDFUL_ASSERT(!entry.counter && !entry.histogram,
+                   "metric '", name, "' already registered with "
+                   "a different kind");
+    if (!entry.gauge)
+        entry.gauge = std::make_unique<Gauge>();
+    return *entry.gauge;
+}
+
+HistogramMetric &
+MetricRegistry::histogram(const std::string &name, HistogramOptions options)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    Entry &entry = _entries[name];
+    MINDFUL_ASSERT(!entry.counter && !entry.gauge,
+                   "metric '", name, "' already registered with "
+                   "a different kind");
+    if (!entry.histogram)
+        entry.histogram = std::make_unique<HistogramMetric>(options);
+    return *entry.histogram;
+}
+
+bool
+MetricRegistry::contains(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _entries.count(name) > 0;
+}
+
+std::size_t
+MetricRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _entries.size();
+}
+
+void
+MetricRegistry::merge(const MetricRegistry &other)
+{
+    // Snapshot the other side's entry pointers under its lock, then
+    // fold them in via the public accessors (which take our lock per
+    // metric). The pointed-to metrics are never deleted while the
+    // other registry is alive, so the pointers stay valid.
+    struct Ref
+    {
+        std::string name;
+        const Counter *counter = nullptr;
+        const Gauge *gauge = nullptr;
+        const HistogramMetric *histogram = nullptr;
+    };
+    std::vector<Ref> refs;
+    {
+        std::lock_guard<std::mutex> lock(other._mutex);
+        refs.reserve(other._entries.size());
+        for (const auto &[name, entry] : other._entries) {
+            refs.push_back({name, entry.counter.get(), entry.gauge.get(),
+                            entry.histogram.get()});
+        }
+    }
+    for (const auto &ref : refs) {
+        if (ref.counter)
+            counter(ref.name).add(ref.counter->value());
+        if (ref.gauge && ref.gauge->isSet())
+            gauge(ref.name).set(ref.gauge->value());
+        if (ref.histogram)
+            histogram(ref.name).merge(*ref.histogram);
+    }
+}
+
+void
+MetricRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _entries.clear();
+}
+
+std::vector<MetricSample>
+MetricRegistry::snapshot() const
+{
+    // Collect entry pointers under the lock, then read each metric
+    // through its own synchronization (std::map iteration order is
+    // already name-sorted).
+    struct Ref
+    {
+        std::string name;
+        const Counter *counter = nullptr;
+        const Gauge *gauge = nullptr;
+        const HistogramMetric *histogram = nullptr;
+    };
+    std::vector<Ref> refs;
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        refs.reserve(_entries.size());
+        for (const auto &[name, entry] : _entries) {
+            refs.push_back({name, entry.counter.get(), entry.gauge.get(),
+                            entry.histogram.get()});
+        }
+    }
+
+    std::vector<MetricSample> samples;
+    samples.reserve(refs.size());
+    for (const auto &ref : refs) {
+        MetricSample sample;
+        sample.name = ref.name;
+        if (ref.counter) {
+            sample.type = "counter";
+            sample.value = static_cast<double>(ref.counter->value());
+            sample.count = static_cast<std::size_t>(ref.counter->value());
+        } else if (ref.gauge) {
+            sample.type = "gauge";
+            sample.value = ref.gauge->value();
+            sample.count = ref.gauge->isSet() ? 1 : 0;
+        } else if (ref.histogram) {
+            sample.type = "histogram";
+            sample.value = ref.histogram->mean();
+            sample.count = ref.histogram->count();
+            sample.min = ref.histogram->min();
+            sample.max = ref.histogram->max();
+            sample.p50 = ref.histogram->percentile(50.0);
+            sample.p95 = ref.histogram->percentile(95.0);
+            sample.p99 = ref.histogram->percentile(99.0);
+        }
+        samples.push_back(std::move(sample));
+    }
+    return samples;
+}
+
+Table
+MetricRegistry::snapshotTable() const
+{
+    Table table("metrics");
+    table.setHeader({"name", "type", "count", "value", "min", "p50",
+                     "p95", "p99", "max"});
+    for (const auto &s : snapshot()) {
+        table.addRow({
+            s.name,
+            s.type,
+            std::to_string(s.count),
+            Table::formatNumber(s.value, 6),
+            Table::formatNumber(s.min, 6),
+            Table::formatNumber(s.p50, 6),
+            Table::formatNumber(s.p95, 6),
+            Table::formatNumber(s.p99, 6),
+            Table::formatNumber(s.max, 6),
+        });
+    }
+    return table;
+}
+
+namespace {
+
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+void
+writeJsonNumber(std::ostream &os, double v)
+{
+    // JSON has no Infinity/NaN literals; clamp to null.
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    std::ostringstream tmp;
+    tmp.precision(15);
+    tmp << v;
+    os << tmp.str();
+}
+
+} // namespace
+
+void
+MetricRegistry::writeJson(std::ostream &os) const
+{
+    os << "{";
+    bool first = true;
+    for (const auto &s : snapshot()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  ";
+        writeJsonString(os, s.name);
+        os << ": {\"type\": ";
+        writeJsonString(os, s.type);
+        os << ", \"count\": " << s.count << ", \"value\": ";
+        writeJsonNumber(os, s.value);
+        if (s.type == "histogram") {
+            os << ", \"min\": ";
+            writeJsonNumber(os, s.min);
+            os << ", \"p50\": ";
+            writeJsonNumber(os, s.p50);
+            os << ", \"p95\": ";
+            writeJsonNumber(os, s.p95);
+            os << ", \"p99\": ";
+            writeJsonNumber(os, s.p99);
+            os << ", \"max\": ";
+            writeJsonNumber(os, s.max);
+        }
+        os << "}";
+    }
+    os << "\n}\n";
+}
+
+} // namespace mindful::obs

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Process-wide metric registry: named counters, gauges, and
+ * distribution (histogram) metrics.
+ *
+ * The registry is the single reporting path for everything the
+ * executable substrates measure — Monte-Carlo sample counts, simulated
+ * cycles and energy, closed-loop latency decompositions. Hot paths
+ * hold a `Counter &` / `HistogramMetric &` obtained once (name lookup
+ * is a locked map access, recording is an atomic add or a short
+ * critical section) and typically accumulate in a local variable
+ * inside the loop, publishing once per call.
+ *
+ * Parallel reductions mirror `RunningStats::merge`: give each worker
+ * its own `MetricRegistry`, then `merge()` them into the global one.
+ *
+ * Metric names are dot-separated paths, lowercase with underscores,
+ * `<subsystem>.<component>.<quantity>[_<unit>]` — e.g.
+ * `comm.qam.bit_errors`, `accel.layer.energy_pj`,
+ * `core.closed_loop.loop_latency_us`. See docs/observability.md.
+ *
+ * Define `MINDFUL_OBS_DISABLED` to compile the convenience macros at
+ * the bottom of this header to no-ops; the classes themselves remain
+ * available (they are cheap and deterministic).
+ */
+
+#ifndef MINDFUL_OBS_METRICS_HH
+#define MINDFUL_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/table.hh"
+
+namespace mindful::obs {
+
+/** Monotonically increasing event count. Lock-free to record. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        _value.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> _value{0};
+};
+
+/** Last-written instantaneous value (utilization, overhead, ...). */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        _value.store(v, std::memory_order_relaxed);
+        _set.store(true, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+    /** Whether set() has ever been called (merge keeps set values). */
+    bool
+    isSet() const
+    {
+        return _set.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> _value{0.0};
+    std::atomic<bool> _set{false};
+};
+
+/** Bucket layout for a HistogramMetric. */
+struct HistogramOptions
+{
+    /** Lower edge of the first log-spaced bucket (must be > 0). */
+    double lo = 1e-3;
+
+    /** Upper edge of the last bucket. */
+    double hi = 1e9;
+
+    /** Bucket count across [lo, hi). */
+    std::size_t bins = 120;
+};
+
+/**
+ * Distribution metric: a log-spaced histogram (for percentiles) plus
+ * a RunningStats (for exact mean/min/max/count). Recording takes a
+ * short mutex; hot loops should record per-call aggregates, not
+ * per-sample values.
+ */
+class HistogramMetric
+{
+  public:
+    explicit HistogramMetric(HistogramOptions options = {});
+
+    void record(double value);
+
+    void merge(const HistogramMetric &other);
+
+    std::size_t count() const;
+    double mean() const;
+    double min() const;
+    double max() const;
+    double sum() const;
+
+    /** Percentile estimate, p in [0, 100]; see LogHistogram. */
+    double percentile(double p) const;
+
+  private:
+    mutable std::mutex _mutex;
+    LogHistogram _histogram;
+    RunningStats _stats;
+};
+
+/** One row of MetricRegistry::snapshotTable(), for programmatic use. */
+struct MetricSample
+{
+    std::string name;
+    std::string type; //!< "counter", "gauge", or "histogram"
+    double value = 0.0; //!< counter/gauge value; histogram mean
+    std::size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/**
+ * Named collection of metrics. Lookup creates on first use; returned
+ * references stay valid for the registry's lifetime. A metric name
+ * may only ever be used with one metric kind.
+ */
+class MetricRegistry
+{
+  public:
+    MetricRegistry() = default;
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /** The process-wide registry the instrumented substrates use. */
+    static MetricRegistry &global();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    HistogramMetric &histogram(const std::string &name,
+                               HistogramOptions options = {});
+
+    /** Whether a metric of any kind exists under @p name. */
+    bool contains(const std::string &name) const;
+
+    /** Number of registered metrics (all kinds). */
+    std::size_t size() const;
+
+    /**
+     * Fold another registry into this one: counters add, histograms
+     * merge bucket-wise, gauges adopt the other side's value when it
+     * has been set. Metric kinds must agree per name.
+     */
+    void merge(const MetricRegistry &other);
+
+    /** Drop every metric (intended for tests and A/B harnesses). */
+    void clear();
+
+    /** Name-sorted snapshot of every metric. */
+    std::vector<MetricSample> snapshot() const;
+
+    /**
+     * Snapshot as a Table (name, type, count, value, min, p50, p95,
+     * p99, max) — print() for humans, printCsv() for machines.
+     */
+    Table snapshotTable() const;
+
+    /** Snapshot as a JSON object keyed by metric name. */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    struct Entry
+    {
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<HistogramMetric> histogram;
+    };
+
+    mutable std::mutex _mutex;
+    std::map<std::string, Entry> _entries;
+};
+
+} // namespace mindful::obs
+
+/**
+ * Convenience macros for one-shot recording sites. These compile away
+ * under MINDFUL_OBS_DISABLED; code holding metric references directly
+ * should instead guard with `#ifndef MINDFUL_OBS_DISABLED` or accept
+ * the (cheap) unconditional cost.
+ */
+#ifndef MINDFUL_OBS_DISABLED
+
+#define MINDFUL_METRIC_COUNT(name, n) \
+    ::mindful::obs::MetricRegistry::global().counter(name).add(n)
+#define MINDFUL_METRIC_GAUGE(name, v) \
+    ::mindful::obs::MetricRegistry::global().gauge(name).set(v)
+#define MINDFUL_METRIC_RECORD(name, v) \
+    ::mindful::obs::MetricRegistry::global().histogram(name).record(v)
+
+#else
+
+#define MINDFUL_METRIC_COUNT(name, n) \
+    do { \
+    } while (0)
+#define MINDFUL_METRIC_GAUGE(name, v) \
+    do { \
+    } while (0)
+#define MINDFUL_METRIC_RECORD(name, v) \
+    do { \
+    } while (0)
+
+#endif // MINDFUL_OBS_DISABLED
+
+#endif // MINDFUL_OBS_METRICS_HH

@@ -1,0 +1,221 @@
+#include "obs/trace.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "obs/metrics.hh"
+
+namespace mindful::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point
+traceEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+// Touch at static-init so the epoch is process start.
+const auto initTraceEpoch = traceEpoch();
+
+std::uint64_t
+nanosSinceEpoch()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - traceEpoch())
+            .count());
+}
+
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+/** ts/dur in microseconds with nanosecond decimals. */
+void
+writeMicros(std::ostream &os, std::uint64_t nanos)
+{
+    os << nanos / 1000 << '.' << static_cast<char>('0' + nanos / 100 % 10)
+       << static_cast<char>('0' + nanos / 10 % 10)
+       << static_cast<char>('0' + nanos % 10);
+}
+
+} // namespace
+
+TraceSession &
+TraceSession::global()
+{
+    static TraceSession session;
+    return session;
+}
+
+void
+TraceSession::setEnabled(bool enabled)
+{
+    _enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t
+TraceSession::nowNanos() const
+{
+    return nanosSinceEpoch();
+}
+
+std::uint32_t
+TraceSession::currentThreadId()
+{
+    static std::atomic<std::uint32_t> next{0};
+    thread_local const std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+void
+TraceSession::record(TraceEvent event)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _events.push_back(std::move(event));
+}
+
+std::size_t
+TraceSession::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _events.size();
+}
+
+std::vector<TraceEvent>
+TraceSession::events() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _events;
+}
+
+void
+TraceSession::clear()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _events.clear();
+}
+
+void
+TraceSession::writeJson(std::ostream &os) const
+{
+    std::vector<TraceEvent> snapshot = events();
+    os << "{\"traceEvents\": [";
+    bool first = true;
+    for (const auto &event : snapshot) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  {\"name\": ";
+        writeJsonString(os, event.name);
+        os << ", \"cat\": ";
+        writeJsonString(os, event.category);
+        os << ", \"ph\": \"X\", \"ts\": ";
+        writeMicros(os, event.startNanos);
+        os << ", \"dur\": ";
+        writeMicros(os, event.durationNanos);
+        os << ", \"pid\": 1, \"tid\": " << event.threadId;
+        if (!event.args.empty()) {
+            os << ", \"args\": {";
+            bool first_arg = true;
+            for (const auto &[key, value] : event.args) {
+                if (!first_arg)
+                    os << ", ";
+                first_arg = false;
+                writeJsonString(os, key);
+                os << ": ";
+                writeJsonString(os, value);
+            }
+            os << "}";
+        }
+        os << "}";
+    }
+    os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+TraceSpan::TraceSpan(const char *category, std::string name)
+    : _active(TraceSession::global().enabled())
+{
+    if (!_active)
+        return;
+    _event.name = std::move(name);
+    _event.category = category;
+    _event.threadId = TraceSession::currentThreadId();
+    _startNanos = nanosSinceEpoch();
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (!_active)
+        return;
+    _event.startNanos = _startNanos;
+    _event.durationNanos = nanosSinceEpoch() - _startNanos;
+    TraceSession::global().record(std::move(_event));
+}
+
+TraceSpan &
+TraceSpan::arg(const std::string &key, const std::string &value)
+{
+    if (_active)
+        _event.args.emplace_back(key, value);
+    return *this;
+}
+
+TraceSpan &
+TraceSpan::arg(const std::string &key, double value)
+{
+    if (_active) {
+        std::ostringstream os;
+        os.precision(12);
+        os << value;
+        _event.args.emplace_back(key, os.str());
+    }
+    return *this;
+}
+
+TraceSpan &
+TraceSpan::arg(const std::string &key, std::uint64_t value)
+{
+    if (_active)
+        _event.args.emplace_back(key, std::to_string(value));
+    return *this;
+}
+
+ScopedTimer::ScopedTimer(HistogramMetric &metric)
+    : _metric(metric), _startNanos(nanosSinceEpoch())
+{
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    double elapsed_us =
+        static_cast<double>(nanosSinceEpoch() - _startNanos) / 1000.0;
+    _metric.record(elapsed_us);
+}
+
+} // namespace mindful::obs

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
+#include <string>
+
 #include "base/decibel.hh"
 #include "base/logging.hh"
 #include "base/random.hh"
@@ -103,6 +106,65 @@ TEST(LoggingTest, LogLevelControlsOutput)
     // Must not crash while silenced.
     MINDFUL_WARN("suppressed warning");
     MINDFUL_INFORM("suppressed info");
+    setLogLevel(original);
+}
+
+TEST(LoggingTest, WarnOnceDeduplicatesByMessage)
+{
+    LogLevel original = logLevel();
+    setLogLevel(LogLevel::Warning);
+    resetWarnOnce();
+
+    testing::internal::CaptureStderr();
+    for (int i = 0; i < 5; ++i)
+        MINDFUL_WARN_ONCE("adc saturated on channel ", 3);
+    MINDFUL_WARN_ONCE("adc saturated on channel ", 4); // distinct text
+    std::string captured = testing::internal::GetCapturedStderr();
+
+    auto occurrences = [&captured](const std::string &needle) {
+        std::size_t n = 0;
+        for (std::size_t pos = captured.find(needle);
+             pos != std::string::npos;
+             pos = captured.find(needle, pos + 1))
+            ++n;
+        return n;
+    };
+    EXPECT_EQ(occurrences("channel 3"), 1u);
+    EXPECT_EQ(occurrences("channel 4"), 1u);
+
+    // Resetting the dedup set re-arms the message.
+    resetWarnOnce();
+    testing::internal::CaptureStderr();
+    MINDFUL_WARN_ONCE("adc saturated on channel ", 3);
+    captured = testing::internal::GetCapturedStderr();
+    EXPECT_NE(captured.find("channel 3"), std::string::npos);
+
+    resetWarnOnce();
+    setLogLevel(original);
+}
+
+TEST(LoggingTest, ElapsedPrefixStampsLogLines)
+{
+    LogLevel original = logLevel();
+    setLogLevel(LogLevel::Warning);
+    EXPECT_FALSE(logElapsedPrefix());
+    setLogElapsedPrefix(true);
+    EXPECT_TRUE(logElapsedPrefix());
+
+    testing::internal::CaptureStderr();
+    MINDFUL_WARN("prefixed line");
+    std::string captured = testing::internal::GetCapturedStderr();
+    // "[  12.345s] warn: prefixed line"
+    EXPECT_TRUE(std::regex_search(
+        captured, std::regex(R"(\[ *[0-9]+\.[0-9]{3}s\] warn:)")))
+        << captured;
+
+    setLogElapsedPrefix(false);
+    testing::internal::CaptureStderr();
+    MINDFUL_WARN("bare line");
+    captured = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(captured.rfind("warn:", 0), 0u) << captured;
+
     setLogLevel(original);
 }
 

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * MINDFUL_OBS_DISABLED build test. This file is compiled into its own
+ * executable with the macro defined (see tests/CMakeLists.txt), so it
+ * verifies both that instrumented code still compiles in that
+ * configuration and that every MINDFUL_TRACE_* / MINDFUL_METRIC_*
+ * macro degrades to a genuine no-op: nothing reaches the global trace
+ * session or metric registry even when both are explicitly enabled.
+ */
+
+#ifndef MINDFUL_OBS_DISABLED
+#error "this test must be built with -DMINDFUL_OBS_DISABLED"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace mindful::obs {
+namespace {
+
+TEST(ObsDisabledTest, TraceMacrosRecordNothing)
+{
+    TraceSession::global().clear();
+    TraceSession::global().setEnabled(true);
+    {
+        MINDFUL_TRACE_SCOPE("test", "scope");
+        MINDFUL_TRACE_SPAN(span, "test", "span");
+        // The null span keeps the instrumented call sites compiling.
+        span.arg("label", std::string("x"))
+            .arg("ratio", 0.5)
+            .arg("count", std::uint64_t{7});
+        EXPECT_FALSE(span.active());
+    }
+    EXPECT_EQ(TraceSession::global().eventCount(), 0u);
+    TraceSession::global().setEnabled(false);
+}
+
+TEST(ObsDisabledTest, MetricMacrosRegisterNothing)
+{
+    MetricRegistry::global().clear();
+    MINDFUL_METRIC_COUNT("disabled.count", 3);
+    MINDFUL_METRIC_GAUGE("disabled.gauge", 1.5);
+    MINDFUL_METRIC_RECORD("disabled.hist", 2.5);
+    EXPECT_EQ(MetricRegistry::global().size(), 0u);
+    EXPECT_FALSE(MetricRegistry::global().contains("disabled.count"));
+}
+
+TEST(ObsDisabledTest, DirectApiStillWorks)
+{
+    // Only the macros are compiled out; explicit use of the classes
+    // (e.g. the bench harness writing its A/B gauges) keeps working.
+    MetricRegistry registry;
+    registry.counter("explicit.count").add(2);
+    EXPECT_EQ(registry.counter("explicit.count").value(), 2u);
+}
+
+} // namespace
+} // namespace mindful::obs

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Metric registry tests: kinds, merge semantics, percentile accuracy
+ * against sorted-vector ground truth, and snapshot/export paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "base/random.hh"
+#include "obs/metrics.hh"
+
+namespace mindful::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentAddsAreLossless)
+{
+    Counter c;
+    constexpr int kThreads = 8;
+    constexpr int kAdds = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < kAdds; ++i)
+                c.add();
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads * kAdds));
+}
+
+TEST(GaugeTest, TracksLastWriteAndSetFlag)
+{
+    Gauge g;
+    EXPECT_FALSE(g.isSet());
+    g.set(3.5);
+    g.set(-1.25);
+    EXPECT_TRUE(g.isSet());
+    EXPECT_DOUBLE_EQ(g.value(), -1.25);
+}
+
+TEST(HistogramMetricTest, CountMeanExtremaExact)
+{
+    HistogramMetric h;
+    for (double v : {1.0, 10.0, 100.0})
+        h.record(v);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.mean(), 37.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    EXPECT_DOUBLE_EQ(h.sum(), 111.0);
+}
+
+TEST(HistogramMetricTest, PercentileTracksSortedVectorGroundTruth)
+{
+    // Log-uniform samples spanning the bucket range; the histogram's
+    // nearest-rank estimate must match the exact sorted-vector answer
+    // to within one bucket's relative width.
+    HistogramOptions options;
+    options.lo = 1e-3;
+    options.hi = 1e9;
+    options.bins = 120;
+    // Bucket edge ratio = (hi/lo)^(1/bins) = 10^(12/120) = 10^0.1.
+    const double ratio = std::pow(10.0, 0.1);
+
+    Rng rng(123);
+    HistogramMetric h(options);
+    std::vector<double> values;
+    for (int i = 0; i < 20000; ++i) {
+        double v = std::pow(10.0, rng.uniform(-2.0, 6.0));
+        values.push_back(v);
+        h.record(v);
+    }
+    std::sort(values.begin(), values.end());
+
+    for (double p : {1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 99.9}) {
+        auto rank = static_cast<std::size_t>(
+            std::ceil(p / 100.0 * static_cast<double>(values.size())));
+        double exact = values[std::max<std::size_t>(rank, 1) - 1];
+        double estimate = h.percentile(p);
+        EXPECT_GT(estimate, exact / ratio)
+            << "p" << p << " underestimates";
+        EXPECT_LT(estimate, exact * ratio)
+            << "p" << p << " overestimates";
+    }
+}
+
+TEST(HistogramMetricTest, MergeMatchesSequentialRecording)
+{
+    Rng rng(7);
+    HistogramMetric all, left, right;
+    for (int i = 0; i < 5000; ++i) {
+        double v = std::abs(rng.gaussian(50.0, 20.0)) + 1e-3;
+        all.record(v);
+        (i % 2 ? left : right).record(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+    EXPECT_DOUBLE_EQ(left.percentile(50.0), all.percentile(50.0));
+    EXPECT_DOUBLE_EQ(left.percentile(99.0), all.percentile(99.0));
+}
+
+TEST(MetricRegistryTest, LookupCreatesOnceAndIsStable)
+{
+    MetricRegistry registry;
+    Counter &a = registry.counter("x.count");
+    Counter &b = registry.counter("x.count");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(registry.size(), 1u);
+    EXPECT_TRUE(registry.contains("x.count"));
+    EXPECT_FALSE(registry.contains("x.other"));
+}
+
+TEST(MetricRegistryDeathTest, KindMismatchPanics)
+{
+    MetricRegistry registry;
+    registry.counter("dual.use");
+    EXPECT_DEATH(registry.gauge("dual.use"), "different kind");
+}
+
+TEST(MetricRegistryTest, MergeAddsCountersMergesHistogramsAdoptsGauges)
+{
+    MetricRegistry a, b;
+    a.counter("shared.count").add(10);
+    b.counter("shared.count").add(32);
+    b.counter("only_b.count").add(7);
+
+    a.gauge("g.set_in_b");
+    b.gauge("g.set_in_b").set(2.5);
+    a.gauge("g.set_in_a").set(1.5);
+    b.gauge("g.set_in_a"); // exists but never set: must not clobber
+
+    a.histogram("h").record(1.0);
+    b.histogram("h").record(100.0);
+
+    a.merge(b);
+    EXPECT_EQ(a.counter("shared.count").value(), 42u);
+    EXPECT_EQ(a.counter("only_b.count").value(), 7u);
+    EXPECT_DOUBLE_EQ(a.gauge("g.set_in_b").value(), 2.5);
+    EXPECT_DOUBLE_EQ(a.gauge("g.set_in_a").value(), 1.5);
+    EXPECT_EQ(a.histogram("h").count(), 2u);
+    EXPECT_DOUBLE_EQ(a.histogram("h").min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.histogram("h").max(), 100.0);
+}
+
+TEST(MetricRegistryTest, ParallelWorkerReduction)
+{
+    // The documented pattern: one local registry per worker, merged
+    // into a shared one afterwards.
+    constexpr int kWorkers = 4;
+    constexpr int kEvents = 2500;
+    std::vector<std::unique_ptr<MetricRegistry>> locals;
+    for (int w = 0; w < kWorkers; ++w)
+        locals.push_back(std::make_unique<MetricRegistry>());
+
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWorkers; ++w) {
+        threads.emplace_back([&locals, w] {
+            Counter &events = locals[w]->counter("worker.events");
+            HistogramMetric &lat =
+                locals[w]->histogram("worker.latency_us");
+            for (int i = 0; i < kEvents; ++i) {
+                events.add();
+                lat.record(1.0 + w);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    MetricRegistry total;
+    for (const auto &local : locals)
+        total.merge(*local);
+    EXPECT_EQ(total.counter("worker.events").value(),
+              static_cast<std::uint64_t>(kWorkers * kEvents));
+    EXPECT_EQ(total.histogram("worker.latency_us").count(),
+              static_cast<std::size_t>(kWorkers * kEvents));
+    EXPECT_DOUBLE_EQ(total.histogram("worker.latency_us").min(), 1.0);
+    EXPECT_DOUBLE_EQ(total.histogram("worker.latency_us").max(),
+                     static_cast<double>(kWorkers));
+}
+
+TEST(MetricRegistryTest, SnapshotIsNameSortedAndTyped)
+{
+    MetricRegistry registry;
+    registry.counter("b.count").add(5);
+    registry.gauge("a.gauge").set(1.0);
+    registry.histogram("c.hist").record(2.0);
+
+    auto samples = registry.snapshot();
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_EQ(samples[0].name, "a.gauge");
+    EXPECT_EQ(samples[0].type, "gauge");
+    EXPECT_EQ(samples[1].name, "b.count");
+    EXPECT_EQ(samples[1].type, "counter");
+    EXPECT_DOUBLE_EQ(samples[1].value, 5.0);
+    EXPECT_EQ(samples[2].name, "c.hist");
+    EXPECT_EQ(samples[2].type, "histogram");
+    EXPECT_EQ(samples[2].count, 1u);
+}
+
+TEST(MetricRegistryTest, TableExportHasHeaderAndOneRowPerMetric)
+{
+    MetricRegistry registry;
+    registry.counter("x").add(1);
+    registry.counter("y").add(2);
+    Table table = registry.snapshotTable();
+    EXPECT_EQ(table.columns(), 9u);
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(MetricRegistryTest, ClearEmptiesTheRegistry)
+{
+    MetricRegistry registry;
+    registry.counter("x").add(1);
+    registry.clear();
+    EXPECT_EQ(registry.size(), 0u);
+    EXPECT_FALSE(registry.contains("x"));
+}
+
+TEST(MetricRegistryTest, GlobalIsASingleton)
+{
+    EXPECT_EQ(&MetricRegistry::global(), &MetricRegistry::global());
+}
+
+} // namespace
+} // namespace mindful::obs
