@@ -9,8 +9,11 @@
  * All binaries also accept the observability flags:
  *   --trace-out FILE    enable span tracing, write Chrome trace JSON
  *   --metrics-out FILE  write a metric-registry snapshot as CSV
+ * and the execution flag:
+ *   --threads N         size the process-wide thread pool (0 = auto)
  * Call parseObsOptions() early and finalizeObs() before exit (or use
- * ObsGuard, which does both).
+ * ObsGuard, which does both). Output is bit-identical for any
+ * --threads value (docs/parallelism.md).
  */
 
 #ifndef MINDFUL_BENCH_BENCH_UTIL_HH
@@ -23,6 +26,7 @@
 
 #include "base/logging.hh"
 #include "base/table.hh"
+#include "exec/thread_pool.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -59,15 +63,17 @@ struct ObsOptions
 };
 
 /**
- * Extract --trace-out FILE / --metrics-out FILE (also the
- * --flag=FILE spelling) and *remove them from argv* so downstream
- * parsers (e.g. google-benchmark) never see them. Enables span
- * tracing when --trace-out is present.
+ * Extract --trace-out FILE / --metrics-out FILE / --threads N (also
+ * the --flag=VALUE spelling) and *remove them from argv* so
+ * downstream parsers (e.g. google-benchmark) never see them. Enables
+ * span tracing when --trace-out is present and sizes the process-wide
+ * thread pool when --threads is present (0 = hardware concurrency).
  */
 inline ObsOptions
 parseObsOptions(int &argc, char **argv)
 {
     ObsOptions options;
+    std::string threads;
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -75,7 +81,7 @@ parseObsOptions(int &argc, char **argv)
                               std::string &dest) -> bool {
             if (arg == flag) {
                 if (i + 1 >= argc)
-                    MINDFUL_FATAL(flag, " requires a file argument");
+                    MINDFUL_FATAL(flag, " requires an argument");
                 dest = argv[++i];
                 return true;
             }
@@ -86,11 +92,27 @@ parseObsOptions(int &argc, char **argv)
             return false;
         };
         if (take_value("--trace-out", options.traceOut) ||
-            take_value("--metrics-out", options.metricsOut))
+            take_value("--metrics-out", options.metricsOut) ||
+            take_value("--threads", threads))
             continue;
         argv[out++] = argv[i];
     }
     argc = out;
+
+    if (!threads.empty()) {
+        std::size_t pos = 0;
+        unsigned long n = 0;
+        try {
+            n = std::stoul(threads, &pos);
+        } catch (const std::exception &) {
+            pos = 0;
+        }
+        if (pos != threads.size())
+            MINDFUL_FATAL("--threads requires a non-negative integer, "
+                          "got '", threads, "'");
+        exec::ThreadPool::setGlobalThreadCount(
+            static_cast<unsigned>(n));
+    }
 
     if (!options.traceOut.empty())
         obs::TraceSession::global().setEnabled(true);

@@ -1,11 +1,14 @@
 #include "comm/channel_sim.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "base/decibel.hh"
 #include "base/logging.hh"
+#include "exec/parallel.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -128,20 +131,38 @@ AwgnChannelSimulator::measureBer(double eb_n0_linear, std::uint64_t symbols)
         .arg("ebn0_db", toDecibels(eb_n0_linear))
         .arg("symbols", symbols);
 
-    BerMeasurement measurement;
-    for (std::uint64_t s = 0; s < symbols; ++s) {
-        auto tx_bits = static_cast<std::uint32_t>(
-            _rng.uniformInt(0, (1 << k) - 1));
-        auto [i, q] = _constellation.modulate(tx_bits);
-        i += _rng.gaussian(0.0, sigma);
-        q += _rng.gaussian(0.0, sigma);
-        std::uint32_t rx_bits = _constellation.demodulate(i, q);
+    // Sharded Monte-Carlo: shard s simulates its fixed symbol range
+    // on the independent stream fork(call * kBerShards + s). Error
+    // counts are integers summed in shard order, so the reduction is
+    // exact and order-independent — bit-identical on any thread
+    // count (docs/parallelism.md).
+    const std::uint64_t call = _calls++;
+    std::vector<std::uint64_t> shard_errors(kBerShards, 0);
+    exec::parallelFor(
+        kBerShards,
+        [&](std::size_t shard) {
+            const auto range =
+                exec::shardRange(symbols, kBerShards, shard);
+            Rng rng = _rng.fork(call * kBerShards + shard);
+            std::uint64_t errors = 0;
+            for (std::uint64_t s = range.begin; s < range.end; ++s) {
+                auto tx_bits = static_cast<std::uint32_t>(
+                    rng.uniformInt(0, (1 << k) - 1));
+                auto [i, q] = _constellation.modulate(tx_bits);
+                i += rng.gaussian(0.0, sigma);
+                q += rng.gaussian(0.0, sigma);
+                std::uint32_t rx_bits = _constellation.demodulate(i, q);
+                errors += static_cast<std::uint64_t>(
+                    std::popcount(tx_bits ^ rx_bits));
+            }
+            shard_errors[shard] = errors;
+        },
+        "comm.qam.ber_shard");
 
-        std::uint32_t diff = tx_bits ^ rx_bits;
-        measurement.bitErrors +=
-            static_cast<std::uint64_t>(__builtin_popcount(diff));
-        measurement.bitsSent += k;
-    }
+    BerMeasurement measurement;
+    measurement.bitsSent = symbols * k;
+    for (std::uint64_t errors : shard_errors)
+        measurement.bitErrors += errors;
 
     // Publish per-call aggregates (never per-symbol: recording inside
     // the loop would dominate the Monte-Carlo cost).
@@ -151,11 +172,15 @@ AwgnChannelSimulator::measureBer(double eb_n0_linear, std::uint64_t symbols)
     // 1 uniformInt + 2 gaussians per symbol.
     MINDFUL_METRIC_COUNT("comm.qam.rng_draws", 3 * symbols);
 #ifndef MINDFUL_OBS_DISABLED
-    const std::string db = formatDb(eb_n0_linear);
-    MINDFUL_METRIC_COUNT("comm.qam.ebn0_" + db + "db.bits_sent",
-                         measurement.bitsSent);
-    MINDFUL_METRIC_COUNT("comm.qam.ebn0_" + db + "db.bit_errors",
-                         measurement.bitErrors);
+    // The per-Eb/N0 metric names are formatted strings; skip the
+    // allocation entirely while the registry is runtime-disabled.
+    if (obs::MetricRegistry::global().enabled()) {
+        const std::string db = formatDb(eb_n0_linear);
+        MINDFUL_METRIC_COUNT("comm.qam.ebn0_" + db + "db.bits_sent",
+                             measurement.bitsSent);
+        MINDFUL_METRIC_COUNT("comm.qam.ebn0_" + db + "db.bit_errors",
+                             measurement.bitErrors);
+    }
 #endif
     span.arg("bit_errors", measurement.bitErrors);
     return measurement;
@@ -180,23 +205,44 @@ OokChannelSimulator::measureBer(double eb_n0_linear, std::uint64_t bits)
     MINDFUL_TRACE_SPAN(span, "comm", "ook.measure_ber");
     span.arg("ebn0_db", toDecibels(eb_n0_linear)).arg("bits", bits);
 
+    // Same sharded decomposition as the QAM simulator: fixed shard
+    // count, per-shard forked streams, exact integer reduction in
+    // shard order — bit-identical on any thread count.
+    const std::uint64_t call = _calls++;
+    std::vector<std::uint64_t> shard_errors(kBerShards, 0);
+    exec::parallelFor(
+        kBerShards,
+        [&](std::size_t shard) {
+            const auto range = exec::shardRange(bits, kBerShards, shard);
+            Rng rng = _rng.fork(call * kBerShards + shard);
+            std::uint64_t errors = 0;
+            for (std::uint64_t i = range.begin; i < range.end; ++i) {
+                bool tx = rng.bernoulli(0.5);
+                double rx =
+                    (tx ? amplitude : 0.0) + rng.gaussian(0.0, sigma);
+                bool decoded = rx > threshold;
+                errors += decoded != tx;
+            }
+            shard_errors[shard] = errors;
+        },
+        "comm.ook.ber_shard");
+
     BerMeasurement measurement;
     measurement.bitsSent = bits;
-    for (std::uint64_t i = 0; i < bits; ++i) {
-        bool tx = _rng.bernoulli(0.5);
-        double rx = (tx ? amplitude : 0.0) + _rng.gaussian(0.0, sigma);
-        bool decoded = rx > threshold;
-        measurement.bitErrors += decoded != tx;
-    }
+    for (std::uint64_t errors : shard_errors)
+        measurement.bitErrors += errors;
 
     MINDFUL_METRIC_COUNT("comm.ook.bits_sent", bits);
     MINDFUL_METRIC_COUNT("comm.ook.bit_errors", measurement.bitErrors);
     // 1 bernoulli + 1 gaussian per bit.
     MINDFUL_METRIC_COUNT("comm.ook.rng_draws", 2 * bits);
 #ifndef MINDFUL_OBS_DISABLED
-    const std::string db = formatDb(eb_n0_linear);
-    MINDFUL_METRIC_COUNT("comm.ook.ebn0_" + db + "db.bit_errors",
-                         measurement.bitErrors);
+    // Guarded like the QAM path: no name formatting while disabled.
+    if (obs::MetricRegistry::global().enabled()) {
+        const std::string db = formatDb(eb_n0_linear);
+        MINDFUL_METRIC_COUNT("comm.ook.ebn0_" + db + "db.bit_errors",
+                             measurement.bitErrors);
+    }
 #endif
     span.arg("bit_errors", measurement.bitErrors);
     return measurement;

@@ -74,6 +74,18 @@ struct BerMeasurement
     }
 };
 
+/**
+ * Fixed Monte-Carlo shard count shared by the channel simulators.
+ *
+ * Each measureBer() call splits its symbols into exactly this many
+ * shards; shard s of call c draws from the independent RNG stream
+ * fork(c * kBerShards + s). Results are therefore bit-for-bit
+ * identical on any thread count — the shard decomposition, not the
+ * scheduler, decides which stream simulates which symbol. Changing
+ * this constant changes the streams (like changing a seed).
+ */
+inline constexpr std::uint64_t kBerShards = 16;
+
 /** AWGN Monte-Carlo driver. */
 class AwgnChannelSimulator
 {
@@ -85,13 +97,16 @@ class AwgnChannelSimulator
 
     /**
      * Transmit @p symbols random symbols at the given linear Eb/N0
-     * and count bit errors after slicing.
+     * and count bit errors after slicing. Runs the shards on the
+     * process-wide pool; deterministic for a given seed and call
+     * sequence regardless of thread count.
      */
     BerMeasurement measureBer(double eb_n0_linear, std::uint64_t symbols);
 
   private:
     QamConstellation _constellation;
     Rng _rng;
+    std::uint64_t _calls = 0; //!< distinguishes per-call stream blocks
 };
 
 /**
@@ -105,11 +120,13 @@ class OokChannelSimulator
   public:
     explicit OokChannelSimulator(std::uint64_t seed = 0x6f6f6b21ull);
 
-    /** Transmit @p bits random bits at the given linear Eb/N0. */
+    /** Transmit @p bits random bits at the given linear Eb/N0.
+     *  Sharded like AwgnChannelSimulator::measureBer. */
     BerMeasurement measureBer(double eb_n0_linear, std::uint64_t bits);
 
   private:
     Rng _rng;
+    std::uint64_t _calls = 0; //!< distinguishes per-call stream blocks
 };
 
 } // namespace mindful::comm

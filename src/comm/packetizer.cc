@@ -134,8 +134,16 @@ Packetizer::unpack(const std::vector<std::uint8_t> &frame) const
     if (bits != _config.sampleBits)
         return out;
 
-    BitReader reader(frame.data() + headerBytes,
-                     frame.size() - headerBytes - crcBytes);
+    // Validate the declared sample count against the payload region
+    // before any allocation: a forged or corrupted count field must
+    // not drive reserve(), and a frame whose payload cannot hold
+    // `count` samples is invalid outright.
+    const std::size_t payload_bytes =
+        frame.size() - headerBytes - crcBytes;
+    if (count * static_cast<std::size_t>(bits) > payload_bytes * 8)
+        return out;
+
+    BitReader reader(frame.data() + headerBytes, payload_bytes);
     out.samples.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
         std::uint32_t value = 0;

@@ -5,6 +5,7 @@
 #include "base/logging.hh"
 #include "core/soc_catalog.hh"
 #include "dnn/models.hh"
+#include "exec/parallel.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -265,16 +266,19 @@ fig9Rows()
 {
     MINDFUL_TRACE_SCOPE("core", "experiments.fig9");
     MINDFUL_METRIC_COUNT("core.experiments.runs", 1);
-    accel::SynthesisModel model;
-    std::vector<Fig9Row> rows;
-    int design = 1;
-    for (const auto &point : accel::SynthesisModel::paperDesignPoints()) {
-        Fig9Row row;
-        row.design = design++;
-        row.point = point;
-        row.estimate = model.estimate(point);
-        rows.push_back(row);
-    }
+    const accel::SynthesisModel model;
+    const auto points = accel::SynthesisModel::paperDesignPoints();
+    // One shard per design point; every shard writes its own row, so
+    // the result is index-ordered regardless of scheduling.
+    std::vector<Fig9Row> rows(points.size());
+    exec::parallelFor(
+        points.size(),
+        [&](std::size_t i) {
+            rows[i].design = static_cast<int>(i) + 1;
+            rows[i].point = points[i];
+            rows[i].estimate = model.estimate(points[i]);
+        },
+        "core.fig9.design_point");
     return rows;
 }
 
@@ -382,22 +386,29 @@ partitionGains(SpeechModel model)
 {
     MINDFUL_TRACE_SCOPE("core", "experiments.partition_gains");
     MINDFUL_METRIC_COUNT("core.experiments.runs", 1);
-    std::vector<PartitionGainRow> rows;
-    for (const auto &soc : wirelessSocs()) {
-        CompCentricModel comp{ImplantModel(soc),
-                              speechModelBuilder(model)};
-        PartitionGainRow row;
-        row.socId = soc.id;
-        row.name = soc.name;
-        row.model = model;
-        row.maxChannelsFull = comp.maxChannels(false);
-        row.maxChannelsPartitioned = comp.maxChannels(true);
-        row.gain = row.maxChannelsFull
-                       ? static_cast<double>(row.maxChannelsPartitioned) /
-                             static_cast<double>(row.maxChannelsFull)
-                       : 1.0;
-        rows.push_back(row);
-    }
+    const auto socs = wirelessSocs();
+    // One shard per SoC: the per-SoC binary searches over maxChannels
+    // dominate this study, and each writes only its own row.
+    std::vector<PartitionGainRow> rows(socs.size());
+    exec::parallelFor(
+        socs.size(),
+        [&](std::size_t i) {
+            const SocDesign &soc = socs[i];
+            CompCentricModel comp{ImplantModel(soc),
+                                  speechModelBuilder(model)};
+            PartitionGainRow &row = rows[i];
+            row.socId = soc.id;
+            row.name = soc.name;
+            row.model = model;
+            row.maxChannelsFull = comp.maxChannels(false);
+            row.maxChannelsPartitioned = comp.maxChannels(true);
+            row.gain =
+                row.maxChannelsFull
+                    ? static_cast<double>(row.maxChannelsPartitioned) /
+                          static_cast<double>(row.maxChannelsFull)
+                    : 1.0;
+        },
+        "core.fig11.partition_soc");
     return rows;
 }
 
@@ -436,20 +447,26 @@ optimizationSweep(int soc_id, SpeechModel model)
     const SocDesign &soc = socById(soc_id);
     OptimizationStudy study{ImplantModel(soc), speechModelBuilder(model)};
 
-    std::vector<OptimizationSeries> sweep;
-    for (auto n : fig12Channels()) {
-        OptimizationSeries series;
-        series.socId = soc.id;
-        series.name = soc.name;
-        series.channels = n;
-        for (const auto &steps :
-             {OptimizationSteps::chDr(), OptimizationSteps::laChDr(),
-              OptimizationSteps::laChDrTech(),
-              OptimizationSteps::laChDrTechDense()}) {
-            series.outcomes.push_back(study.evaluate(n, steps));
-        }
-        sweep.push_back(std::move(series));
-    }
+    const auto channels = fig12Channels();
+    // One shard per channel count n; each shard evaluates the four
+    // cumulative optimization ladders for its own n.
+    std::vector<OptimizationSeries> sweep(channels.size());
+    exec::parallelFor(
+        channels.size(),
+        [&](std::size_t i) {
+            OptimizationSeries &series = sweep[i];
+            series.socId = soc.id;
+            series.name = soc.name;
+            series.channels = channels[i];
+            for (const auto &steps :
+                 {OptimizationSteps::chDr(), OptimizationSteps::laChDr(),
+                  OptimizationSteps::laChDrTech(),
+                  OptimizationSteps::laChDrTechDense()}) {
+                series.outcomes.push_back(
+                    study.evaluate(channels[i], steps));
+            }
+        },
+        "core.fig12.channel_count");
     return sweep;
 }
 

@@ -1,0 +1,204 @@
+#include "exec/thread_pool.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+
+#include "base/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace mindful::exec {
+
+namespace {
+
+thread_local bool t_on_worker = false;
+
+/**
+ * Global-pool holder. Constructing it first touches the obs
+ * singletons so they complete construction earlier and are therefore
+ * destroyed *after* the holder — workers can never outlive the
+ * metric registry they report into.
+ */
+struct GlobalPool
+{
+    GlobalPool()
+    {
+#ifndef MINDFUL_OBS_DISABLED
+        obs::MetricRegistry::global();
+        obs::TraceSession::global();
+#endif
+    }
+
+    std::mutex mutex;
+    std::unique_ptr<ThreadPool> pool;
+    unsigned requested = 0; //!< 0 = automatic
+};
+
+GlobalPool &
+holder()
+{
+    static GlobalPool global;
+    return global;
+}
+
+unsigned
+resolveThreadCount(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("MINDFUL_THREADS")) {
+        long value = std::strtol(env, nullptr, 10);
+        if (value >= 1)
+            return static_cast<unsigned>(value);
+        MINDFUL_WARN_ONCE("ignoring invalid MINDFUL_THREADS=", env);
+    }
+    unsigned hardware = std::thread::hardware_concurrency();
+    return hardware > 0 ? hardware : 1;
+}
+
+std::uint64_t
+nowMicros()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threads) : _threadCount(threads)
+{
+    MINDFUL_ASSERT(threads >= 1, "a pool needs at least one thread");
+    MINDFUL_METRIC_GAUGE("exec.pool.threads",
+                         static_cast<double>(threads));
+    _workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        _workers.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stopping = true;
+    }
+    _wake.notify_all();
+    for (auto &worker : _workers)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    MINDFUL_ASSERT(task != nullptr, "cannot submit an empty task");
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        MINDFUL_ASSERT(!_stopping,
+                       "cannot submit to a stopping thread pool");
+        _queue.push_back(std::move(task));
+        ++_tasksSubmitted;
+        if (_queue.size() > _queuePeak) {
+            _queuePeak = _queue.size();
+            MINDFUL_METRIC_GAUGE("exec.pool.queue_depth_peak",
+                                 static_cast<double>(_queuePeak));
+        }
+    }
+    MINDFUL_METRIC_COUNT("exec.pool.tasks", 1);
+    _wake.notify_one();
+}
+
+std::uint64_t
+ThreadPool::tasksSubmitted() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _tasksSubmitted;
+}
+
+std::size_t
+ThreadPool::queueDepthPeak() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _queuePeak;
+}
+
+std::uint64_t
+ThreadPool::busyMicros() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _busyMicros;
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return t_on_worker;
+}
+
+void
+ThreadPool::workerLoop(unsigned)
+{
+    t_on_worker = true;
+    std::unique_lock<std::mutex> lock(_mutex);
+    for (;;) {
+        _wake.wait(lock,
+                   [this] { return _stopping || !_queue.empty(); });
+        // Graceful shutdown: drain every queued task before exiting,
+        // so submitted work runs exactly once even mid-teardown.
+        if (_queue.empty()) {
+            if (_stopping)
+                return;
+            continue;
+        }
+        std::function<void()> task = std::move(_queue.front());
+        _queue.pop_front();
+        lock.unlock();
+
+        std::uint64_t start = nowMicros();
+        task();
+        std::uint64_t elapsed = nowMicros() - start;
+        MINDFUL_METRIC_COUNT("exec.pool.busy_us", elapsed);
+
+        lock.lock();
+        _busyMicros += elapsed;
+    }
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    GlobalPool &global = holder();
+    std::lock_guard<std::mutex> lock(global.mutex);
+    if (!global.pool) {
+        global.pool = std::make_unique<ThreadPool>(
+            resolveThreadCount(global.requested));
+    }
+    return *global.pool;
+}
+
+void
+ThreadPool::setGlobalThreadCount(unsigned threads)
+{
+    GlobalPool &global = holder();
+    std::lock_guard<std::mutex> lock(global.mutex);
+    global.requested = threads;
+    unsigned resolved = resolveThreadCount(threads);
+    // Restart lazily on the next global() call. Callers must not
+    // reconfigure while parallel work is in flight (the pool drains
+    // its queue before the workers join, so nothing is lost).
+    if (global.pool && global.pool->threadCount() != resolved)
+        global.pool.reset();
+}
+
+unsigned
+ThreadPool::globalThreadCount()
+{
+    GlobalPool &global = holder();
+    std::lock_guard<std::mutex> lock(global.mutex);
+    if (global.pool)
+        return global.pool->threadCount();
+    return resolveThreadCount(global.requested);
+}
+
+} // namespace mindful::exec

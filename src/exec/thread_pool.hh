@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Process-wide worker pool for the parallel Monte-Carlo substrates.
+ *
+ * The pool follows the engineering discipline of the rest of the
+ * repository: determinism first. It never decides *what* work runs or
+ * in *which* order results combine — that is parallel.hh's job, via a
+ * fixed shard count decoupled from the thread count — it only supplies
+ * threads to run already-decomposed shards on. Consequences:
+ *
+ *  - the pool is started lazily, on first use, so binaries that never
+ *    go parallel pay nothing;
+ *  - the thread count is configuration (--threads, MINDFUL_THREADS,
+ *    hardware_concurrency fallback), never part of any result;
+ *  - shutdown is graceful: the destructor drains every queued task
+ *    before joining, so submitted work always runs exactly once.
+ *
+ * Pool health is published through mindful_obs as the exec.pool.*
+ * metrics (docs/observability.md).
+ */
+
+#ifndef MINDFUL_EXEC_THREAD_POOL_HH
+#define MINDFUL_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mindful::exec {
+
+/** Fixed-size worker pool with a single FIFO work queue. */
+class ThreadPool
+{
+  public:
+    /** Start @p threads workers (must be >= 1). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains the queue, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one task. Never blocks; tasks run in FIFO order. */
+    void submit(std::function<void()> task);
+
+    unsigned threadCount() const { return _threadCount; }
+
+    /** Tasks submitted over the pool's lifetime. */
+    std::uint64_t tasksSubmitted() const;
+
+    /** Largest queue depth observed since construction. */
+    std::size_t queueDepthPeak() const;
+
+    /** Total wall-clock time workers spent inside tasks [us]. */
+    std::uint64_t busyMicros() const;
+
+    /** True when called from one of this process's pool workers. */
+    static bool onWorkerThread();
+
+    /**
+     * The process-wide pool, created on first use with the configured
+     * thread count (setGlobalThreadCount, else MINDFUL_THREADS, else
+     * hardware_concurrency).
+     */
+    static ThreadPool &global();
+
+    /**
+     * Configure the global pool's thread count; 0 restores the
+     * automatic default. If the pool is already running with a
+     * different count it is drained, shut down, and lazily restarted
+     * — safe because shard decomposition never depends on the count.
+     */
+    static void setGlobalThreadCount(unsigned threads);
+
+    /** Thread count the global pool has (or would start with). */
+    static unsigned globalThreadCount();
+
+  private:
+    void workerLoop(unsigned worker_index);
+
+    const unsigned _threadCount;
+    std::vector<std::thread> _workers;
+
+    mutable std::mutex _mutex;
+    std::condition_variable _wake;
+    std::deque<std::function<void()>> _queue;
+    bool _stopping = false;
+
+    std::uint64_t _tasksSubmitted = 0;
+    std::size_t _queuePeak = 0;
+    std::uint64_t _busyMicros = 0;
+};
+
+} // namespace mindful::exec
+
+#endif // MINDFUL_EXEC_THREAD_POOL_HH

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "base/logging.hh"
+#include "exec/parallel.hh"
 
 namespace mindful::ni {
 
@@ -181,36 +182,50 @@ SyntheticCortex::generate(std::size_t steps)
     const double noise_drive = std::sqrt(1.0 - noise_decay * noise_decay);
     const double ou_share = 0.6;
 
-    for (std::uint64_t ch = 0; ch < channels; ++ch) {
-        double *trace = rec.samples.data() + ch * steps;
-        const bool active = !_tuning[ch].empty();
-        double ou = 0.0;
-        for (std::size_t t = 0; t < steps; ++t) {
-            // Firing rate from cosine tuning to the current intent.
-            double rate = _config.inactiveRateHz;
-            if (active) {
-                double dot = 0.0;
-                for (unsigned d = 0; d < _config.latentDims; ++d)
-                    dot += _tuning[ch][d] * rec.intent[d][t];
-                double drive_sig = 1.0 / (1.0 + std::exp(-dot));
-                rate = _config.baseRateHz +
-                       (_config.maxRateHz - _config.baseRateHz) * drive_sig;
-            }
-            if (_rng.bernoulli(std::min(1.0, rate * dt))) {
-                rec.spikeRaster[ch * steps + t] = 1;
-                std::size_t len =
-                    std::min(_spikeKernel.size(), steps - t);
-                for (std::size_t s = 0; s < len; ++s)
-                    trace[t + s] += _spikeKernel[s];
-            }
+    // Every channel draws from its own forked stream (never from the
+    // shared engine), so the raster is a pure function of (seed, call,
+    // channel) and the channels can run as parallel shards: all writes
+    // (trace, spikeRaster rows) are channel-disjoint.
+    const std::uint64_t call = _generateCalls++;
+    exec::parallelFor(
+        exec::kDefaultShards,
+        [&](std::size_t shard) {
+            const auto range =
+                exec::shardRange(channels, exec::kDefaultShards, shard);
+            for (std::uint64_t ch = range.begin; ch < range.end; ++ch) {
+                Rng rng = _rng.fork(call * channels + ch);
+                double *trace = rec.samples.data() + ch * steps;
+                const bool active = !_tuning[ch].empty();
+                double ou = 0.0;
+                for (std::size_t t = 0; t < steps; ++t) {
+                    // Firing rate from cosine tuning to the intent.
+                    double rate = _config.inactiveRateHz;
+                    if (active) {
+                        double dot = 0.0;
+                        for (unsigned d = 0; d < _config.latentDims; ++d)
+                            dot += _tuning[ch][d] * rec.intent[d][t];
+                        double drive_sig = 1.0 / (1.0 + std::exp(-dot));
+                        rate = _config.baseRateHz +
+                               (_config.maxRateHz - _config.baseRateHz) *
+                                   drive_sig;
+                    }
+                    if (rng.bernoulli(std::min(1.0, rate * dt))) {
+                        rec.spikeRaster[ch * steps + t] = 1;
+                        std::size_t len =
+                            std::min(_spikeKernel.size(), steps - t);
+                        for (std::size_t s = 0; s < len; ++s)
+                            trace[t + s] += _spikeKernel[s];
+                    }
 
-            ou = noise_decay * ou + noise_drive * _rng.gaussian();
-            double noise = _config.noiseRmsUv *
-                           (ou_share * ou +
-                            (1.0 - ou_share) * _rng.gaussian());
-            trace[t] += noise + lfp[t];
-        }
-    }
+                    ou = noise_decay * ou + noise_drive * rng.gaussian();
+                    double noise = _config.noiseRmsUv *
+                                   (ou_share * ou +
+                                    (1.0 - ou_share) * rng.gaussian());
+                    trace[t] += noise + lfp[t];
+                }
+            }
+        },
+        "ni.cortex.channel_shard");
     return rec;
 }
 

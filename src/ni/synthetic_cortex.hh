@@ -136,6 +136,7 @@ class SyntheticCortex
     std::vector<std::vector<double>> _tuning; //!< empty => inactive
     std::uint64_t _activeCount = 0;
     std::vector<double> _spikeKernel;         //!< biphasic template, uV
+    std::uint64_t _generateCalls = 0; //!< per-call fork stream blocks
 };
 
 } // namespace mindful::ni

@@ -162,6 +162,25 @@ class MetricRegistry
     /** The process-wide registry the instrumented substrates use. */
     static MetricRegistry &global();
 
+    /**
+     * Runtime recording gate, on by default. The MINDFUL_METRIC_*
+     * macros record nothing while disabled, and instrumented code
+     * must also skip any *preparation* of a recording — metric-name
+     * formatting, per-call aggregation buffers — behind enabled(),
+     * so a disabled registry costs one relaxed atomic load per site.
+     */
+    void
+    setEnabled(bool enabled)
+    {
+        _enabled.store(enabled, std::memory_order_relaxed);
+    }
+
+    bool
+    enabled() const
+    {
+        return _enabled.load(std::memory_order_relaxed);
+    }
+
     Counter &counter(const std::string &name);
     Gauge &gauge(const std::string &name);
     HistogramMetric &histogram(const std::string &name,
@@ -203,6 +222,7 @@ class MetricRegistry
         std::unique_ptr<HistogramMetric> histogram;
     };
 
+    std::atomic<bool> _enabled{true};
     mutable std::mutex _mutex;
     std::map<std::string, Entry> _entries;
 };
@@ -218,11 +238,26 @@ class MetricRegistry
 #ifndef MINDFUL_OBS_DISABLED
 
 #define MINDFUL_METRIC_COUNT(name, n) \
-    ::mindful::obs::MetricRegistry::global().counter(name).add(n)
+    do { \
+        auto &_mindful_registry = \
+            ::mindful::obs::MetricRegistry::global(); \
+        if (_mindful_registry.enabled()) \
+            _mindful_registry.counter(name).add(n); \
+    } while (0)
 #define MINDFUL_METRIC_GAUGE(name, v) \
-    ::mindful::obs::MetricRegistry::global().gauge(name).set(v)
+    do { \
+        auto &_mindful_registry = \
+            ::mindful::obs::MetricRegistry::global(); \
+        if (_mindful_registry.enabled()) \
+            _mindful_registry.gauge(name).set(v); \
+    } while (0)
 #define MINDFUL_METRIC_RECORD(name, v) \
-    ::mindful::obs::MetricRegistry::global().histogram(name).record(v)
+    do { \
+        auto &_mindful_registry = \
+            ::mindful::obs::MetricRegistry::global(); \
+        if (_mindful_registry.enabled()) \
+            _mindful_registry.histogram(name).record(v); \
+    } while (0)
 
 #else
 

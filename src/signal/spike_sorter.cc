@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "base/logging.hh"
+#include "exec/parallel.hh"
 
 namespace mindful::signal {
 
@@ -70,13 +71,25 @@ TemplateSpikeSorter::train(const std::vector<Snippet> &snippets)
     // against the handful of misaligned outlier snippets real
     // detections produce, which deterministic farthest-point seeding
     // would latch onto.
-    Rng rng(_config.seed);
+    //
+    // Each restart draws from its own forked stream (never from raw
+    // bits() of a shared engine) and runs as an independent shard on
+    // the process-wide pool; the winner is the lowest inertia with
+    // the lowest attempt index breaking ties, so the result is
+    // identical on any thread count.
+    const Rng base_rng(_config.seed);
     const std::size_t restarts = 4;
-    double best_inertia = std::numeric_limits<double>::infinity();
-    std::vector<Snippet> best_templates;
-    std::vector<std::size_t> best_assignment;
 
-    for (std::size_t attempt = 0; attempt < restarts; ++attempt) {
+    struct Attempt
+    {
+        double inertia = std::numeric_limits<double>::infinity();
+        std::vector<Snippet> centres;
+        std::vector<std::size_t> assignment;
+    };
+    std::vector<Attempt> attempts(restarts);
+
+    auto run_attempt = [&](std::size_t attempt) {
+        Rng rng = base_rng.fork(attempt);
         std::vector<Snippet> centres;
         centres.push_back(snippets[static_cast<std::size_t>(
             rng.uniformInt(0,
@@ -159,14 +172,22 @@ TemplateSpikeSorter::train(const std::vector<Snippet> &snippets)
         for (std::size_t i = 0; i < snippets.size(); ++i)
             inertia +=
                 squaredDistance(snippets[i], centres[assignment[i]]);
-        if (inertia < best_inertia) {
-            best_inertia = inertia;
-            best_templates = centres;
-            best_assignment = assignment;
-        }
-    }
+        attempts[attempt] = Attempt{inertia, std::move(centres),
+                                    std::move(assignment)};
+    };
 
-    _templates = std::move(best_templates);
+    exec::parallelFor(restarts, run_attempt, "signal.kmeans.restart");
+
+    // Deterministic winner: strict < scanned in attempt order keeps
+    // the lowest attempt index on inertia ties.
+    std::size_t best = 0;
+    for (std::size_t attempt = 1; attempt < restarts; ++attempt) {
+        if (attempts[attempt].inertia < attempts[best].inertia)
+            best = attempt;
+    }
+    std::vector<std::size_t> best_assignment =
+        std::move(attempts[best].assignment);
+    _templates = std::move(attempts[best].centres);
 
     // Noise scale: mean within-cluster distance (for the rejection
     // rule). Guard against degenerate zero-noise training sets.

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Rng::fork() stream tests: forked streams must be deterministic
+ * functions of (parent seed, stream index) and statistically
+ * uncorrelated with each other and with the parent — the property
+ * that makes sharded parallel Monte-Carlo reproducible.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "base/random.hh"
+
+namespace mindful {
+namespace {
+
+TEST(RngForkTest, SameStreamIndexGivesIdenticalDraws)
+{
+    Rng parent(42);
+    Rng a = parent.fork(7);
+    Rng b = parent.fork(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.bits(), b.bits());
+}
+
+TEST(RngForkTest, ForkIgnoresParentEnginePosition)
+{
+    // fork() derives from the seed, not from engine draws: advancing
+    // the parent must not change what its forks produce. This is what
+    // lets any thread fork stream i and get the same stream.
+    Rng fresh(42);
+    Rng advanced(42);
+    for (int i = 0; i < 1000; ++i)
+        (void)advanced.bits();
+    Rng a = fresh.fork(3);
+    Rng b = advanced.fork(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.bits(), b.bits());
+}
+
+TEST(RngForkTest, DistinctStreamsProduceDistinctSequences)
+{
+    Rng parent(1);
+    std::set<std::uint64_t> first_draws;
+    for (std::uint64_t stream = 0; stream < 256; ++stream)
+        first_draws.insert(parent.fork(stream).bits());
+    // All 256 streams must open differently (collisions would mean
+    // correlated shards).
+    EXPECT_EQ(first_draws.size(), 256u);
+}
+
+TEST(RngForkTest, ForkedSeedsDifferFromParent)
+{
+    Rng parent(123);
+    for (std::uint64_t stream = 0; stream < 16; ++stream)
+        EXPECT_NE(parent.fork(stream).seed(), parent.seed());
+}
+
+double
+correlation(const std::vector<double> &a, const std::vector<double> &b)
+{
+    const auto n = static_cast<double>(a.size());
+    double ma = 0.0, mb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ma += a[i];
+        mb += b[i];
+    }
+    ma /= n;
+    mb /= n;
+    double cov = 0.0, va = 0.0, vb = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        cov += (a[i] - ma) * (b[i] - mb);
+        va += (a[i] - ma) * (a[i] - ma);
+        vb += (b[i] - mb) * (b[i] - mb);
+    }
+    return cov / std::sqrt(va * vb);
+}
+
+TEST(RngForkTest, SiblingStreamsAreUncorrelated)
+{
+    // Statistical smoke test: |r| for 20k paired gaussians is ~N(0,
+    // 1/sqrt(20000)) for independent streams, so |r| < 0.03 is a > 4
+    // sigma acceptance band — loose enough to be deterministic-stable,
+    // tight enough to catch the correlated streams raw bits()
+    // reseeding used to produce.
+    const std::size_t draws = 20000;
+    Rng parent(0xfeedbeef);
+    for (auto [s1, s2] : {std::pair<std::uint64_t, std::uint64_t>{0, 1},
+                          {1, 2},
+                          {0, 255}}) {
+        Rng a = parent.fork(s1);
+        Rng b = parent.fork(s2);
+        std::vector<double> da(draws), db(draws);
+        for (std::size_t i = 0; i < draws; ++i) {
+            da[i] = a.gaussian();
+            db[i] = b.gaussian();
+        }
+        EXPECT_LT(std::abs(correlation(da, db)), 0.03)
+            << "streams " << s1 << " and " << s2;
+    }
+}
+
+TEST(RngForkTest, ChildStreamIsUncorrelatedWithParent)
+{
+    const std::size_t draws = 20000;
+    Rng parent(0xabcdef);
+    Rng child = parent.fork(0);
+    std::vector<double> dp(draws), dc(draws);
+    for (std::size_t i = 0; i < draws; ++i) {
+        dp[i] = parent.gaussian();
+        dc[i] = child.gaussian();
+    }
+    EXPECT_LT(std::abs(correlation(dp, dc)), 0.03);
+}
+
+TEST(RngForkTest, ForksOfForksStayIndependent)
+{
+    Rng parent(9);
+    Rng child = parent.fork(1);
+    Rng grandchild = child.fork(1);
+    // The chain must not collapse back onto an ancestor stream.
+    EXPECT_NE(grandchild.seed(), child.seed());
+    EXPECT_NE(grandchild.seed(), parent.seed());
+    EXPECT_NE(grandchild.bits(), parent.fork(1).bits());
+}
+
+TEST(SplitMix64Test, MatchesReferenceVectors)
+{
+    // The first three outputs of the reference splitmix64 generator
+    // seeded with 0. splitmix64(state) advances the state by the
+    // golden-ratio constant internally, so feeding it the running
+    // state reproduces the reference sequence.
+    const std::uint64_t expected[] = {
+        0xe220a8397b1dcdafull,
+        0x6e789e6aa1b965f4ull,
+        0x06c45d188009454full,
+    };
+    std::uint64_t state = 0;
+    for (std::uint64_t value : expected) {
+        EXPECT_EQ(Rng::splitmix64(state), value);
+        state += 0x9e3779b97f4a7c15ull;
+    }
+}
+
+} // namespace
+} // namespace mindful

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 
 #include "base/decibel.hh"
@@ -29,7 +30,7 @@ TEST(GrayCodeTest, AdjacentValuesDifferInOneBit)
     for (std::uint32_t v = 0; v + 1 < 64; ++v) {
         std::uint32_t diff = QamConstellation::binaryToGray(v) ^
                              QamConstellation::binaryToGray(v + 1);
-        EXPECT_EQ(__builtin_popcount(diff), 1);
+        EXPECT_EQ(std::popcount(diff), 1);
     }
 }
 

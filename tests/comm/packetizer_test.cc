@@ -96,6 +96,59 @@ TEST(PacketizerTest, TruncatedFrameRejected)
     EXPECT_FALSE(packetizer.unpack(frame).valid);
 }
 
+/** Re-seal a tampered frame so only the count check can reject it. */
+void
+resealCrc(std::vector<std::uint8_t> &frame)
+{
+    std::uint16_t checksum =
+        crc16(frame.data(), frame.size() - Packetizer::crcBytes);
+    frame[frame.size() - 2] = static_cast<std::uint8_t>(checksum >> 8);
+    frame[frame.size() - 1] = static_cast<std::uint8_t>(checksum & 0xFF);
+}
+
+TEST(PacketizerTest, ForgedSampleCountRejectedWithoutAllocation)
+{
+    Packetizer packetizer({10});
+    auto frame = packetizer.pack(1, {100, 200, 300});
+    // Forge the header's sample count to the 16-bit maximum and
+    // re-seal the CRC, imitating a hostile or bit-rotted peer whose
+    // frame still checksums. The declared count exceeds what the
+    // payload region can hold, so unpack must reject it up front —
+    // before reserving sample storage from attacker-controlled input.
+    frame[4] = 0xFF;
+    frame[5] = 0xFF;
+    resealCrc(frame);
+    auto unpacked = packetizer.unpack(frame);
+    EXPECT_FALSE(unpacked.valid);
+    EXPECT_TRUE(unpacked.samples.empty());
+    EXPECT_LT(unpacked.samples.capacity(), std::size_t{1024})
+        << "reserve() ran on the forged count";
+}
+
+TEST(PacketizerTest, OverdeclaredCountByOneRejected)
+{
+    Packetizer packetizer({10});
+    auto frame = packetizer.pack(9, {7, 8, 9, 10});
+    // 4 samples x 10 b = 40 payload bits = 5 payload bytes, which
+    // could also hold 40 / 10 = 4 samples exactly; declaring 5
+    // (needing 50 bits) must fail validation.
+    frame[5] = 5;
+    resealCrc(frame);
+    EXPECT_FALSE(packetizer.unpack(frame).valid);
+}
+
+TEST(PacketizerTest, DeclaredCountAtPayloadCapacityStillUnpacks)
+{
+    Packetizer packetizer({8});
+    // 8-bit samples fill payload bytes exactly: declared count ==
+    // payload capacity is the boundary case and must stay valid.
+    std::vector<std::uint32_t> samples(64, 0xAB);
+    auto frame = packetizer.pack(2, samples);
+    auto unpacked = packetizer.unpack(frame);
+    EXPECT_TRUE(unpacked.valid);
+    EXPECT_EQ(unpacked.samples, samples);
+}
+
 TEST(PacketizerTest, MismatchedBitwidthRejected)
 {
     Packetizer tx({10});

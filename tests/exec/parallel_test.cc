@@ -1,0 +1,100 @@
+/**
+ * @file
+ * parallelFor / parallelReduce / shardRange property tests: the
+ * shard decomposition and combine order are pure functions of the
+ * shard count, never of the thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "exec/parallel.hh"
+#include "exec/thread_pool.hh"
+
+namespace mindful::exec {
+namespace {
+
+TEST(ShardRangeTest, CoversEveryItemExactlyOnce)
+{
+    for (std::uint64_t items : {0ull, 1ull, 15ull, 16ull, 17ull, 1000ull}) {
+        std::uint64_t covered = 0;
+        std::uint64_t previous_end = 0;
+        for (std::size_t shard = 0; shard < kDefaultShards; ++shard) {
+            auto range = shardRange(items, kDefaultShards, shard);
+            EXPECT_EQ(range.begin, previous_end);
+            previous_end = range.end;
+            covered += range.size();
+        }
+        EXPECT_EQ(previous_end, items);
+        EXPECT_EQ(covered, items);
+    }
+}
+
+TEST(ShardRangeTest, NearEvenSplit)
+{
+    // 21 items over 4 shards: 6, 5, 5, 5.
+    EXPECT_EQ(shardRange(21, 4, 0).size(), 6u);
+    EXPECT_EQ(shardRange(21, 4, 1).size(), 5u);
+    EXPECT_EQ(shardRange(21, 4, 2).size(), 5u);
+    EXPECT_EQ(shardRange(21, 4, 3).size(), 5u);
+}
+
+TEST(ParallelForTest, RunsEveryShardOnce)
+{
+    for (unsigned threads : {1u, 2u, 8u}) {
+        ThreadPool::setGlobalThreadCount(threads);
+        std::vector<std::atomic<int>> runs(64);
+        parallelFor(64, [&](std::size_t shard) {
+            runs[shard].fetch_add(1);
+        });
+        for (auto &r : runs)
+            EXPECT_EQ(r.load(), 1);
+    }
+    ThreadPool::setGlobalThreadCount(0);
+}
+
+TEST(ParallelForTest, ZeroShardsIsANoop)
+{
+    bool ran = false;
+    parallelFor(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ParallelReduceTest, FoldsInShardOrder)
+{
+    for (unsigned threads : {1u, 8u}) {
+        ThreadPool::setGlobalThreadCount(threads);
+        // A non-commutative combine (string concatenation) exposes
+        // any ordering difference immediately.
+        std::string folded = parallelReduce<std::string>(
+            8, "",
+            [](std::size_t shard) { return std::to_string(shard); },
+            [](std::string acc, std::string part) {
+                return acc + part;
+            });
+        EXPECT_EQ(folded, "01234567");
+    }
+    ThreadPool::setGlobalThreadCount(0);
+}
+
+TEST(ParallelReduceTest, IntegerSumMatchesSequential)
+{
+    const std::uint64_t items = 12345;
+    auto sum = parallelReduce<std::uint64_t>(
+        kDefaultShards, 0,
+        [&](std::size_t shard) {
+            auto range = shardRange(items, kDefaultShards, shard);
+            std::uint64_t acc = 0;
+            for (std::uint64_t i = range.begin; i < range.end; ++i)
+                acc += i;
+            return acc;
+        },
+        [](std::uint64_t acc, std::uint64_t part) { return acc + part; });
+    EXPECT_EQ(sum, items * (items - 1) / 2);
+}
+
+} // namespace
+} // namespace mindful::exec

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * ThreadPool unit tests: graceful shutdown under load, exception
+ * propagation through parallelFor, and deadlock-free nested
+ * parallelism on pool workers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "exec/parallel.hh"
+#include "exec/thread_pool.hh"
+
+namespace mindful::exec {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(4);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&] { ran.fetch_add(1); });
+        // Destructor drains the queue before joining.
+    }
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, ShutdownWhileBusyDrainsQueue)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        // Slow tasks keep both workers busy so most of the queue is
+        // still pending when the destructor runs; every task must
+        // still execute exactly once.
+        for (int i = 0; i < 32; ++i) {
+            pool.submit([&] {
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                ran.fetch_add(1);
+            });
+        }
+    }
+    EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolTest, CountsSubmissions)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&] { ran.fetch_add(1); });
+    while (ran.load() < 10)
+        std::this_thread::yield();
+    EXPECT_EQ(pool.tasksSubmitted(), 10u);
+    EXPECT_GE(pool.queueDepthPeak(), 1u);
+}
+
+TEST(ThreadPoolTest, OnWorkerThreadDistinguishesCallers)
+{
+    EXPECT_FALSE(ThreadPool::onWorkerThread());
+    ThreadPool pool(1);
+    std::atomic<bool> on_worker{false};
+    std::atomic<bool> done{false};
+    pool.submit([&] {
+        on_worker.store(ThreadPool::onWorkerThread());
+        done.store(true);
+    });
+    while (!done.load())
+        std::this_thread::yield();
+    EXPECT_TRUE(on_worker.load());
+    EXPECT_FALSE(ThreadPool::onWorkerThread());
+}
+
+TEST(ThreadPoolTest, GlobalThreadCountIsReconfigurable)
+{
+    unsigned before = ThreadPool::globalThreadCount();
+    ThreadPool::setGlobalThreadCount(3);
+    EXPECT_EQ(ThreadPool::globalThreadCount(), 3u);
+    EXPECT_EQ(ThreadPool::global().threadCount(), 3u);
+    ThreadPool::setGlobalThreadCount(0); // back to automatic
+    EXPECT_GE(ThreadPool::globalThreadCount(), 1u);
+    (void)before;
+}
+
+TEST(ParallelForTest, PropagatesExceptions)
+{
+    ThreadPool::setGlobalThreadCount(4);
+    EXPECT_THROW(
+        parallelFor(8,
+                    [](std::size_t shard) {
+                        if (shard >= 4)
+                            throw std::runtime_error("shard failed");
+                    }),
+        std::runtime_error);
+    ThreadPool::setGlobalThreadCount(0);
+}
+
+TEST(ParallelForTest, PropagatesLowestShardExceptionDeterministically)
+{
+    for (unsigned threads : {1u, 4u}) {
+        ThreadPool::setGlobalThreadCount(threads);
+        try {
+            parallelFor(8, [](std::size_t shard) {
+                if (shard == 2 || shard == 5)
+                    throw std::runtime_error("shard " +
+                                             std::to_string(shard));
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &e) {
+            // All shards run to completion; the lowest failed index
+            // wins regardless of scheduling.
+            EXPECT_STREQ(e.what(), "shard 2");
+        }
+    }
+    ThreadPool::setGlobalThreadCount(0);
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock)
+{
+    ThreadPool::setGlobalThreadCount(2);
+    std::atomic<int> inner_runs{0};
+    parallelFor(4, [&](std::size_t) {
+        // A nested parallelFor on a pool worker must not wait on the
+        // (possibly fully occupied) pool; it runs inline.
+        parallelFor(4, [&](std::size_t) { inner_runs.fetch_add(1); });
+    });
+    EXPECT_EQ(inner_runs.load(), 16);
+    ThreadPool::setGlobalThreadCount(0);
+}
+
+} // namespace
+} // namespace mindful::exec

@@ -44,6 +44,38 @@ TEST(CounterTest, ConcurrentAddsAreLossless)
     EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads * kAdds));
 }
 
+TEST(MetricRegistryTest, EnabledGateDefaultsOn)
+{
+    MetricRegistry registry;
+    EXPECT_TRUE(registry.enabled());
+    registry.setEnabled(false);
+    EXPECT_FALSE(registry.enabled());
+    registry.setEnabled(true);
+    EXPECT_TRUE(registry.enabled());
+}
+
+TEST(MetricRegistryTest, MacrosRecordNothingWhileDisabled)
+{
+    auto &registry = MetricRegistry::global();
+    registry.clear();
+    registry.setEnabled(false);
+    MINDFUL_METRIC_COUNT("test.gate.counter", 5);
+    MINDFUL_METRIC_GAUGE("test.gate.gauge", 1.0);
+    MINDFUL_METRIC_RECORD("test.gate.histogram", 2.0);
+    // Disabled recording must not even *create* the metrics — sites
+    // are expected to skip name formatting behind enabled(), and the
+    // macros must not leave empty entries behind.
+    EXPECT_FALSE(registry.contains("test.gate.counter"));
+    EXPECT_FALSE(registry.contains("test.gate.gauge"));
+    EXPECT_FALSE(registry.contains("test.gate.histogram"));
+
+    registry.setEnabled(true);
+    MINDFUL_METRIC_COUNT("test.gate.counter", 5);
+    EXPECT_TRUE(registry.contains("test.gate.counter"));
+    EXPECT_EQ(registry.counter("test.gate.counter").value(), 5u);
+    registry.clear();
+}
+
 TEST(GaugeTest, TracksLastWriteAndSetFlag)
 {
     Gauge g;
