@@ -143,9 +143,9 @@ void
 BM_BioHeatSolve(benchmark::State &state)
 {
     thermal::BioHeatConfig config;
-    config.gridSpacing = 1e-3;
-    config.domainWidth = 25e-3;
-    config.domainDepth = 12e-3;
+    config.gridSpacing = Length::millimetres(1.0);
+    config.domainWidth = Length::millimetres(25.0);
+    config.domainDepth = Length::millimetres(12.0);
     thermal::BioHeatSolver solver({}, config);
     for (auto _ : state) {
         auto result = solver.solve(Power::milliwatts(40.0),

@@ -31,14 +31,14 @@ main()
     using namespace mindful::thermal;
 
     BioHeatConfig config;
-    config.gridSpacing = 0.4e-3;
-    config.domainWidth = 30e-3;
-    config.domainDepth = 15e-3;
+    config.gridSpacing = Length::millimetres(0.4);
+    config.domainWidth = Length::millimetres(30.0);
+    config.domainDepth = Length::millimetres(15.0);
     BioHeatSolver solver({}, config);
 
     std::cout << "Tissue model: k = " << solver.tissue().conductivity
-              << " W/(m K), perfusion depth "
-              << solver.tissue().penetrationDepth() * 1e3 << " mm\n\n";
+              << ", perfusion depth "
+              << solver.tissue().penetrationDepth() << "\n\n";
 
     // 1. Density sweep on a BISC-sized (144 mm^2) implant.
     Table sweep("Peak tissue temperature rise vs power density "

@@ -5,8 +5,9 @@
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
-#include <mutex>
 #include <unordered_set>
+
+#include "base/compiler.hh"
 
 namespace mindful {
 
@@ -21,25 +22,25 @@ std::atomic<bool> elapsedPrefix{false};
  * mid-line. panic()/fatal() also take it, then abort/exit while
  * holding it — safe, since neither returns.
  */
-std::mutex &
+Mutex &
 sinkMutex()
 {
-    static std::mutex mutex;
+    static Mutex mutex;
     return mutex;
 }
 
-std::mutex &
-warnOnceMutex()
+/** Dedup state behind MINDFUL_WARN_ONCE / warnOnceImpl. */
+struct WarnOnceState
 {
-    static std::mutex mutex;
-    return mutex;
-}
+    Mutex mutex;
+    std::unordered_set<std::string> seen MINDFUL_GUARDED_BY(mutex);
+};
 
-std::unordered_set<std::string> &
-warnOnceSeen()
+WarnOnceState &
+warnOnceState()
 {
-    static std::unordered_set<std::string> seen;
-    return seen;
+    static WarnOnceState state;
+    return state;
 }
 
 std::chrono::steady_clock::time_point
@@ -93,8 +94,9 @@ logElapsedPrefix()
 void
 resetWarnOnce()
 {
-    std::lock_guard<std::mutex> lock(warnOnceMutex());
-    warnOnceSeen().clear();
+    WarnOnceState &state = warnOnceState();
+    LockGuard lock(state.mutex);
+    state.seen.clear();
 }
 
 namespace detail {
@@ -103,7 +105,7 @@ void
 panicImpl(const char *file, int line, const std::string &msg)
 {
     {
-        std::lock_guard<std::mutex> lock(sinkMutex());
+        LockGuard lock(sinkMutex());
         writePrefix(std::cerr);
         std::cerr << "panic: " << msg << "\n  @ " << file << ":" << line
                   << std::endl;
@@ -115,7 +117,7 @@ void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
     {
-        std::lock_guard<std::mutex> lock(sinkMutex());
+        LockGuard lock(sinkMutex());
         writePrefix(std::cerr);
         std::cerr << "fatal: " << msg << "\n  @ " << file << ":" << line
                   << std::endl;
@@ -128,7 +130,7 @@ warnImpl(const std::string &msg)
 {
     if (logLevel() < LogLevel::Warning)
         return;
-    std::lock_guard<std::mutex> lock(sinkMutex());
+    LockGuard lock(sinkMutex());
     writePrefix(std::cerr);
     std::cerr << "warn: " << msg << std::endl;
 }
@@ -138,7 +140,7 @@ informImpl(const std::string &msg)
 {
     if (logLevel() < LogLevel::Info)
         return;
-    std::lock_guard<std::mutex> lock(sinkMutex());
+    LockGuard lock(sinkMutex());
     writePrefix(std::cout);
     std::cout << "info: " << msg << std::endl;
 }
@@ -147,8 +149,9 @@ void
 warnOnceImpl(const std::string &key, const std::string &msg)
 {
     {
-        std::lock_guard<std::mutex> lock(warnOnceMutex());
-        if (!warnOnceSeen().insert(key).second)
+        WarnOnceState &state = warnOnceState();
+        LockGuard lock(state.mutex);
+        if (!state.seen.insert(key).second)
             return;
     }
     warnImpl(msg);

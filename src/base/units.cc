@@ -23,6 +23,30 @@ operator<<(std::ostream &os, Power p)
 }
 
 std::ostream &
+operator<<(std::ostream &os, Length l)
+{
+    return printUnit(os, l.inMillimetres(), "mm");
+}
+
+std::ostream &
+operator<<(std::ostream &os, ThermalConductivity k)
+{
+    return printUnit(os, k.inWattsPerMetreKelvin(), "W/(m K)");
+}
+
+std::ostream &
+operator<<(std::ostream &os, MassDensity rho)
+{
+    return printUnit(os, rho.inKilogramsPerCubicMetre(), "kg/m^3");
+}
+
+std::ostream &
+operator<<(std::ostream &os, SpecificHeat c)
+{
+    return printUnit(os, c.inJoulesPerKilogramKelvin(), "J/(kg K)");
+}
+
+std::ostream &
 operator<<(std::ostream &os, Area a)
 {
     return printUnit(os, a.inSquareMillimetres(), "mm^2");

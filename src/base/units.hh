@@ -288,6 +288,79 @@ class DataRate : public detail::Quantity<DataRate>
     constexpr double inMegabitsPerSecond() const { return _value * 1e-6; }
 };
 
+/** Spatial length; canonical unit: metre. */
+class Length : public detail::Quantity<Length>
+{
+    MINDFUL_QUANTITY_BOILERPLATE(Length)
+
+  public:
+    static constexpr Length metres(double m) { return Length(m); }
+    static constexpr Length centimetres(double cm)
+    {
+        return Length(cm * 1e-2);
+    }
+    static constexpr Length millimetres(double mm)
+    {
+        return Length(mm * 1e-3);
+    }
+    static constexpr Length micrometres(double um)
+    {
+        return Length(um * 1e-6);
+    }
+
+    constexpr double inMetres() const { return _value; }
+    constexpr double inCentimetres() const { return _value * 1e2; }
+    constexpr double inMillimetres() const { return _value * 1e3; }
+    constexpr double inMicrometres() const { return _value * 1e6; }
+};
+
+/** Thermal conductivity; canonical unit: watt per metre-kelvin. */
+class ThermalConductivity : public detail::Quantity<ThermalConductivity>
+{
+    MINDFUL_QUANTITY_BOILERPLATE(ThermalConductivity)
+
+  public:
+    static constexpr ThermalConductivity wattsPerMetreKelvin(double v)
+    {
+        return ThermalConductivity(v);
+    }
+
+    constexpr double inWattsPerMetreKelvin() const { return _value; }
+};
+
+/** Mass density; canonical unit: kilogram per cubic metre. */
+class MassDensity : public detail::Quantity<MassDensity>
+{
+    MINDFUL_QUANTITY_BOILERPLATE(MassDensity)
+
+  public:
+    static constexpr MassDensity kilogramsPerCubicMetre(double v)
+    {
+        return MassDensity(v);
+    }
+    static constexpr MassDensity gramsPerCubicCentimetre(double v)
+    {
+        // 1 g/cm^3 = 1e-3 kg / 1e-6 m^3 = 1e3 kg/m^3.
+        return MassDensity(v * 1e3);
+    }
+
+    constexpr double inKilogramsPerCubicMetre() const { return _value; }
+};
+
+/** Specific heat capacity; canonical unit: joule per kilogram-kelvin. */
+class SpecificHeat : public detail::Quantity<SpecificHeat>
+{
+    MINDFUL_QUANTITY_BOILERPLATE(SpecificHeat)
+
+  public:
+    static constexpr SpecificHeat joulesPerKilogramKelvin(double v)
+    {
+        return SpecificHeat(v);
+    }
+
+    constexpr double inJoulesPerKilogramKelvin() const { return _value; }
+};
+
 /** Temperature difference; canonical unit: kelvin. */
 class TemperatureDelta : public detail::Quantity<TemperatureDelta>
 {
@@ -403,9 +476,27 @@ operator*(Frequency f, double bits)
     return DataRate::bitsPerSecond(f.inHertz() * bits);
 }
 
+/** l * l -> area (rectangular footprints, grid cells). */
+constexpr Area
+operator*(Length a, Length b)
+{
+    return Area::squareMetres(a.inMetres() * b.inMetres());
+}
+
+/** A / l -> length (the other side of a rectangle). */
+constexpr Length
+operator/(Area a, Length l)
+{
+    return Length::metres(a.inSquareMetres() / l.inMetres());
+}
+
 // --- Stream output --------------------------------------------------------
 
 std::ostream &operator<<(std::ostream &os, Power p);
+std::ostream &operator<<(std::ostream &os, Length l);
+std::ostream &operator<<(std::ostream &os, ThermalConductivity k);
+std::ostream &operator<<(std::ostream &os, MassDensity rho);
+std::ostream &operator<<(std::ostream &os, SpecificHeat c);
 std::ostream &operator<<(std::ostream &os, Area a);
 std::ostream &operator<<(std::ostream &os, PowerDensity d);
 std::ostream &operator<<(std::ostream &os, Energy e);

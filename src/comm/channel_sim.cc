@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
-#include <cstdio>
+#include <iomanip>
+#include <sstream>
 #include <vector>
 
 #include "base/decibel.hh"
@@ -21,9 +22,9 @@ namespace {
 std::string
 formatDb(double eb_n0_linear)
 {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.1f", toDecibels(eb_n0_linear));
-    return buf;
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1) << toDecibels(eb_n0_linear);
+    return os.str();
 }
 
 } // namespace

@@ -44,6 +44,7 @@ class QamConstellation
     std::uint32_t demodulate(double i, double q) const;
 
     /** Mean symbol energy (== bitsPerSymbol by construction). */
+    // lint: raw-ok(normalized to Eb = 1, i.e. measured in units of Eb)
     double meanSymbolEnergy() const;
 
     static std::uint32_t binaryToGray(std::uint32_t value);

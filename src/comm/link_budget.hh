@@ -43,9 +43,11 @@ struct LinkBudget
     double implementationLossDb = 0.0;
 
     /** Receiver physical temperature [K] (body temperature). */
+    // lint: raw-ok(absolute temperature; base/units.hh only models deltas)
     double temperatureKelvin = 310.0;
 
     /** Receiver noise spectral density N0 [W/Hz], including F. */
+    // lint: raw-ok(W/Hz spectral density has no Quantity in base/units.hh)
     double noiseSpectralDensity() const;
 
     /** Total link attenuation (path + margin + implementation) as a

@@ -1,9 +1,8 @@
 #include "exec/parallel.hh"
 
-#include <condition_variable>
 #include <exception>
-#include <mutex>
 
+#include "base/compiler.hh"
 #include "base/logging.hh"
 #include "obs/trace.hh"
 
@@ -58,38 +57,44 @@ parallelFor(std::size_t shards,
 
     struct Completion
     {
-        std::mutex mutex;
-        std::condition_variable done;
-        std::size_t remaining = 0;
-        std::vector<std::exception_ptr> errors;
+        Mutex mutex;
+        ConditionVariable done;
+        std::size_t remaining MINDFUL_GUARDED_BY(mutex) = 0;
+        std::vector<std::exception_ptr> errors MINDFUL_GUARDED_BY(mutex);
     };
     Completion completion;
-    completion.remaining = shards;
-    completion.errors.resize(shards);
+    {
+        LockGuard lock(completion.mutex);
+        completion.remaining = shards;
+        completion.errors.resize(shards);
+    }
 
     for (std::size_t shard = 0; shard < shards; ++shard) {
         pool.submit([&completion, &body, label, shard] {
+            std::exception_ptr error;
             try {
                 runShard(body, shard, label);
             } catch (...) {
-                completion.errors[shard] = std::current_exception();
+                error = std::current_exception();
             }
-            std::lock_guard<std::mutex> lock(completion.mutex);
+            LockGuard lock(completion.mutex);
+            if (error)
+                completion.errors[shard] = error;
             if (--completion.remaining == 0)
-                completion.done.notify_all();
+                completion.done.notifyAll();
         });
     }
 
     {
-        std::unique_lock<std::mutex> lock(completion.mutex);
-        completion.done.wait(lock,
-                             [&] { return completion.remaining == 0; });
-    }
-    // All shards finished; propagate the lowest-indexed failure so
-    // the surfaced exception does not depend on scheduling.
-    for (auto &error : completion.errors) {
-        if (error)
-            std::rethrow_exception(error);
+        LockGuard lock(completion.mutex);
+        while (completion.remaining != 0)
+            completion.done.wait(completion.mutex);
+        // All shards finished; propagate the lowest-indexed failure
+        // so the surfaced exception does not depend on scheduling.
+        for (auto &error : completion.errors) {
+            if (error)
+                std::rethrow_exception(error);
+        }
     }
 }
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "base/compiler.hh"
 #include "base/logging.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -30,9 +31,9 @@ struct GlobalPool
 #endif
     }
 
-    std::mutex mutex;
-    std::unique_ptr<ThreadPool> pool;
-    unsigned requested = 0; //!< 0 = automatic
+    Mutex mutex;
+    std::unique_ptr<ThreadPool> pool MINDFUL_GUARDED_BY(mutex);
+    unsigned requested MINDFUL_GUARDED_BY(mutex) = 0; //!< 0 = automatic
 };
 
 GlobalPool &
@@ -81,10 +82,10 @@ ThreadPool::ThreadPool(unsigned threads) : _threadCount(threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        LockGuard lock(_mutex);
         _stopping = true;
     }
-    _wake.notify_all();
+    _wake.notifyAll();
     for (auto &worker : _workers)
         worker.join();
 }
@@ -94,7 +95,7 @@ ThreadPool::submit(std::function<void()> task)
 {
     MINDFUL_ASSERT(task != nullptr, "cannot submit an empty task");
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        LockGuard lock(_mutex);
         MINDFUL_ASSERT(!_stopping,
                        "cannot submit to a stopping thread pool");
         _queue.push_back(std::move(task));
@@ -106,27 +107,27 @@ ThreadPool::submit(std::function<void()> task)
         }
     }
     MINDFUL_METRIC_COUNT("exec.pool.tasks", 1);
-    _wake.notify_one();
+    _wake.notifyOne();
 }
 
 std::uint64_t
 ThreadPool::tasksSubmitted() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    LockGuard lock(_mutex);
     return _tasksSubmitted;
 }
 
 std::size_t
 ThreadPool::queueDepthPeak() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    LockGuard lock(_mutex);
     return _queuePeak;
 }
 
 std::uint64_t
 ThreadPool::busyMicros() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    LockGuard lock(_mutex);
     return _busyMicros;
 }
 
@@ -140,27 +141,27 @@ void
 ThreadPool::workerLoop(unsigned)
 {
     t_on_worker = true;
-    std::unique_lock<std::mutex> lock(_mutex);
     for (;;) {
-        _wake.wait(lock,
-                   [this] { return _stopping || !_queue.empty(); });
-        // Graceful shutdown: drain every queued task before exiting,
-        // so submitted work runs exactly once even mid-teardown.
-        if (_queue.empty()) {
-            if (_stopping)
+        std::function<void()> task;
+        {
+            LockGuard lock(_mutex);
+            while (!_stopping && _queue.empty())
+                _wake.wait(_mutex);
+            // Graceful shutdown: drain every queued task before
+            // exiting, so submitted work runs exactly once even
+            // mid-teardown.
+            if (_queue.empty())
                 return;
-            continue;
+            task = std::move(_queue.front());
+            _queue.pop_front();
         }
-        std::function<void()> task = std::move(_queue.front());
-        _queue.pop_front();
-        lock.unlock();
 
         std::uint64_t start = nowMicros();
         task();
         std::uint64_t elapsed = nowMicros() - start;
         MINDFUL_METRIC_COUNT("exec.pool.busy_us", elapsed);
 
-        lock.lock();
+        LockGuard lock(_mutex);
         _busyMicros += elapsed;
     }
 }
@@ -169,7 +170,7 @@ ThreadPool &
 ThreadPool::global()
 {
     GlobalPool &global = holder();
-    std::lock_guard<std::mutex> lock(global.mutex);
+    LockGuard lock(global.mutex);
     if (!global.pool) {
         global.pool = std::make_unique<ThreadPool>(
             resolveThreadCount(global.requested));
@@ -181,7 +182,7 @@ void
 ThreadPool::setGlobalThreadCount(unsigned threads)
 {
     GlobalPool &global = holder();
-    std::lock_guard<std::mutex> lock(global.mutex);
+    LockGuard lock(global.mutex);
     global.requested = threads;
     unsigned resolved = resolveThreadCount(threads);
     // Restart lazily on the next global() call. Callers must not
@@ -195,7 +196,7 @@ unsigned
 ThreadPool::globalThreadCount()
 {
     GlobalPool &global = holder();
-    std::lock_guard<std::mutex> lock(global.mutex);
+    LockGuard lock(global.mutex);
     if (global.pool)
         return global.pool->threadCount();
     return resolveThreadCount(global.requested);

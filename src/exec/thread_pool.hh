@@ -22,13 +22,13 @@
 #ifndef MINDFUL_EXEC_THREAD_POOL_HH
 #define MINDFUL_EXEC_THREAD_POOL_HH
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "base/compiler.hh"
 
 namespace mindful::exec {
 
@@ -86,14 +86,14 @@ class ThreadPool
     const unsigned _threadCount;
     std::vector<std::thread> _workers;
 
-    mutable std::mutex _mutex;
-    std::condition_variable _wake;
-    std::deque<std::function<void()>> _queue;
-    bool _stopping = false;
+    mutable Mutex _mutex;
+    ConditionVariable _wake;
+    std::deque<std::function<void()>> _queue MINDFUL_GUARDED_BY(_mutex);
+    bool _stopping MINDFUL_GUARDED_BY(_mutex) = false;
 
-    std::uint64_t _tasksSubmitted = 0;
-    std::size_t _queuePeak = 0;
-    std::uint64_t _busyMicros = 0;
+    std::uint64_t _tasksSubmitted MINDFUL_GUARDED_BY(_mutex) = 0;
+    std::size_t _queuePeak MINDFUL_GUARDED_BY(_mutex) = 0;
+    std::uint64_t _busyMicros MINDFUL_GUARDED_BY(_mutex) = 0;
 };
 
 } // namespace mindful::exec

@@ -48,20 +48,20 @@ NeuralInterface::bitsPerFrame() const
     return static_cast<std::uint64_t>(_config.sampleBits) * _config.channels;
 }
 
-double
-NeuralInterface::channelSpacingMicrometres(Area sensing_area) const
+Length
+NeuralInterface::channelSpacing(Area sensing_area) const
 {
     MINDFUL_ASSERT(sensing_area.inSquareMetres() > 0.0,
                    "sensing area must be positive");
     double per_channel = sensing_area.inSquareMicrometres() /
                          static_cast<double>(_config.channels);
-    return std::sqrt(per_channel);
+    return Length::micrometres(std::sqrt(per_channel));
 }
 
 bool
 NeuralInterface::meetsDensityGoal(Area sensing_area) const
 {
-    return channelSpacingMicrometres(sensing_area) <= 20.0;
+    return channelSpacing(sensing_area) <= Length::micrometres(20.0);
 }
 
 NeuralInterface

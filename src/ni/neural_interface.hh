@@ -82,7 +82,7 @@ class NeuralInterface
      * into a uniform grid — the quantity the paper compares against
      * the 20 um one-channel-per-neuron goal.
      */
-    double channelSpacingMicrometres(Area sensing_area) const;
+    Length channelSpacing(Area sensing_area) const;
 
     /**
      * True if this interface meets the high-density goal of <= 20 um

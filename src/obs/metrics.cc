@@ -18,7 +18,7 @@ HistogramMetric::HistogramMetric(HistogramOptions options)
 void
 HistogramMetric::record(double value)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    LockGuard lock(_mutex);
     _histogram.add(value);
     _stats.add(value);
 }
@@ -26,12 +26,34 @@ HistogramMetric::record(double value)
 void
 HistogramMetric::merge(const HistogramMetric &other)
 {
+    if (this == &other) {
+        // Self-merge doubles the distribution (the counterpart of a
+        // counter adding its own value). Merge from copies so the
+        // fold never reads the container it is writing.
+        LockGuard lock(_mutex);
+        LogHistogram histogram_copy = _histogram;
+        RunningStats stats_copy = _stats;
+        _histogram.merge(histogram_copy);
+        _stats.merge(stats_copy);
+        return;
+    }
     // Lock ordering: by address, to keep A.merge(B) and B.merge(A)
-    // running concurrently from deadlocking.
-    const HistogramMetric *first = this < &other ? this : &other;
-    const HistogramMetric *second = this < &other ? &other : this;
-    std::lock_guard<std::mutex> lock_a(first->_mutex);
-    std::lock_guard<std::mutex> lock_b(second->_mutex);
+    // running concurrently from deadlocking. Spelled as two branches
+    // so the thread-safety analysis can see both capabilities held.
+    if (this < &other) {
+        LockGuard lock_a(_mutex);
+        LockGuard lock_b(other._mutex);
+        mergeLocked(other);
+    } else {
+        LockGuard lock_b(other._mutex);
+        LockGuard lock_a(_mutex);
+        mergeLocked(other);
+    }
+}
+
+void
+HistogramMetric::mergeLocked(const HistogramMetric &other)
+{
     _histogram.merge(other._histogram);
     _stats.merge(other._stats);
 }
@@ -39,42 +61,42 @@ HistogramMetric::merge(const HistogramMetric &other)
 std::size_t
 HistogramMetric::count() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    LockGuard lock(_mutex);
     return _stats.count();
 }
 
 double
 HistogramMetric::mean() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    LockGuard lock(_mutex);
     return _stats.mean();
 }
 
 double
 HistogramMetric::min() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    LockGuard lock(_mutex);
     return _stats.count() ? _stats.min() : 0.0;
 }
 
 double
 HistogramMetric::max() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    LockGuard lock(_mutex);
     return _stats.count() ? _stats.max() : 0.0;
 }
 
 double
 HistogramMetric::sum() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    LockGuard lock(_mutex);
     return _stats.sum();
 }
 
 double
 HistogramMetric::percentile(double p) const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    LockGuard lock(_mutex);
     return _histogram.percentile(p);
 }
 
@@ -88,7 +110,7 @@ MetricRegistry::global()
 Counter &
 MetricRegistry::counter(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    LockGuard lock(_mutex);
     Entry &entry = _entries[name];
     MINDFUL_ASSERT(!entry.gauge && !entry.histogram,
                    "metric '", name, "' already registered with "
@@ -101,7 +123,7 @@ MetricRegistry::counter(const std::string &name)
 Gauge &
 MetricRegistry::gauge(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    LockGuard lock(_mutex);
     Entry &entry = _entries[name];
     MINDFUL_ASSERT(!entry.counter && !entry.histogram,
                    "metric '", name, "' already registered with "
@@ -114,7 +136,7 @@ MetricRegistry::gauge(const std::string &name)
 HistogramMetric &
 MetricRegistry::histogram(const std::string &name, HistogramOptions options)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    LockGuard lock(_mutex);
     Entry &entry = _entries[name];
     MINDFUL_ASSERT(!entry.counter && !entry.gauge,
                    "metric '", name, "' already registered with "
@@ -127,14 +149,14 @@ MetricRegistry::histogram(const std::string &name, HistogramOptions options)
 bool
 MetricRegistry::contains(const std::string &name) const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    LockGuard lock(_mutex);
     return _entries.count(name) > 0;
 }
 
 std::size_t
 MetricRegistry::size() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    LockGuard lock(_mutex);
     return _entries.size();
 }
 
@@ -154,7 +176,7 @@ MetricRegistry::merge(const MetricRegistry &other)
     };
     std::vector<Ref> refs;
     {
-        std::lock_guard<std::mutex> lock(other._mutex);
+        LockGuard lock(other._mutex);
         refs.reserve(other._entries.size());
         for (const auto &[name, entry] : other._entries) {
             refs.push_back({name, entry.counter.get(), entry.gauge.get(),
@@ -174,7 +196,7 @@ MetricRegistry::merge(const MetricRegistry &other)
 void
 MetricRegistry::clear()
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    LockGuard lock(_mutex);
     _entries.clear();
 }
 
@@ -193,7 +215,7 @@ MetricRegistry::snapshot() const
     };
     std::vector<Ref> refs;
     {
-        std::lock_guard<std::mutex> lock(_mutex);
+        LockGuard lock(_mutex);
         refs.reserve(_entries.size());
         for (const auto &[name, entry] : _entries) {
             refs.push_back({name, entry.counter.get(), entry.gauge.get(),

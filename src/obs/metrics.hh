@@ -32,10 +32,10 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "base/compiler.hh"
 #include "base/stats.hh"
 #include "base/table.hh"
 
@@ -128,9 +128,13 @@ class HistogramMetric
     double percentile(double p) const;
 
   private:
-    mutable std::mutex _mutex;
-    LogHistogram _histogram;
-    RunningStats _stats;
+    /** Fold @p other in; both sides' locks must already be held. */
+    void mergeLocked(const HistogramMetric &other)
+        MINDFUL_REQUIRES(_mutex, other._mutex);
+
+    mutable Mutex _mutex;
+    LogHistogram _histogram MINDFUL_GUARDED_BY(_mutex);
+    RunningStats _stats MINDFUL_GUARDED_BY(_mutex);
 };
 
 /** One row of MetricRegistry::snapshotTable(), for programmatic use. */
@@ -223,8 +227,8 @@ class MetricRegistry
     };
 
     std::atomic<bool> _enabled{true};
-    mutable std::mutex _mutex;
-    std::map<std::string, Entry> _entries;
+    mutable Mutex _mutex;
+    std::map<std::string, Entry> _entries MINDFUL_GUARDED_BY(_mutex);
 };
 
 } // namespace mindful::obs

@@ -96,28 +96,28 @@ TraceSession::currentThreadId()
 void
 TraceSession::record(TraceEvent event)
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    LockGuard lock(_mutex);
     _events.push_back(std::move(event));
 }
 
 std::size_t
 TraceSession::eventCount() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    LockGuard lock(_mutex);
     return _events.size();
 }
 
 std::vector<TraceEvent>
 TraceSession::events() const
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    LockGuard lock(_mutex);
     return _events;
 }
 
 void
 TraceSession::clear()
 {
-    std::lock_guard<std::mutex> lock(_mutex);
+    LockGuard lock(_mutex);
     _events.clear();
 }
 
@@ -213,6 +213,11 @@ ScopedTimer::ScopedTimer(HistogramMetric &metric)
 
 ScopedTimer::~ScopedTimer()
 {
+    // Honor the registry's runtime gate like the MINDFUL_METRIC_*
+    // macros do: a disabled registry means no recording, even through
+    // directly-held metric references.
+    if (!MetricRegistry::global().enabled())
+        return;
     double elapsed_us =
         static_cast<double>(nanosSinceEpoch() - _startNanos) / 1000.0;
     _metric.record(elapsed_us);

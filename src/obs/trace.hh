@@ -26,10 +26,11 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "base/compiler.hh"
 
 namespace mindful::obs {
 
@@ -92,8 +93,8 @@ class TraceSession
 
   private:
     std::atomic<bool> _enabled{false};
-    mutable std::mutex _mutex;
-    std::vector<TraceEvent> _events;
+    mutable Mutex _mutex;
+    std::vector<TraceEvent> _events MINDFUL_GUARDED_BY(_mutex);
 };
 
 /**
@@ -126,7 +127,10 @@ class TraceSpan
 /**
  * RAII timer that records its scope's elapsed time into a histogram
  * metric (microseconds) — the metric-registry sibling of TraceSpan,
- * for when a distribution is wanted rather than a timeline.
+ * for when a distribution is wanted rather than a timeline. Honors
+ * the global registry's runtime gate: while
+ * `MetricRegistry::global().setEnabled(false)` is in effect, the
+ * timer records nothing (one relaxed atomic load per scope).
  */
 class ScopedTimer
 {

@@ -8,20 +8,22 @@
 
 namespace mindful::thermal {
 
-double
+Length
 TissueProperties::penetrationDepth() const
 {
-    return std::sqrt(conductivity / perfusionCoefficient());
+    return Length::metres(std::sqrt(conductivity.inWattsPerMetreKelvin() /
+                                    perfusionCoefficient()));
 }
 
 BioHeatSolver::BioHeatSolver(TissueProperties tissue, BioHeatConfig config)
     : _tissue(tissue), _config(config)
 {
-    MINDFUL_ASSERT(_tissue.conductivity > 0.0,
+    MINDFUL_ASSERT(_tissue.conductivity.inWattsPerMetreKelvin() > 0.0,
                    "tissue conductivity must be positive");
     MINDFUL_ASSERT(_tissue.perfusionCoefficient() > 0.0,
                    "perfusion coefficient must be positive");
-    MINDFUL_ASSERT(_config.gridSpacing > 0.0, "grid spacing must be positive");
+    MINDFUL_ASSERT(_config.gridSpacing.inMetres() > 0.0,
+                   "grid spacing must be positive");
     MINDFUL_ASSERT(_config.domainWidth > 4.0 * _config.gridSpacing &&
                        _config.domainDepth > 4.0 * _config.gridSpacing,
                    "bio-heat domain too small for the grid spacing");
@@ -36,7 +38,8 @@ BioHeatSolver::oneDimensionalEstimate(PowerDensity flux) const
     // dT(0) = q'' * delta / k with delta the perfusion depth.
     double q = flux.inWattsPerSquareMetre();
     return TemperatureDelta::kelvin(
-        q * _tissue.penetrationDepth() / _tissue.conductivity);
+        q * _tissue.penetrationDepth().inMetres() /
+        _tissue.conductivity.inWattsPerMetreKelvin());
 }
 
 BioHeatResult
@@ -56,22 +59,22 @@ BioHeatSolver::solveProfile(Power total, Area implant_area,
     for (double p : profile)
         MINDFUL_ASSERT(p >= 0.0, "flux profile entries must be >= 0");
 
-    const double h = _config.gridSpacing;
-    const double k = _tissue.conductivity;
+    const double h = _config.gridSpacing.inMetres();
+    const double k = _tissue.conductivity.inWattsPerMetreKelvin();
     const double beta = _tissue.perfusionCoefficient();
     const bool axi = _config.geometry == BioHeatGeometry::Axisymmetric;
 
     const auto rows =
-        static_cast<std::size_t>(_config.domainDepth / h) + 1;
+        static_cast<std::size_t>(_config.domainDepth.inMetres() / h) + 1;
     const auto cols =
-        static_cast<std::size_t>(_config.domainWidth / h) + 1;
+        static_cast<std::size_t>(_config.domainWidth.inMetres() / h) + 1;
 
     // Contact half-extent: disc radius for axisymmetric, half the
     // square side for the planar strip cross-section.
     const double area = implant_area.inSquareMetres();
     const double extent = axi ? std::sqrt(area / std::numbers::pi)
                               : 0.5 * std::sqrt(area);
-    MINDFUL_ASSERT(extent < _config.domainWidth * 0.75,
+    MINDFUL_ASSERT(extent < _config.domainWidth.inMetres() * 0.75,
                    "implant wider than the simulated tissue domain; "
                    "increase BioHeatConfig::domainWidth");
 

@@ -37,36 +37,40 @@
 
 namespace mindful::thermal {
 
-/** Tissue and blood parameters for the Pennes model (SI units). */
+/** Tissue and blood parameters for the Pennes model. */
 struct TissueProperties
 {
-    /** Thermal conductivity of grey matter [W / (m K)]. */
-    double conductivity = 0.51;
+    /** Thermal conductivity of grey matter. */
+    ThermalConductivity conductivity =
+        ThermalConductivity::wattsPerMetreKelvin(0.51);
 
-    /** Blood density [kg / m^3]. */
-    double bloodDensity = 1050.0;
+    /** Blood density. */
+    MassDensity bloodDensity = MassDensity::kilogramsPerCubicMetre(1050.0);
 
-    /** Blood specific heat [J / (kg K)]. */
-    double bloodSpecificHeat = 3600.0;
+    /** Blood specific heat. */
+    SpecificHeat bloodSpecificHeat =
+        SpecificHeat::joulesPerKilogramKelvin(3600.0);
 
     /** Blood perfusion rate [1 / s]. Cortex is among the most
      *  perfused tissues in the body (the paper's Sec. 3.2 premise);
      *  0.017 1/s sits at the well-perfused end of the literature
      *  range and reproduces the 40 mW/cm^2 <-> ~2 degC equivalence. */
-    double perfusionRate = 0.017;
+    double perfusionRate = 0.017; // lint: raw-ok(volumetric perfusion in 1/s; the thermal literature quotes it raw and no Quantity models it)
 
     /** Volumetric heat-sink coefficient rho_b * c_b * w_b [W/(m^3 K)]. */
     double
     perfusionCoefficient() const
     {
-        return bloodDensity * bloodSpecificHeat * perfusionRate;
+        return bloodDensity.inKilogramsPerCubicMetre() *
+               bloodSpecificHeat.inJoulesPerKilogramKelvin() *
+               perfusionRate;
     }
 
     /**
-     * Perfusion penetration depth sqrt(k / (rho_b c_b w_b)) [m]:
+     * Perfusion penetration depth sqrt(k / (rho_b c_b w_b)):
      * the length scale over which blood flow absorbs surface heat.
      */
-    double penetrationDepth() const;
+    Length penetrationDepth() const;
 };
 
 /** Geometry selector for the solver. */
@@ -80,14 +84,14 @@ struct BioHeatConfig
 {
     BioHeatGeometry geometry = BioHeatGeometry::Axisymmetric;
 
-    /** Grid spacing [m]. */
-    double gridSpacing = 0.25e-3;
+    /** Grid spacing. */
+    Length gridSpacing = Length::millimetres(0.25);
 
-    /** Radial (or lateral) extent of the simulated tissue [m]. */
-    double domainWidth = 30e-3;
+    /** Radial (or lateral) extent of the simulated tissue. */
+    Length domainWidth = Length::millimetres(30.0);
 
-    /** Depth of the simulated tissue below the implant [m]. */
-    double domainDepth = 15e-3;
+    /** Depth of the simulated tissue below the implant. */
+    Length domainDepth = Length::millimetres(15.0);
 
     /** SOR relaxation factor in (1, 2). */
     double relaxation = 1.85;

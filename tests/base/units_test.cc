@@ -162,5 +162,50 @@ TEST(UnitsTest, EnergyScales)
     EXPECT_DOUBLE_EQ(Energy::millijoules(1.0).inJoules(), 1e-3);
 }
 
+TEST(UnitsTest, LengthScales)
+{
+    EXPECT_DOUBLE_EQ(Length::millimetres(30.0).inMetres(), 0.03);
+    EXPECT_DOUBLE_EQ(Length::centimetres(2.0).inMillimetres(), 20.0);
+    EXPECT_DOUBLE_EQ(Length::micrometres(250.0).inMillimetres(), 0.25);
+}
+
+TEST(UnitsTest, LengthAreaCrossOps)
+{
+    Area a = Length::millimetres(12.0) * Length::millimetres(12.0);
+    EXPECT_NEAR(a.inSquareMillimetres(), 144.0, 1e-12);
+    Length side = a / Length::millimetres(12.0);
+    EXPECT_NEAR(side.inMillimetres(), 12.0, 1e-12);
+}
+
+TEST(UnitsTest, ThermalMaterialQuantities)
+{
+    // Grey-matter values from the bioheat model (Sec. 7).
+    auto k = ThermalConductivity::wattsPerMetreKelvin(0.51);
+    auto rho = MassDensity::kilogramsPerCubicMetre(1050.0);
+    auto c = SpecificHeat::joulesPerKilogramKelvin(3600.0);
+    EXPECT_DOUBLE_EQ(k.inWattsPerMetreKelvin(), 0.51);
+    EXPECT_DOUBLE_EQ(rho.inKilogramsPerCubicMetre(), 1050.0);
+    EXPECT_DOUBLE_EQ(MassDensity::gramsPerCubicCentimetre(1.05)
+                         .inKilogramsPerCubicMetre(),
+                     1050.0);
+    EXPECT_DOUBLE_EQ(c.inJoulesPerKilogramKelvin(), 3600.0);
+    // The Pennes perfusion coefficient w_b * rho_b * c_b stays a
+    // plain double — its composite unit has no Quantity.
+    double coefficient = 0.017 * rho.inKilogramsPerCubicMetre() *
+                         c.inJoulesPerKilogramKelvin();
+    EXPECT_NEAR(coefficient, 64260.0, 1e-9);
+}
+
+TEST(UnitsTest, NewQuantitiesStreamWithUnits)
+{
+    std::ostringstream os;
+    os << Length::millimetres(0.25) << " | "
+       << ThermalConductivity::wattsPerMetreKelvin(0.51) << " | "
+       << MassDensity::kilogramsPerCubicMetre(1050.0) << " | "
+       << SpecificHeat::joulesPerKilogramKelvin(3600.0);
+    EXPECT_EQ(os.str(),
+              "0.25 mm | 0.51 W/(m K) | 1050 kg/m^3 | 3600 J/(kg K)");
+}
+
 } // namespace
 } // namespace mindful

@@ -126,9 +126,9 @@ TEST(FailureInjectionTest, SolverSurvivesHostileCensuses)
 TEST(FailureInjectionDeathTest, BioHeatNonConvergencePanicsLoudly)
 {
     thermal::BioHeatConfig config;
-    config.gridSpacing = 0.5e-3;
-    config.domainWidth = 25e-3;
-    config.domainDepth = 12e-3;
+    config.gridSpacing = Length::millimetres(0.5);
+    config.domainWidth = Length::millimetres(25.0);
+    config.domainDepth = Length::millimetres(12.0);
     config.maxIterations = 3; // cannot possibly converge
     thermal::BioHeatSolver solver({}, config);
     EXPECT_DEATH(solver.solve(Power::milliwatts(10.0),

@@ -127,9 +127,9 @@ TEST(IntegrationTest, SolverSizedAcceleratorMeetsDeadlineInSimulation)
 TEST(IntegrationTest, BudgetComplianceImpliesThermalSafety)
 {
     thermal::BioHeatConfig config;
-    config.gridSpacing = 0.5e-3;
-    config.domainWidth = 25e-3;
-    config.domainDepth = 12e-3;
+    config.gridSpacing = Length::millimetres(0.5);
+    config.domainWidth = Length::millimetres(25.0);
+    config.domainDepth = Length::millimetres(12.0);
     thermal::BioHeatSolver solver({}, config);
     thermal::SafetyLimits limits;
 

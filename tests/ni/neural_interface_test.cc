@@ -47,8 +47,9 @@ TEST(NeuralInterfaceTest, ChannelSpacingSquareGrid)
 {
     NeuralInterface ni{biscLike()};
     // 1024 channels over 144 mm^2: sqrt(144e6 um^2 / 1024) = 375 um.
-    EXPECT_NEAR(ni.channelSpacingMicrometres(Area::squareMillimetres(144.0)),
-                375.0, 1e-9);
+    EXPECT_NEAR(
+        ni.channelSpacing(Area::squareMillimetres(144.0)).inMicrometres(),
+        375.0, 1e-9);
 }
 
 TEST(NeuralInterfaceTest, DensityGoalAt20Micrometres)

@@ -313,6 +313,21 @@ TEST_F(TraceSpanTest, ScopedTimerRecordsMicroseconds)
     EXPECT_LT(metric.max(), 1e6);
 }
 
+TEST_F(TraceSpanTest, ScopedTimerHonorsRegistryGate)
+{
+    HistogramMetric metric;
+    MetricRegistry::global().setEnabled(false);
+    {
+        ScopedTimer timer(metric);
+    }
+    MetricRegistry::global().setEnabled(true);
+    EXPECT_EQ(metric.count(), 0u);
+    {
+        ScopedTimer timer(metric);
+    }
+    EXPECT_EQ(metric.count(), 1u);
+}
+
 TEST_F(TraceJsonTest, EmittedJsonParses)
 {
     {

@@ -20,9 +20,9 @@ coarseConfig(BioHeatGeometry geometry)
 {
     BioHeatConfig config;
     config.geometry = geometry;
-    config.gridSpacing = 0.5e-3;
-    config.domainWidth = 25e-3;
-    config.domainDepth = 12e-3;
+    config.gridSpacing = Length::millimetres(0.5);
+    config.domainWidth = Length::millimetres(25.0);
+    config.domainDepth = Length::millimetres(12.0);
     config.tolerance = 1e-8;
     return config;
 }
@@ -31,8 +31,8 @@ TEST(TissuePropertiesTest, PenetrationDepthIsMillimetreScale)
 {
     TissueProperties tissue;
     // sqrt(k / (rho c w)) with textbook cortex numbers: ~2-4 mm.
-    EXPECT_GT(tissue.penetrationDepth(), 1e-3);
-    EXPECT_LT(tissue.penetrationDepth(), 5e-3);
+    EXPECT_GT(tissue.penetrationDepth().inMetres(), 1e-3);
+    EXPECT_LT(tissue.penetrationDepth().inMetres(), 5e-3);
 }
 
 TEST(BioHeatTest, OneDimensionalEstimateAnchor)

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * mindful-lint: project-specific static analysis for the MINDFUL tree.
+ *
+ * Three checks enforce idioms the compiler cannot (docs/static_analysis.md):
+ *
+ *  - unit-safety: public function signatures and struct fields in the
+ *    physics layers (thermal/, comm/, ni/, accel/, core/) must use the
+ *    strong unit types from base/units.hh instead of raw `double` for
+ *    any name that implies a physical dimension. Escape hatch:
+ *    `// lint: raw-ok(<reason>)` on the offending line or the line
+ *    above; incremental adoption via a ratcheting allowlist.
+ *  - logging-idiom: no direct std::cout / std::cerr / stdio output
+ *    outside base/logging.cc, base/table.cc and the obs exporters.
+ *  - rng-discipline: no rand()/std::random_device anywhere in src/,
+ *    and no sharing one Rng engine across exec::parallelFor /
+ *    parallelReduce shards — shard lambdas must derive their stream
+ *    via Rng::fork().
+ *
+ * The checker is tokenizer-based on purpose: no libclang dependency,
+ * so it builds and runs everywhere the project does. Findings print
+ * as `file:line: [check] message`, one per line, machine-readable.
+ */
+
+#ifndef MINDFUL_TOOLS_LINT_LINT_HH
+#define MINDFUL_TOOLS_LINT_LINT_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mindful::lint {
+
+/** One diagnostic: `file:line: [check] message`. */
+struct Finding
+{
+    std::string file;
+    std::size_t line = 0;
+    std::string check;
+    std::string message;
+};
+
+/** One lexed token (comments and literals are not tokens). */
+struct Token
+{
+    std::string text;
+    std::size_t line = 0;
+};
+
+/** A lexed source file plus its `lint: raw-ok(...)` suppressions. */
+struct SourceFile
+{
+    /** Path as reported in findings (relative to the scan root). */
+    std::string path;
+
+    std::vector<Token> tokens;
+
+    /** Line of each raw-ok comment -> its reason (may be empty). */
+    std::map<std::size_t, std::string> rawOk;
+};
+
+/** Lex @p content; @p path is recorded verbatim for findings. */
+SourceFile scanSource(std::string path, const std::string &content);
+
+/**
+ * unit-safety over one header. Applies raw-ok suppressions and emits
+ * findings for empty raw-ok reasons and for stale raw-ok comments
+ * that no longer suppress anything.
+ */
+std::vector<Finding> checkUnitSafety(const SourceFile &source);
+
+/** logging-idiom over one file (caller excludes the allowed sinks). */
+std::vector<Finding> checkLoggingIdiom(const SourceFile &source);
+
+/** rng-discipline over one file. */
+std::vector<Finding> checkRngDiscipline(const SourceFile &source);
+
+/** Whether @p word (lowercase) names a physical dimension or unit. */
+bool isDimensionWord(const std::string &word);
+
+/** Whether identifier @p name implies a physical dimension. */
+bool impliesDimension(const std::string &name);
+
+/** One `path : reason` line of the unit-safety allowlist. */
+struct AllowlistEntry
+{
+    std::string file;
+    std::string reason;
+    std::size_t line = 0; //!< line in the allowlist file
+};
+
+/**
+ * Parse the allowlist text. Lines are `<path> : <reason>`; blank
+ * lines and `#` comments are skipped. Malformed or reason-less lines
+ * become findings against @p allowlist_path.
+ */
+std::vector<AllowlistEntry> parseAllowlist(const std::string &content,
+                                           const std::string &allowlist_path,
+                                           std::vector<Finding> &findings);
+
+/**
+ * Drop unit-safety findings in allowlisted files; every entry whose
+ * file has no unit-safety finding left is stale and becomes a finding
+ * itself (the ratchet: once a file is clean it must leave the list).
+ */
+std::vector<Finding> applyAllowlist(std::vector<Finding> findings,
+                                    const std::vector<AllowlistEntry> &entries,
+                                    const std::string &allowlist_path);
+
+/**
+ * Walk @p root (the src/ tree), run every check, apply the allowlist
+ * at @p allowlist_path (empty = none), print findings to @p out.
+ *
+ * @return 0 when clean, 1 when any finding survives.
+ */
+int runLint(const std::string &root, const std::string &allowlist_path,
+            std::ostream &out);
+
+} // namespace mindful::lint
+
+#endif // MINDFUL_TOOLS_LINT_LINT_HH

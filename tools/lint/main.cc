@@ -1,0 +1,42 @@
+/**
+ * @file
+ * mindful-lint CLI. Usage:
+ *
+ *   mindful-lint --root src [--allowlist tools/lint/allowlist.txt]
+ *
+ * Exits 0 when the tree is clean, 1 when any finding survives the
+ * allowlist. Findings print as `file:line: [check] message`.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "lint.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string root;
+    std::string allowlist;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--allowlist" && i + 1 < argc) {
+            allowlist = argv[++i];
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: mindful-lint --root <dir> "
+                         "[--allowlist <file>]\n";
+            return 0;
+        } else {
+            std::cerr << "mindful-lint: unknown argument '" << arg
+                      << "'\n";
+            return 2;
+        }
+    }
+    if (root.empty()) {
+        std::cerr << "mindful-lint: --root is required\n";
+        return 2;
+    }
+    return mindful::lint::runLint(root, allowlist, std::cout);
+}
