@@ -120,6 +120,21 @@ concat(Args &&...args)
         } \
     } while (0)
 
+/**
+ * Assert that compiles away under NDEBUG. Reserved for per-element
+ * checks inside the numerical kernels (src/dnn/gemm.cc, the bio-heat
+ * sweeps), where an always-on branch would cost more than the
+ * surrounding arithmetic. Everything that runs once per call keeps
+ * using MINDFUL_ASSERT.
+ */
+#ifdef NDEBUG
+#define MINDFUL_DEBUG_ASSERT(cond, ...) \
+    do { \
+    } while (0)
+#else
+#define MINDFUL_DEBUG_ASSERT(cond, ...) MINDFUL_ASSERT(cond, ##__VA_ARGS__)
+#endif
+
 } // namespace mindful
 
 #endif // MINDFUL_BASE_LOGGING_HH

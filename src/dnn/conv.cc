@@ -6,6 +6,7 @@
 
 #include "base/logging.hh"
 #include "base/special_math.hh"
+#include "dnn/gemm.hh"
 
 namespace mindful::dnn {
 
@@ -63,13 +64,70 @@ Conv2dLayer::outputShape(const Shape &input) const
             outExtent(input[2], _kernelW)};
 }
 
+std::ptrdiff_t
+Conv2dLayer::padBefore(std::size_t kernel) const
+{
+    return _padding == Padding::Same
+               ? static_cast<std::ptrdiff_t>((kernel - 1) / 2)
+               : 0;
+}
+
 Tensor
 Conv2dLayer::forward(const Tensor &input) const
 {
+    Tensor out(outputShape(input.shape()));
+    forwardInto(input, out.data());
+    return out;
+}
+
+void
+Conv2dLayer::forwardInto(const Tensor &input, float *out,
+                         bool fuse_relu) const
+{
     MINDFUL_ASSERT(materialized(), "conv weights not materialized; "
                    "call initializeWeights() before forward()");
+    MINDFUL_ASSERT(out != nullptr, "conv output view is null");
     Shape out_shape = outputShape(input.shape());
-    Tensor out(out_shape);
+    const std::size_t out_h = out_shape[1];
+    const std::size_t out_w = out_shape[2];
+    const std::size_t n = out_h * out_w;
+    const std::size_t k =
+        gemm::im2colRows(_inChannels, _kernelH, _kernelW);
+    const auto epilogue =
+        fuse_relu ? gemm::Epilogue::Relu : gemm::Epilogue::None;
+
+    // 1x1 stride-1 convolutions (pointwise channel mixing) already
+    // have the patch-matrix layout: B is just the input buffer.
+    if (_kernelH == 1 && _kernelW == 1 && _stride == 1) {
+        gemm::biasGemm(_outChannels, n, k, _weights.data(), input.data(),
+                       _biases.data(), out, epilogue);
+        return;
+    }
+
+    std::vector<float> patches(k * n);
+    gemm::im2col(input, _kernelH, _kernelW, _stride,
+                 static_cast<std::size_t>(padBefore(_kernelH)),
+                 static_cast<std::size_t>(padBefore(_kernelW)), out_h,
+                 out_w, patches.data());
+    gemm::biasGemm(_outChannels, n, k, _weights.data(), patches.data(),
+                   _biases.data(), out, epilogue);
+}
+
+Tensor
+Conv2dLayer::forwardNaive(const Tensor &input) const
+{
+    Tensor out(outputShape(input.shape()));
+    forwardNaiveInto(input, out.data());
+    return out;
+}
+
+void
+Conv2dLayer::forwardNaiveInto(const Tensor &input, float *out) const
+{
+    MINDFUL_ASSERT(materialized(), "conv weights not materialized; "
+                   "call initializeWeights() before forward()");
+    MINDFUL_ASSERT(out != nullptr, "conv output view is null");
+    Shape out_shape = outputShape(input.shape());
 
     const std::size_t in_h = input.dim(1);
     const std::size_t in_w = input.dim(2);
@@ -77,14 +135,8 @@ Conv2dLayer::forward(const Tensor &input) const
     const std::size_t out_w = out_shape[2];
 
     // Top/left zero-padding offsets for "same" mode.
-    const std::ptrdiff_t pad_h =
-        _padding == Padding::Same
-            ? static_cast<std::ptrdiff_t>((_kernelH - 1) / 2)
-            : 0;
-    const std::ptrdiff_t pad_w =
-        _padding == Padding::Same
-            ? static_cast<std::ptrdiff_t>((_kernelW - 1) / 2)
-            : 0;
+    const std::ptrdiff_t pad_h = padBefore(_kernelH);
+    const std::ptrdiff_t pad_w = padBefore(_kernelW);
 
     for (std::size_t oc = 0; oc < _outChannels; ++oc) {
         for (std::size_t oy = 0; oy < out_h; ++oy) {
@@ -117,11 +169,10 @@ Conv2dLayer::forward(const Tensor &input) const
                         }
                     }
                 }
-                out.at(oc, oy, ox) = acc;
+                out[(oc * out_h + oy) * out_w + ox] = acc;
             }
         }
     }
-    return out;
 }
 
 MacCensus
@@ -193,19 +244,30 @@ DenseStage2dLayer::outputShape(const Shape &input) const
 Tensor
 DenseStage2dLayer::forward(const Tensor &input) const
 {
-    Tensor conv_out = _conv.forward(input);
-    // ReLU on the new features only (DenseNet composite function).
-    for (auto &v : conv_out.storage())
-        v = std::max(v, 0.0f);
-
-    Shape out_shape = outputShape(input.shape());
-    Tensor out(out_shape);
-    // Concatenate along the channel axis: passthrough then growth.
+    Tensor out(outputShape(input.shape()));
+    // Concatenate along the channel axis: passthrough channels first,
+    // then the conv writes its ReLU-ed features (DenseNet composite
+    // function, fused into the GEMM epilogue) directly behind them.
     std::copy(input.storage().begin(), input.storage().end(),
               out.storage().begin());
-    std::copy(conv_out.storage().begin(), conv_out.storage().end(),
-              out.storage().begin() +
-                  static_cast<std::ptrdiff_t>(input.size()));
+    _conv.forwardInto(input, out.data() + input.size(),
+                      /*fuse_relu=*/true);
+    return out;
+}
+
+Tensor
+DenseStage2dLayer::forwardReference(const Tensor &input) const
+{
+    Tensor out(outputShape(input.shape()));
+    std::copy(input.storage().begin(), input.storage().end(),
+              out.storage().begin());
+    // The reference conv also renders into the concatenated tensor
+    // through an output view — no intermediate tensor, no second copy.
+    float *growth_out = out.data() + input.size();
+    _conv.forwardNaiveInto(input, growth_out);
+    const std::size_t count = out.size() - input.size();
+    for (std::size_t i = 0; i < count; ++i)
+        growth_out[i] = std::max(growth_out[i], 0.0f);
     return out;
 }
 

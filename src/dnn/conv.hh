@@ -51,7 +51,34 @@ class Conv2dLayer : public Layer
 
     std::string name() const override;
     Shape outputShape(const Shape &input) const override;
+
+    /**
+     * Execute via im2col + blocked GEMM (src/dnn/gemm.hh).
+     * Bit-identical to forwardNaive() and across thread counts (the
+     * GEMM determinism contract, docs/performance.md).
+     */
     Tensor forward(const Tensor &input) const override;
+
+    /**
+     * Retained golden reference: the original branchy scalar loop.
+     * Exists for the equivalence tests and the kernel_regression
+     * speedup baseline; never use it on a hot path.
+     */
+    Tensor forwardNaive(const Tensor &input) const;
+
+    /**
+     * GEMM forward into a caller-provided output view of
+     * elementCount(outputShape(...)) floats, laid out [oc][oy][ox].
+     * With @p fuse_relu the ReLU epilogue is applied in the GEMM
+     * store, so composite layers (DenseStage2dLayer) need no second
+     * pass and no intermediate tensor.
+     */
+    void forwardInto(const Tensor &input, float *out,
+                     bool fuse_relu = false) const;
+
+    /** Reference-path variant of forwardInto (no ReLU fusion). */
+    void forwardNaiveInto(const Tensor &input, float *out) const;
+
     MacCensus census(const Shape &input) const override;
     std::uint64_t weightCount() const override;
     void initializeWeights(Rng &rng) override;
@@ -64,6 +91,9 @@ class Conv2dLayer : public Layer
   private:
     /** Output spatial extent along one axis. */
     std::size_t outExtent(std::size_t in, std::size_t kernel) const;
+
+    /** Top/left zero-padding offset for the current padding mode. */
+    std::ptrdiff_t padBefore(std::size_t kernel) const;
 
     std::size_t _inChannels;
     std::size_t _outChannels;
@@ -92,7 +122,22 @@ class DenseStage2dLayer : public Layer
 
     std::string name() const override;
     Shape outputShape(const Shape &input) const override;
+
+    /**
+     * Fast path: passthrough copy of the input channels plus the
+     * inner convolution written *directly* into the concatenated
+     * output (ReLU fused into the GEMM epilogue) — no intermediate
+     * conv tensor and no second copy.
+     */
     Tensor forward(const Tensor &input) const override;
+
+    /**
+     * Retained golden reference built on Conv2dLayer::forwardNaive
+     * through the same output view (so even the reference pays no
+     * double copy).
+     */
+    Tensor forwardReference(const Tensor &input) const;
+
     MacCensus census(const Shape &input) const override;
     std::uint64_t weightCount() const override;
     void initializeWeights(Rng &rng) override;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "base/logging.hh"
+#include "dnn/gemm.hh"
 
 namespace mindful::dnn {
 
@@ -42,6 +43,24 @@ DenseLayer::outputShape(const Shape &input) const
 
 Tensor
 DenseLayer::forward(const Tensor &input) const
+{
+    MINDFUL_ASSERT(input.size() == _in,
+                   "dense layer expects ", _in, " inputs, got ",
+                   input.size());
+    MINDFUL_ASSERT(materialized(), "dense layer weights not materialized; "
+                   "call initializeWeights() before forward()");
+    // y = W x + b is the n = 1 case of the shared GEMM kernel: the
+    // weight matrix is A [out x in], the input is B [in x 1]. Output
+    // rows shard over the pool; each accumulates in ascending k
+    // order, so the result is bit-identical to forwardNaive().
+    Tensor out(Shape{_out});
+    gemm::biasGemm(_out, 1, _in, _weights.data(), input.data(),
+                   _biases.data(), out.data());
+    return out;
+}
+
+Tensor
+DenseLayer::forwardNaive(const Tensor &input) const
 {
     MINDFUL_ASSERT(input.size() == _in,
                    "dense layer expects ", _in, " inputs, got ",

@@ -42,7 +42,20 @@ class DenseLayer : public Layer
 
     std::string name() const override;
     Shape outputShape(const Shape &input) const override;
+
+    /**
+     * Execute via the shared GEMM kernel (src/dnn/gemm.hh), sharding
+     * output rows over the pool. Bit-identical to forwardNaive() and
+     * across thread counts.
+     */
     Tensor forward(const Tensor &input) const override;
+
+    /**
+     * Retained golden reference: the original scalar row loop, for
+     * the equivalence tests and kernel_regression baseline.
+     */
+    Tensor forwardNaive(const Tensor &input) const;
+
     MacCensus census(const Shape &input) const override;
     std::uint64_t weightCount() const override;
     void initializeWeights(Rng &rng) override;

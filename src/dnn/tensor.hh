@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "base/logging.hh"
+
 namespace mindful::dnn {
 
 /** Tensor shape: a list of dimension extents. */
@@ -59,6 +61,39 @@ class Tensor
     /** 3-D accessors (rank must be 3). */
     float &at(std::size_t c, std::size_t h, std::size_t w);
     float at(std::size_t c, std::size_t h, std::size_t w) const;
+
+    /**
+     * Unchecked fast-path accessors for the numerical kernels
+     * (src/dnn/gemm.cc): no rank or bounds checks in Release builds,
+     * MINDFUL_DEBUG_ASSERT-backed otherwise. Callers must have
+     * validated the shape once per call before entering their loops.
+     */
+    float *
+    rowData(std::size_t c, std::size_t h)
+    {
+        MINDFUL_DEBUG_ASSERT(rank() == 3 && c < _shape[0] &&
+                                 h < _shape[1],
+                             "rowData index out of range");
+        return _data.data() + (c * _shape[1] + h) * _shape[2];
+    }
+
+    const float *
+    rowData(std::size_t c, std::size_t h) const
+    {
+        MINDFUL_DEBUG_ASSERT(rank() == 3 && c < _shape[0] &&
+                                 h < _shape[1],
+                             "rowData index out of range");
+        return _data.data() + (c * _shape[1] + h) * _shape[2];
+    }
+
+    float
+    atFast(std::size_t c, std::size_t h, std::size_t w) const
+    {
+        MINDFUL_DEBUG_ASSERT(rank() == 3 && c < _shape[0] &&
+                                 h < _shape[1] && w < _shape[2],
+                             "atFast index out of range");
+        return _data[(c * _shape[1] + h) * _shape[2] + w];
+    }
 
     /** Reshape in place; element count must be preserved. */
     void reshape(Shape shape);
