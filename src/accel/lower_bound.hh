@@ -36,7 +36,7 @@
 namespace mindful::accel {
 
 /** Execution discipline of the accelerator. */
-enum class Discipline {
+enum class Discipline : std::uint8_t {
     SharedPool, //!< Eqs. 11-12
     Pipelined   //!< Eqs. 14-15
 };

@@ -14,13 +14,14 @@
 #ifndef MINDFUL_BASE_LOGGING_HH
 #define MINDFUL_BASE_LOGGING_HH
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
 namespace mindful {
 
 /** Verbosity levels accepted by setLogLevel(). */
-enum class LogLevel {
+enum class LogLevel : std::uint8_t {
     Silent,   //!< suppress inform() and warn()
     Warning,  //!< show warn() only
     Info      //!< show warn() and inform()

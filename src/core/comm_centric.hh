@@ -21,6 +21,7 @@
 #ifndef MINDFUL_CORE_COMM_CENTRIC_HH
 #define MINDFUL_CORE_COMM_CENTRIC_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "core/scaling.hh"
@@ -28,7 +29,7 @@
 namespace mindful::core {
 
 /** Scaling hypothesis of Sec. 5.1. */
-enum class CommScalingStrategy { Naive, HighMargin };
+enum class CommScalingStrategy : std::uint8_t { Naive, HighMargin };
 
 /** One projected design point of Figs. 5-6. */
 struct CommCentricPoint

@@ -1,5 +1,6 @@
 #include "core/experiments.hh"
 
+#include <array>
 #include <sstream>
 
 #include "base/logging.hh"
@@ -388,8 +389,15 @@ partitionGains(SpeechModel model)
     MINDFUL_METRIC_COUNT("core.experiments.runs", 1);
     const auto socs = wirelessSocs();
     // One shard per SoC: the per-SoC binary searches over maxChannels
-    // dominate this study, and each writes only its own row.
+    // dominate this study, and each writes only its own row. Row
+    // metadata (string copies) is filled serially up front.
     std::vector<PartitionGainRow> rows(socs.size());
+    for (std::size_t i = 0; i < socs.size(); ++i) {
+        rows[i].socId = socs[i].id;
+        rows[i].name = socs[i].name;
+        rows[i].model = model;
+    }
+    // analyze: hot-ok(building the per-SoC DNN model and binary-searching maxChannels IS this shard's unit of work; the model construction allocates once per shard, not per inner iteration)
     exec::parallelFor(
         socs.size(),
         [&](std::size_t i) {
@@ -397,9 +405,6 @@ partitionGains(SpeechModel model)
             CompCentricModel comp{ImplantModel(soc),
                                   speechModelBuilder(model)};
             PartitionGainRow &row = rows[i];
-            row.socId = soc.id;
-            row.name = soc.name;
-            row.model = model;
             row.maxChannelsFull = comp.maxChannels(false);
             row.maxChannelsPartitioned = comp.maxChannels(true);
             row.gain =
@@ -448,23 +453,30 @@ optimizationSweep(int soc_id, SpeechModel model)
     OptimizationStudy study{ImplantModel(soc), speechModelBuilder(model)};
 
     const auto channels = fig12Channels();
+    // The four cumulative ladders are built once, and every series
+    // gets its metadata (string copies) and outcome slots in this
+    // serial prologue; the shards then only evaluate and write into
+    // their own preallocated slots, keeping the pool task free of
+    // allocation and container growth.
+    const std::array<OptimizationSteps, 4> ladders{
+        OptimizationSteps::chDr(), OptimizationSteps::laChDr(),
+        OptimizationSteps::laChDrTech(),
+        OptimizationSteps::laChDrTechDense()};
+    std::vector<OptimizationSeries> sweep(channels.size());
+    for (std::size_t i = 0; i < channels.size(); ++i) {
+        sweep[i].socId = soc.id;
+        sweep[i].name = soc.name;
+        sweep[i].channels = channels[i];
+        sweep[i].outcomes.resize(ladders.size());
+    }
     // One shard per channel count n; each shard evaluates the four
     // cumulative optimization ladders for its own n.
-    std::vector<OptimizationSeries> sweep(channels.size());
     exec::parallelFor(
         channels.size(),
         [&](std::size_t i) {
-            OptimizationSeries &series = sweep[i];
-            series.socId = soc.id;
-            series.name = soc.name;
-            series.channels = channels[i];
-            for (const auto &steps :
-                 {OptimizationSteps::chDr(), OptimizationSteps::laChDr(),
-                  OptimizationSteps::laChDrTech(),
-                  OptimizationSteps::laChDrTechDense()}) {
-                series.outcomes.push_back(
-                    study.evaluate(channels[i], steps));
-            }
+            for (std::size_t k = 0; k < ladders.size(); ++k)
+                sweep[i].outcomes[k] =
+                    study.evaluate(channels[i], ladders[k]);
         },
         "core.fig12.channel_count");
     return sweep;

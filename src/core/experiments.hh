@@ -11,6 +11,7 @@
 #ifndef MINDFUL_CORE_EXPERIMENTS_HH
 #define MINDFUL_CORE_EXPERIMENTS_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -107,7 +108,7 @@ Table fig9Table();
 // --- Figs. 10-12: computation-centric studies -------------------------
 
 /** The two evaluated decoder families (Sec. 5.3). */
-enum class SpeechModel { Mlp, DnCnn };
+enum class SpeechModel : std::uint8_t { Mlp, DnCnn };
 
 std::string toString(SpeechModel model);
 

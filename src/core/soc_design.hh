@@ -27,7 +27,7 @@
 namespace mindful::core {
 
 /** How reported area/power extrapolate with channel count. */
-enum class ScalingLaw {
+enum class ScalingLaw : std::uint8_t {
     /** Eq. 1: area ~ sqrt(n/n0), power ~ n/n0 (the default). */
     SqrtAreaLinearPower,
 

@@ -12,6 +12,7 @@
 #ifndef MINDFUL_DNN_CONV_HH
 #define MINDFUL_DNN_CONV_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "dnn/layer.hh"
@@ -19,7 +20,7 @@
 namespace mindful::dnn {
 
 /** Padding policy for convolutions. */
-enum class Padding {
+enum class Padding : std::uint8_t {
     Valid, //!< no padding; output shrinks by kernel - 1
     Same   //!< zero padding; output spatial size = ceil(in / stride)
 };

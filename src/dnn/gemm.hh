@@ -34,7 +34,7 @@
 namespace mindful::dnn::gemm {
 
 /** Element-wise transform fused into the GEMM output store. */
-enum class Epilogue {
+enum class Epilogue : std::uint8_t {
     None, //!< store the biased accumulation as-is
     Relu  //!< store max(acc, 0) — the DenseNet composite function
 };

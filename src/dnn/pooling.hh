@@ -6,12 +6,14 @@
 #ifndef MINDFUL_DNN_POOLING_HH
 #define MINDFUL_DNN_POOLING_HH
 
+#include <cstdint>
+
 #include "dnn/layer.hh"
 
 namespace mindful::dnn {
 
 /** Pool operator selector. */
-enum class PoolKind { Max, Average };
+enum class PoolKind : std::uint8_t { Max, Average };
 
 /**
  * Non-overlapping 2-D pooling over (channels, height, width); the

@@ -25,7 +25,7 @@
 namespace mindful::ni {
 
 /** Sensor technology of the interface (Table 1 "NI Type"). */
-enum class SensorType {
+enum class SensorType : std::uint8_t {
     Electrode, //!< microelectrode (MEA / shank / stent / ECoG)
     Spad       //!< single-photon avalanche diode neural imager
 };

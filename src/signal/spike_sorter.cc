@@ -85,25 +85,47 @@ TemplateSpikeSorter::train(const std::vector<Snippet> &snippets)
         double inertia = std::numeric_limits<double>::infinity();
         std::vector<Snippet> centres;
         std::vector<std::size_t> assignment;
+        std::vector<double> weight;      // k-means++ scratch
+        std::vector<Snippet> sums;       // Lloyd accumulation scratch
+        std::vector<std::size_t> counts; // Lloyd accumulation scratch
     };
     std::vector<Attempt> attempts(restarts);
+    // Every container a restart touches is sized here, before the
+    // shards run; the shard bodies only write in place. Keeps the
+    // whole k-means loop allocation-free on the pool (the analyzer's
+    // hot-path check holds the line).
+    for (auto &attempt : attempts) {
+        attempt.centres.assign(_config.units,
+                               Snippet(_snippetLength, 0.0));
+        attempt.assignment.assign(snippets.size(), 0);
+        attempt.weight.assign(snippets.size(), 0.0);
+        attempt.sums.assign(_config.units,
+                            Snippet(_snippetLength, 0.0));
+        attempt.counts.assign(_config.units, 0);
+    }
 
-    auto run_attempt = [&](std::size_t attempt) {
-        Rng rng = base_rng.fork(attempt);
-        std::vector<Snippet> centres;
-        centres.push_back(snippets[static_cast<std::size_t>(
+    auto run_attempt = [&](std::size_t attempt_index) {
+        Attempt &attempt = attempts[attempt_index];
+        std::vector<Snippet> &centres = attempt.centres;
+        std::vector<std::size_t> &assignment = attempt.assignment;
+        std::vector<double> &weight = attempt.weight;
+        std::vector<Snippet> &sums = attempt.sums;
+        std::vector<std::size_t> &counts = attempt.counts;
+
+        Rng rng = base_rng.fork(attempt_index);
+        centres[0] = snippets[static_cast<std::size_t>(
             rng.uniformInt(0,
                            static_cast<std::int64_t>(snippets.size()) -
-                               1))]);
-        while (centres.size() < _config.units) {
-            std::vector<double> weight(snippets.size(), 0.0);
+                               1))];
+        for (std::size_t seeded = 1; seeded < _config.units; ++seeded) {
             double total_weight = 0.0;
             for (std::size_t i = 0; i < snippets.size(); ++i) {
                 double nearest =
                     std::numeric_limits<double>::infinity();
-                for (const auto &centre : centres)
+                for (std::size_t u = 0; u < seeded; ++u)
                     nearest = std::min(
-                        nearest, squaredDistance(snippets[i], centre));
+                        nearest,
+                        squaredDistance(snippets[i], centres[u]));
                 weight[i] = nearest;
                 total_weight += nearest;
             }
@@ -117,11 +139,10 @@ TemplateSpikeSorter::train(const std::vector<Snippet> &snippets)
                     break;
                 }
             }
-            centres.push_back(snippets[chosen]);
+            centres[seeded] = snippets[chosen];
         }
 
         // Lloyd iterations.
-        std::vector<std::size_t> assignment(snippets.size(), 0);
         for (std::size_t iter = 0; iter < _config.kmeansIterations;
              ++iter) {
             bool changed = false;
@@ -142,9 +163,9 @@ TemplateSpikeSorter::train(const std::vector<Snippet> &snippets)
                 }
             }
 
-            std::vector<Snippet> sums(centres.size(),
-                                      Snippet(_snippetLength, 0.0));
-            std::vector<std::size_t> counts(centres.size(), 0);
+            for (auto &sum : sums)
+                std::fill(sum.begin(), sum.end(), 0.0);
+            std::fill(counts.begin(), counts.end(), 0);
             for (std::size_t i = 0; i < snippets.size(); ++i) {
                 for (std::size_t s = 0; s < _snippetLength; ++s)
                     sums[assignment[i]][s] += snippets[i][s];
@@ -172,8 +193,7 @@ TemplateSpikeSorter::train(const std::vector<Snippet> &snippets)
         for (std::size_t i = 0; i < snippets.size(); ++i)
             inertia +=
                 squaredDistance(snippets[i], centres[assignment[i]]);
-        attempts[attempt] = Attempt{inertia, std::move(centres),
-                                    std::move(assignment)};
+        attempt.inertia = inertia;
     };
 
     exec::parallelFor(restarts, run_attempt, "signal.kmeans.restart");

@@ -31,6 +31,7 @@
 #define MINDFUL_THERMAL_BIOHEAT_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "base/units.hh"
@@ -74,7 +75,7 @@ struct TissueProperties
 };
 
 /** Geometry selector for the solver. */
-enum class BioHeatGeometry {
+enum class BioHeatGeometry : std::uint8_t {
     Axisymmetric, //!< disc implant on a tissue cylinder
     Planar        //!< infinite strip implant, 2-D cross-section
 };

@@ -1,0 +1,488 @@
+/**
+ * @file
+ * mindful-analyze semantic tests: phase-1 parsing and the phase-2
+ * cross-TU checks run against small in-memory fixture trees — the
+ * call-graph cases the lexical checker is blind to (transitive
+ * allocation, RNG engines smuggled through helpers), the unit-algebra
+ * and safety-envelope rules, the suppression hatches, and an
+ * end-to-end runAnalyze pass with the incremental cache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analyze.hh"
+
+namespace fs = std::filesystem;
+using namespace mindful::lint;
+
+namespace {
+
+/** Analyze a fixture tree of (path, content) pairs. */
+std::vector<Finding>
+analyze(const std::vector<std::pair<std::string, std::string>> &tree)
+{
+    std::vector<FileFacts> facts;
+    for (const auto &[path, content] : tree)
+        facts.push_back(analyzeFile(scanSource(path, content)));
+    return semanticFindings(facts);
+}
+
+bool
+hasFinding(const std::vector<Finding> &findings,
+           const std::string &check, const std::string &fragment)
+{
+    for (const Finding &finding : findings) {
+        if (finding.check == check &&
+            finding.message.find(fragment) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+// --- hot-path purity ------------------------------------------------------
+
+TEST(AnalyzeHotPath, TransitiveAllocationInShardBody)
+{
+    auto findings = analyze({{"dnn/fixture.cc", R"fix(
+        std::vector<double> scratch(std::size_t n)
+        {
+            std::vector<double> out(n, 0.0);
+            return out;
+        }
+        void drive(double *sink)
+        {
+            exec::parallelFor(4, [&](std::size_t shard) {
+                auto s = scratch(shard);
+                sink[shard] = s[0];
+            }, "fixture.drive");
+        }
+    )fix"}});
+    ASSERT_EQ(findings.size(), 1u) << findings.size();
+    EXPECT_EQ(findings[0].check, "hot-path");
+    EXPECT_EQ(findings[0].line, 4u);
+    EXPECT_NE(findings[0].message.find("via scratch()"),
+              std::string::npos)
+        << findings[0].message;
+}
+
+TEST(AnalyzeHotPath, CrossFileResolutionThroughUniqueDefinition)
+{
+    auto findings = analyze({
+        {"dnn/helper.cc", R"fix(
+            void record(int value)
+            {
+                MINDFUL_METRIC_COUNT("fixture.calls", value);
+            }
+        )fix"},
+        {"dnn/driver.cc", R"fix(
+            void drive()
+            {
+                exec::parallelFor(4, [&](std::size_t shard) {
+                    record(static_cast<int>(shard));
+                }, "fixture.drive");
+            }
+        )fix"},
+    });
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].check, "hot-path");
+    EXPECT_EQ(findings[0].file, "dnn/helper.cc");
+    EXPECT_NE(findings[0].message.find("metric"), std::string::npos);
+}
+
+TEST(AnalyzeHotPath, AmbiguousNamesStayOpaque)
+{
+    // `evaluate` is defined in two files: the analyzer cannot type the
+    // overload set, so the call must not be followed (no finding).
+    auto findings = analyze({
+        {"core/a.cc", R"fix(
+            double evaluate(int x) { return to_string(x).size(); }
+        )fix"},
+        {"core/b.cc", R"fix(
+            double evaluate(double x) { return x; }
+        )fix"},
+        {"core/driver.cc", R"fix(
+            void drive(double *sink)
+            {
+                exec::parallelFor(4, [&](std::size_t shard) {
+                    sink[shard] = evaluate(shard);
+                }, "fixture.drive");
+            }
+        )fix"},
+    });
+    EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(AnalyzeHotPath, NamedLambdaPassedByNameIsARoot)
+{
+    auto findings = analyze({{"signal/fixture.cc", R"fix(
+        void drive(std::size_t n, double *sink)
+        {
+            auto body = [&](std::size_t shard) {
+                std::vector<int> v(3, 0);
+                sink[shard] = v[0];
+            };
+            exec::parallelFor(n, body, "fixture.byname");
+        }
+    )fix"}});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].check, "hot-path");
+    EXPECT_EQ(findings[0].line, 5u);
+}
+
+TEST(AnalyzeHotPath, CleanKernelFixtureIsClean)
+{
+    auto findings = analyze({{"dnn/fixture.cc", R"fix(
+        void kernel(float *out, std::size_t n)
+        {
+            exec::parallelFor(4, [&](std::size_t shard) {
+                auto range = exec::shardRange(n, 4, shard);
+                for (std::size_t i = range.begin; i < range.end; ++i)
+                    out[i] = std::max(out[i], static_cast<float>(i));
+            }, "fixture.kernel");
+        }
+    )fix"}});
+    EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(AnalyzeHotPath, FlagsLocksLogsAndStringsDirectly)
+{
+    auto findings = analyze({{"obs/fixture.cc", R"fix(
+        void drive(std::size_t n)
+        {
+            exec::parallelFor(n, [&](std::size_t shard) {
+                std::lock_guard<std::mutex> guard(mu);
+                MINDFUL_WARN("shard " + std::to_string(shard));
+            }, "fixture.drive");
+        }
+    )fix"}});
+    EXPECT_TRUE(hasFinding(findings, "hot-path", "lock"));
+    EXPECT_TRUE(hasFinding(findings, "hot-path", "MINDFUL_WARN"));
+    EXPECT_TRUE(hasFinding(findings, "hot-path", "to_string"));
+}
+
+// --- rng-flow -------------------------------------------------------------
+
+TEST(AnalyzeRngFlow, SharedEngineThroughHelper)
+{
+    auto findings = analyze({{"comm/fixture.cc", R"fix(
+        double jitter(Rng &rng, double scale)
+        {
+            return rng.gaussian(0.0, scale);
+        }
+        void shake(Rng &rng, double *sink)
+        {
+            exec::parallelFor(8, [&](std::size_t shard) {
+                sink[shard] = jitter(rng, 1.0);
+            }, "fixture.shake");
+        }
+    )fix"}});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].check, "rng-flow");
+    EXPECT_EQ(findings[0].line, 9u);
+    EXPECT_NE(findings[0].message.find("jitter"), std::string::npos);
+}
+
+TEST(AnalyzeRngFlow, SharedEngineThroughTwoHelpers)
+{
+    // rng -> outer(gen) -> inner(engine).uniform(): the unforked-draw
+    // property must propagate through the chain to the shard body.
+    auto findings = analyze({{"comm/fixture.cc", R"fix(
+        double inner(Rng &engine)
+        {
+            return engine.uniform(0.0, 1.0);
+        }
+        double outer(Rng &gen)
+        {
+            return inner(gen);
+        }
+        void shake(Rng &rng, double *sink)
+        {
+            exec::parallelFor(8, [&](std::size_t shard) {
+                sink[shard] = outer(rng);
+            }, "fixture.shake");
+        }
+    )fix"}});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].check, "rng-flow");
+    EXPECT_NE(findings[0].message.find("outer"), std::string::npos);
+}
+
+TEST(AnalyzeRngFlow, ForkedSubStreamIsClean)
+{
+    auto findings = analyze({{"comm/fixture.cc", R"fix(
+        double jitter(Rng &rng, double scale)
+        {
+            return rng.gaussian(0.0, scale);
+        }
+        void shake(Rng &rng, double *sink)
+        {
+            exec::parallelFor(8, [&](std::size_t shard) {
+                Rng local = rng.fork(shard);
+                sink[shard] = jitter(local, 1.0);
+            }, "fixture.shake");
+        }
+    )fix"}});
+    EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(AnalyzeRngFlow, UnforkedDrawInByNameRootEscapesLexicalCheck)
+{
+    // The lexical rng-discipline check only sees lambda literals in
+    // the parallelFor argument list; a named body needs phase 2.
+    auto source = scanSource("comm/fixture.cc", R"fix(
+        void noisy(Rng &rng, std::size_t n, double *sink)
+        {
+            auto body = [&](std::size_t shard) {
+                sink[shard] = rng.gaussian(0.0, 1.0);
+            };
+            exec::parallelFor(n, body, "fixture.noisy");
+        }
+    )fix");
+    EXPECT_TRUE(checkRngDiscipline(source).empty());
+    auto findings = analyze({{"comm/fixture.cc", R"fix(
+        void noisy(Rng &rng, std::size_t n, double *sink)
+        {
+            auto body = [&](std::size_t shard) {
+                sink[shard] = rng.gaussian(0.0, 1.0);
+            };
+            exec::parallelFor(n, body, "fixture.noisy");
+        }
+    )fix"}});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].check, "rng-flow");
+    EXPECT_EQ(findings[0].line, 5u);
+}
+
+// --- unit-algebra ---------------------------------------------------------
+
+TEST(AnalyzeUnits, PowerDensityComparedToBareLiteral)
+{
+    auto findings = analyze({{"core/fixture.cc", R"fix(
+        bool over(PowerDensity d)
+        {
+            return d.inMilliwattsPerSquareCentimetre() > 40.0;
+        }
+    )fix"}});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].check, "unit-algebra");
+    EXPECT_EQ(findings[0].line, 4u);
+    EXPECT_NE(findings[0].message.find("thermal::Safety"),
+              std::string::npos);
+}
+
+TEST(AnalyzeUnits, EnvelopeLiteralOutsideSafetyIsFlagged)
+{
+    auto findings = analyze({{"core/fixture.cc", R"fix(
+        const PowerDensity kLimit =
+            PowerDensity::milliwattsPerSquareCentimetre(40.0);
+    )fix"}});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].check, "unit-algebra");
+    EXPECT_NE(findings[0].message.find("one source of truth"),
+              std::string::npos);
+}
+
+TEST(AnalyzeUnits, EnvelopeLiteralInsideSafetyIsExempt)
+{
+    auto findings = analyze({{"thermal/safety.hh", R"fix(
+        const PowerDensity kLimit =
+            PowerDensity::milliwattsPerSquareCentimetre(40.0);
+    )fix"}});
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(AnalyzeUnits, MixedDimensionUnwrapsAcrossPlus)
+{
+    auto findings = analyze({{"comm/fixture.cc", R"fix(
+        double broken(Power p, Frequency f)
+        {
+            double x = p.inWatts() + f.inHertz();
+            return x;
+        }
+    )fix"}});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].check, "unit-algebra");
+    EXPECT_NE(findings[0].message.find("inWatts"), std::string::npos);
+    EXPECT_NE(findings[0].message.find("inHertz"), std::string::npos);
+}
+
+TEST(AnalyzeUnits, SameAccessorAndScalingArePermitted)
+{
+    auto findings = analyze({{"comm/fixture.cc", R"fix(
+        double fine(Power a, Power b, Time t)
+        {
+            double sum = a.inWatts() + b.inWatts();
+            double scaled = a.inWatts() * t.inSeconds();
+            return sum + scaled;
+        }
+    )fix"}});
+    EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(AnalyzeUnits, UnitOkSuppressesWithReason)
+{
+    auto findings = analyze({{"comm/fixture.cc", R"fix(
+        double tagged(Power p, Frequency f)
+        {
+            // analyze: unit-ok(intentional fixture arithmetic)
+            return p.inWatts() + f.inHertz();
+        }
+    )fix"}});
+    EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+// --- suppression policing -------------------------------------------------
+
+TEST(AnalyzeSuppression, HotOkAboveRootCoversWholeShard)
+{
+    auto findings = analyze({{"core/fixture.cc", R"fix(
+        void drive(std::size_t n, double *sink)
+        {
+            // analyze: hot-ok(per-shard workspace is the unit of work)
+            exec::parallelFor(n, [&](std::size_t shard) {
+                std::vector<double> w(shard, 0.0);
+                sink[shard] = w.empty() ? 0.0 : w[0];
+            }, "fixture.drive");
+        }
+    )fix"}});
+    EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(AnalyzeSuppression, EmptyReasonIsAFinding)
+{
+    auto findings = analyze({{"core/fixture.cc", R"fix(
+        void quiet()
+        {
+            // analyze: hot-ok()
+            helper();
+        }
+    )fix"}});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].check, "suppression");
+    EXPECT_NE(findings[0].message.find("empty reason"),
+              std::string::npos);
+}
+
+TEST(AnalyzeSuppression, StaleMarkerIsAFinding)
+{
+    auto findings = analyze({{"core/fixture.cc", R"fix(
+        void quiet()
+        {
+            // analyze: hot-ok(suppresses nothing at all)
+            helper();
+        }
+    )fix"}});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].check, "suppression");
+    EXPECT_NE(findings[0].message.find("stale"), std::string::npos);
+}
+
+// --- end-to-end driver (cache, determinism, exit codes) -------------------
+
+class AnalyzeRunTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        _root = fs::temp_directory_path() /
+                ("mindful_analyze_test_" +
+                 std::to_string(::testing::UnitTest::GetInstance()
+                                    ->random_seed()) +
+                 "_" + ::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name());
+        fs::remove_all(_root);
+        fs::create_directories(_root / "src");
+    }
+
+    void TearDown() override { fs::remove_all(_root); }
+
+    void write(const std::string &relative, const std::string &content)
+    {
+        fs::path path = _root / relative;
+        fs::create_directories(path.parent_path());
+        std::ofstream out(path);
+        out << content;
+    }
+
+    int run(AnalyzeOptions options, std::string &output)
+    {
+        options.root = (_root / "src").string();
+        std::ostringstream os;
+        std::ostringstream es;
+        int rc = runAnalyze(options, os, es);
+        output = os.str();
+        return rc;
+    }
+
+    fs::path _root;
+};
+
+TEST_F(AnalyzeRunTest, ColdAndWarmCacheProduceIdenticalOutput)
+{
+    write("src/dnn/fixture.cc", R"fix(
+        std::vector<double> scratch(std::size_t n)
+        {
+            std::vector<double> out(n, 0.0);
+            return out;
+        }
+        void drive(double *sink)
+        {
+            exec::parallelFor(4, [&](std::size_t shard) {
+                sink[shard] = scratch(shard)[0];
+            }, "fixture.drive");
+        }
+    )fix");
+    write("src/thermal/clean.hh",
+          "struct Config { int channels = 4; };\n");
+
+    AnalyzeOptions options;
+    options.cacheDir = (_root / "cache").string();
+    std::string cold;
+    std::string warm;
+    EXPECT_EQ(run(options, cold), 1);
+    EXPECT_EQ(run(options, warm), 1);
+    EXPECT_EQ(cold, warm);
+    EXPECT_NE(cold.find("[hot-path]"), std::string::npos);
+
+    // An edit must miss the cache and change the result.
+    write("src/dnn/fixture.cc", "void drive() {}\n");
+    std::string fixed;
+    EXPECT_EQ(run(options, fixed), 0);
+    EXPECT_TRUE(fixed.empty());
+}
+
+TEST_F(AnalyzeRunTest, NoSemanticRestrictsToLexicalChecks)
+{
+    write("src/dnn/fixture.cc", R"fix(
+        void drive(double *sink)
+        {
+            exec::parallelFor(4, [&](std::size_t shard) {
+                std::vector<double> w(shard, 0.0);
+                sink[shard] = w[0];
+            }, "fixture.drive");
+        }
+    )fix");
+    AnalyzeOptions options;
+    options.semantic = false;
+    std::string output;
+    EXPECT_EQ(run(options, output), 0) << output;
+}
+
+TEST_F(AnalyzeRunTest, FindingsAreSortedByFileLineCheck)
+{
+    write("src/thermal/b.hh",
+          "struct Config {\n    double gridSpacing = 1.0;\n};\n");
+    write("src/thermal/a.hh",
+          "struct Config {\n    double peakPower = 1.0;\n};\n");
+    AnalyzeOptions options;
+    std::string output;
+    EXPECT_EQ(run(options, output), 1);
+    EXPECT_LT(output.find("thermal/a.hh"), output.find("thermal/b.hh"));
+}

@@ -181,6 +181,75 @@ TEST(LintLogging, IgnoresTokensInsideStringsAndComments)
     EXPECT_TRUE(checkLoggingIdiom(source).empty());
 }
 
+// --- lexer hardening ------------------------------------------------------
+
+TEST(LintLexer, RawStringContentsAreNotTokens)
+{
+    auto source = scanSource("comm/fixture.cc",
+                             "const char *kQuery =\n"
+                             "    R\"(std::cout << rand())\";\n"
+                             "const char *kDelimited =\n"
+                             "    R\"sql(select \")\" from t)sql\";\n");
+    EXPECT_TRUE(checkLoggingIdiom(source).empty());
+    EXPECT_TRUE(checkRngDiscipline(source).empty());
+}
+
+TEST(LintLexer, RawStringNewlinesKeepLineNumbersAligned)
+{
+    auto source = scanSource("comm/fixture.cc",
+                             "const char *kBlock = R\"(line\n"
+                             "two\n"
+                             "three)\";\n"
+                             "std::cout << kBlock;\n");
+    auto findings = checkLoggingIdiom(source);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 4u);
+}
+
+TEST(LintLexer, DigitSeparatorsLexAsOneNumber)
+{
+    auto source = scanSource("comm/fixture.cc",
+                             "int samples = 1'000'000;\n"
+                             "double rate = 2'500.75;\n");
+    bool found = false;
+    for (const Token &token : source.tokens)
+        found = found || token.text == "1'000'000";
+    EXPECT_TRUE(found);
+}
+
+TEST(LintLexer, BackslashContinuationExtendsLineComment)
+{
+    // The continuation glues the next physical line onto the comment,
+    // so the cout there is commentary, not code.
+    auto source = scanSource("comm/fixture.cc",
+                             "// this comment continues \\\n"
+                             "std::cout << 1;\n"
+                             "int live = 2;\n");
+    EXPECT_TRUE(checkLoggingIdiom(source).empty());
+    bool found = false;
+    for (const Token &token : source.tokens)
+        found = found || token.text == "live";
+    EXPECT_TRUE(found);
+}
+
+TEST(LintLexer, PreprocessorDirectivesEmitNoTokens)
+{
+    // Macro *definitions* are not analyzable source; a multi-line
+    // define (continuations) must vanish entirely, and the marker
+    // comment after a directive must still register.
+    auto source = scanSource("comm/fixture.cc",
+                             "#define NOISY(x) \\\n"
+                             "    std::cout << (x)\n"
+                             "#include <iostream> // lint: raw-ok(why)\n"
+                             "int live = 3;\n");
+    EXPECT_TRUE(checkLoggingIdiom(source).empty());
+    EXPECT_EQ(source.rawOk.count(3), 1u);
+    bool found = false;
+    for (const Token &token : source.tokens)
+        found = found || token.text == "live";
+    EXPECT_TRUE(found);
+}
+
 TEST(LintRng, FlagsRandAndRandomDevice)
 {
     auto source = scanSource("ni/fixture.cc", R"(

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * SARIF emitter tests: schema-shape assertions over the generated
+ * JSON (the repo deliberately has no JSON parser, so shape is checked
+ * structurally — balanced braces, required keys, escaping) plus the
+ * empty-findings case CI uploads on a clean tree.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sarif.hh"
+
+using namespace mindful::lint;
+
+namespace {
+
+std::string
+emit(const std::vector<Finding> &findings, const std::string &root)
+{
+    std::ostringstream out;
+    writeSarif(findings, root, out);
+    return out.str();
+}
+
+/** Brace/bracket balance outside of string literals. */
+bool
+balanced(const std::string &json)
+{
+    int braces = 0;
+    int brackets = 0;
+    bool in_string = false;
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        char c = json[i];
+        if (in_string) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_string = false;
+        } else if (c == '"') {
+            in_string = true;
+        } else if (c == '{') {
+            ++braces;
+        } else if (c == '}') {
+            --braces;
+        } else if (c == '[') {
+            ++brackets;
+        } else if (c == ']') {
+            --brackets;
+        }
+        if (braces < 0 || brackets < 0)
+            return false;
+    }
+    return braces == 0 && brackets == 0 && !in_string;
+}
+
+} // namespace
+
+TEST(Sarif, EmptyFindingsStillEmitValidLog)
+{
+    std::string json = emit({}, "src");
+    EXPECT_TRUE(balanced(json));
+    EXPECT_NE(
+        json.find(
+            "\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\""),
+        std::string::npos);
+    EXPECT_NE(json.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"mindful-analyze\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"rules\": []"), std::string::npos);
+    EXPECT_NE(json.find("\"results\": []"), std::string::npos);
+}
+
+TEST(Sarif, ResultsCarryRuleLevelMessageAndLocation)
+{
+    std::vector<Finding> findings{
+        {"thermal/bioheat.cc", 42, "hot-path", "allocates in shard"},
+        {"comm/wpt.hh", 7, "unit-algebra", "mixes accessors"},
+    };
+    std::string json = emit(findings, "src");
+    EXPECT_TRUE(balanced(json));
+    EXPECT_NE(json.find("\"ruleId\": \"hot-path\""), std::string::npos);
+    EXPECT_NE(json.find("\"ruleId\": \"unit-algebra\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"level\": \"error\""), std::string::npos);
+    EXPECT_NE(json.find("\"uri\": \"src/thermal/bioheat.cc\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"startLine\": 42"), std::string::npos);
+    // one reportingDescriptor per distinct rule, sorted by id
+    EXPECT_LT(json.find("\"id\": \"hot-path\""),
+              json.find("\"id\": \"unit-algebra\""));
+}
+
+TEST(Sarif, MessagesAreJsonEscaped)
+{
+    std::vector<Finding> findings{
+        {"core/a.cc", 1, "hot-path", "uses \"quotes\" and \\ and \n"},
+    };
+    std::string json = emit(findings, "");
+    EXPECT_TRUE(balanced(json));
+    EXPECT_NE(json.find("uses \\\"quotes\\\" and \\\\ and \\n"),
+              std::string::npos);
+    // empty root prefix: the path is used verbatim
+    EXPECT_NE(json.find("\"uri\": \"core/a.cc\""), std::string::npos);
+}

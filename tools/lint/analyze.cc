@@ -1,0 +1,1397 @@
+/**
+ * @file
+ * mindful-analyze phases 1 and 2 (see analyze.hh for the contract).
+ */
+
+#include "analyze.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache.hh"
+#include "exec/parallel.hh"
+#include "exec/thread_pool.hh"
+#include "sarif.hh"
+
+namespace mindful::lint {
+
+namespace {
+
+bool
+isIdentTok(const std::string &t)
+{
+    return !t.empty() &&
+           (std::isalpha(static_cast<unsigned char>(t[0])) || t[0] == '_');
+}
+
+bool
+isNumberTok(const std::string &t)
+{
+    return !t.empty() && std::isdigit(static_cast<unsigned char>(t[0]));
+}
+
+/** Words that look like calls but never are (or are vetted pure). */
+const std::unordered_set<std::string> &
+notCalls()
+{
+    static const std::unordered_set<std::string> set{
+        // control flow / operators-in-disguise
+        "if", "for", "while", "switch", "return", "sizeof", "alignof",
+        "catch", "throw", "static_cast", "dynamic_cast",
+        "reinterpret_cast", "const_cast", "decltype", "noexcept",
+        "static_assert", "defined", "alignas", "constexpr",
+        // pure std math / utility
+        "min", "max", "abs", "fabs", "sqrt", "exp", "log2", "pow",
+        "sin", "cos", "tan", "floor", "ceil", "round", "clamp",
+        "popcount", "isfinite", "isnan", "swap", "move", "forward",
+        "get", "infinity", "lowest", "epsilon", "quiet_NaN",
+        // allocation-free container observers
+        "size", "empty", "data", "begin", "end", "cbegin", "cend",
+        "rbegin", "rend", "front", "back", "at", "count", "find",
+        "contains", "c_str", "length", "capacity", "first", "second",
+        "value", "has_value", "fill",
+        // vetted project infrastructure (asserts/tracing are gated or
+        // compiled out; the pool entry points are what we guard)
+        "parallelFor", "parallelReduce", "shardRange", "fork",
+        "MINDFUL_ASSERT", "MINDFUL_DEBUG_ASSERT", "MINDFUL_TRACE_SPAN",
+        "MINDFUL_TRACE_SCOPE",
+    };
+    return set;
+}
+
+const std::unordered_set<std::string> &
+drawMethods()
+{
+    static const std::unordered_set<std::string> set{
+        "gaussian", "uniform", "uniformInt", "bernoulli", "poisson",
+        "bits",
+    };
+    return set;
+}
+
+/** Containers whose construction implies heap allocation. */
+const std::unordered_set<std::string> &
+heapContainers()
+{
+    static const std::unordered_set<std::string> set{
+        "vector",   "map",          "unordered_map", "set",
+        "unordered_set", "deque",   "list",          "multimap",
+        "multiset", "function",     "string",        "ostringstream",
+        "stringstream", "istringstream",
+    };
+    return set;
+}
+
+bool
+isStringish(const std::string &name)
+{
+    return name == "string" || name == "ostringstream" ||
+           name == "stringstream" || name == "istringstream";
+}
+
+const std::unordered_set<std::string> &
+growMethods()
+{
+    static const std::unordered_set<std::string> set{
+        "push_back", "emplace_back", "emplace", "resize", "reserve",
+        "insert", "append", "push_front",
+    };
+    return set;
+}
+
+const std::unordered_set<std::string> &
+lockTypes()
+{
+    static const std::unordered_set<std::string> set{
+        "LockGuard", "lock_guard", "unique_lock", "scoped_lock",
+    };
+    return set;
+}
+
+/** Words the param-name heuristic must not pick as a name. */
+const std::unordered_set<std::string> &
+typeWords()
+{
+    static const std::unordered_set<std::string> set{
+        "const", "volatile", "unsigned", "signed", "long", "short",
+        "int",   "double",   "float",    "bool",   "char", "void",
+        "auto",  "mutable",  "struct",   "class",
+    };
+    return set;
+}
+
+// --- token matchers -------------------------------------------------------
+
+std::size_t
+matchForward(const std::vector<Token> &t, std::size_t open,
+             const std::string &opener, const std::string &closer)
+{
+    std::size_t depth = 0;
+    for (std::size_t i = open; i < t.size(); ++i) {
+        if (t[i].text == opener)
+            ++depth;
+        else if (t[i].text == closer && --depth == 0)
+            return i;
+    }
+    return t.size();
+}
+
+std::size_t
+matchParen(const std::vector<Token> &t, std::size_t open)
+{
+    return matchForward(t, open, "(", ")");
+}
+
+std::size_t
+matchBrace(const std::vector<Token> &t, std::size_t open)
+{
+    return matchForward(t, open, "{", "}");
+}
+
+std::size_t
+matchBracket(const std::vector<Token> &t, std::size_t open)
+{
+    return matchForward(t, open, "[", "]");
+}
+
+/**
+ * Best-effort template-argument matcher: from `<` at @p open, return
+ * the matching `>` if the span looks like a type-argument list (only
+ * idents, numbers, `::`, `,`, `*`, `&`, nested `<>`), else npos.
+ */
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+std::size_t
+matchAngle(const std::vector<Token> &t, std::size_t open)
+{
+    std::size_t depth = 0;
+    const std::size_t limit = std::min(t.size(), open + 64);
+    for (std::size_t i = open; i < limit; ++i) {
+        const std::string &tok = t[i].text;
+        if (tok == "<") {
+            ++depth;
+        } else if (tok == ">") {
+            if (--depth == 0)
+                return i;
+        } else if (isIdentTok(tok) || isNumberTok(tok) || tok == ":" ||
+                   tok == "," || tok == "*" || tok == "&") {
+            continue;
+        } else {
+            return kNpos;
+        }
+    }
+    return kNpos;
+}
+
+// --- phase 1: the parser --------------------------------------------------
+
+class Parser
+{
+  public:
+    Parser(const SourceFile &source, FileFacts &out)
+        : _t(source.tokens), _out(out)
+    {
+    }
+
+    void
+    parseTopLevel()
+    {
+        parseScope(0, _t.size());
+    }
+
+  private:
+    const std::vector<Token> &_t;
+    FileFacts &_out;
+
+    const std::string &
+    tok(std::size_t i) const
+    {
+        static const std::string empty;
+        return i < _t.size() ? _t[i].text : empty;
+    }
+
+    /**
+     * Namespace/class scope: classify each `{` by its head (the
+     * tokens since the previous statement boundary) and either
+     * recurse (namespace, class), parse a function body, or skip.
+     */
+    void
+    parseScope(std::size_t begin, std::size_t end)
+    {
+        std::size_t head = begin;
+        std::size_t i = begin;
+        while (i < end) {
+            const std::string &t = tok(i);
+            if (t == ";") {
+                head = ++i;
+            } else if (t == "{" && i > begin && tok(i - 1) == "=") {
+                // Brace initializer (including `= {}` default
+                // arguments in declarations), not a scope: skip it and
+                // keep reading the same statement.
+                i = matchBrace(_t, i) + 1;
+            } else if (t == "{") {
+                std::size_t close = matchBrace(_t, i);
+                classifyBlock(head, i, close);
+                i = close + 1;
+                head = i;
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    void
+    classifyBlock(std::size_t head, std::size_t open, std::size_t close)
+    {
+        bool has_namespace = false;
+        bool has_class = false;
+        bool is_enum = head < open && tok(head) == "enum";
+        bool has_paren = false;
+        bool has_assign = false;
+        for (std::size_t k = head; k < open; ++k) {
+            const std::string &t = tok(k);
+            if (t == "namespace")
+                has_namespace = true;
+            else if (t == "class" || t == "struct" || t == "union")
+                has_class = true;
+            else if (t == "(")
+                has_paren = true;
+            else if (t == "=" && k > head) {
+                // `=` that is part of ==, <=, >=, != or operator= is
+                // not an initializer.
+                const std::string &p = tok(k - 1);
+                if (p != "operator" && p != "=" && p != "<" &&
+                    p != ">" && p != "!" && p != "+" && p != "-" &&
+                    p != "*" && p != "/")
+                    has_assign = true;
+            }
+        }
+        if (has_namespace) {
+            parseScope(open + 1, close);
+        } else if (is_enum) {
+            // opaque
+        } else if (has_assign && !has_paren) {
+            // brace initializer at namespace/class scope
+        } else if (has_paren) {
+            parseFunction(head, open, close);
+        } else if (has_class) {
+            parseScope(open + 1, close);
+        }
+        // anything else: opaque block
+    }
+
+    void
+    parseFunction(std::size_t head, std::size_t open, std::size_t close)
+    {
+        // Name = identifier before the first top-level `(` of the head
+        // (`Foo Bar::baz(...)` -> baz; `Foo::Foo(...) : _x(x)` -> Foo).
+        std::size_t paren = kNpos;
+        for (std::size_t k = head; k < open; ++k) {
+            if (tok(k) == "(") {
+                paren = k;
+                break;
+            }
+        }
+        if (paren == kNpos || paren == head)
+            return;
+        FunctionFacts fn;
+        if (isIdentTok(tok(paren - 1)))
+            fn.name = tok(paren - 1);
+        fn.line = _t[paren - 1].line;
+        parseParams(paren + 1, matchParen(_t, paren), fn.params);
+        analyzeBody(fn, open + 1, close);
+        _out.functions.push_back(std::move(fn));
+    }
+
+    void
+    parseParams(std::size_t begin, std::size_t end,
+                std::vector<ParamFacts> &params)
+    {
+        if (begin >= end)
+            return;
+        std::size_t depth = 0;
+        std::size_t start = begin;
+        auto flush = [&](std::size_t stop) {
+            if (stop <= start)
+                return;
+            ParamFacts p;
+            std::size_t name_stop = stop;
+            for (std::size_t k = start; k < stop; ++k) {
+                if (tok(k) == "Rng")
+                    p.isRng = true;
+                if (tok(k) == "=" && name_stop == stop)
+                    name_stop = k; // drop default argument
+            }
+            for (std::size_t k = name_stop; k > start;) {
+                --k;
+                if (isIdentTok(tok(k)) && !typeWords().count(tok(k))) {
+                    p.name = tok(k);
+                    break;
+                }
+            }
+            params.push_back(std::move(p));
+        };
+        for (std::size_t k = begin; k < end; ++k) {
+            const std::string &t = tok(k);
+            if (t == "(" || t == "[" || t == "{" || t == "<") {
+                ++depth;
+            } else if (t == ")" || t == "]" || t == "}" || t == ">") {
+                if (depth > 0)
+                    --depth;
+            } else if (t == "," && depth == 0) {
+                flush(k);
+                start = k + 1;
+            }
+        }
+        flush(end);
+    }
+
+    /** A lambda literal starting at `[`; kNpos members on failure. */
+    struct Lambda
+    {
+        std::size_t paramsBegin = kNpos;
+        std::size_t paramsEnd = kNpos;
+        std::size_t bodyBegin = kNpos;
+        std::size_t bodyEnd = kNpos; //!< index of the closing `}`
+    };
+
+    Lambda
+    parseLambda(std::size_t bracket)
+    {
+        Lambda lambda;
+        std::size_t i = matchBracket(_t, bracket);
+        if (i >= _t.size())
+            return lambda;
+        ++i;
+        if (tok(i) == "(") {
+            lambda.paramsBegin = i + 1;
+            lambda.paramsEnd = matchParen(_t, i);
+            i = lambda.paramsEnd + 1;
+        }
+        while (i < _t.size() && tok(i) != "{" && tok(i) != ";")
+            ++i;
+        if (tok(i) != "{")
+            return Lambda{};
+        lambda.bodyBegin = i + 1;
+        lambda.bodyEnd = matchBrace(_t, i);
+        return lambda;
+    }
+
+    /**
+     * Function-body analysis: carve out named local lambdas and the
+     * lambdas handed to parallelFor/parallelReduce (each becomes its
+     * own FunctionFacts), then flat-scan the rest for impurities,
+     * calls, draws and fork-derived engines.
+     */
+    void
+    analyzeBody(FunctionFacts &fn, std::size_t begin, std::size_t end)
+    {
+        std::vector<std::pair<std::size_t, std::size_t>> carved;
+
+        for (std::size_t i = begin; i < end; ++i) {
+            const std::string &t = tok(i);
+            if (t == "auto" && isIdentTok(tok(i + 1)) &&
+                tok(i + 2) == "=" && tok(i + 3) == "[") {
+                Lambda lambda = parseLambda(i + 3);
+                if (lambda.bodyEnd == kNpos || lambda.bodyEnd > end)
+                    continue;
+                FunctionFacts local;
+                local.name = tok(i + 1);
+                local.line = _t[i].line;
+                if (lambda.paramsBegin != kNpos)
+                    parseParams(lambda.paramsBegin, lambda.paramsEnd,
+                                local.params);
+                analyzeBody(local, lambda.bodyBegin, lambda.bodyEnd);
+                _out.functions.push_back(std::move(local));
+                carved.emplace_back(i, lambda.bodyEnd + 1);
+                i = lambda.bodyEnd;
+            } else if ((t == "parallelFor" || t == "parallelReduce") &&
+                       tok(i + 1) == "(") {
+                std::size_t close = matchParen(_t, i + 1);
+                if (close > end)
+                    continue;
+                scanParallelArgs(t, _t[i].line, i + 2, close, carved);
+                i = i + 1; // keep scanning inside the call (non-lambda
+                           // args belong to the enclosing function)
+            }
+        }
+
+        std::sort(carved.begin(), carved.end());
+        std::size_t next_carved = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+            while (next_carved < carved.size() &&
+                   carved[next_carved].second <= i)
+                ++next_carved;
+            if (next_carved < carved.size() &&
+                i >= carved[next_carved].first) {
+                i = carved[next_carved].second - 1;
+                continue;
+            }
+            scanToken(fn, i);
+        }
+    }
+
+    void
+    scanParallelArgs(const std::string &label, std::size_t call_line,
+                     std::size_t begin, std::size_t end,
+                     std::vector<std::pair<std::size_t, std::size_t>>
+                         &carved)
+    {
+        std::size_t depth = 0;
+        std::size_t arg_start = begin;
+        auto handle = [&](std::size_t stop) {
+            if (stop == arg_start)
+                return;
+            if (tok(arg_start) == "[") {
+                Lambda lambda = parseLambda(arg_start);
+                if (lambda.bodyEnd == kNpos)
+                    return;
+                FunctionFacts root;
+                root.name = "<shard@" +
+                            std::to_string(_t[arg_start].line) + ">";
+                root.line = _t[arg_start].line;
+                root.shardRoot = true;
+                root.rootLabel = label;
+                root.rootLine = call_line;
+                if (lambda.paramsBegin != kNpos)
+                    parseParams(lambda.paramsBegin, lambda.paramsEnd,
+                                root.params);
+                analyzeBody(root, lambda.bodyBegin, lambda.bodyEnd);
+                _out.functions.push_back(std::move(root));
+                carved.emplace_back(arg_start, lambda.bodyEnd + 1);
+            } else if (stop == arg_start + 1 &&
+                       isIdentTok(tok(arg_start))) {
+                _out.rootRefs.push_back(
+                    {tok(arg_start), _t[arg_start].line, label});
+            }
+        };
+        for (std::size_t k = begin; k < end; ++k) {
+            const std::string &t = tok(k);
+            if (t == "(" || t == "[" || t == "{") {
+                ++depth;
+            } else if (t == ")" || t == "]" || t == "}") {
+                if (depth > 0)
+                    --depth;
+            } else if (t == "," && depth == 0) {
+                handle(k);
+                arg_start = k + 1;
+            }
+        }
+        handle(end);
+    }
+
+    /** One token of the flat body scan. */
+    void
+    scanToken(FunctionFacts &fn, std::size_t i)
+    {
+        const std::string &t = tok(i);
+        const std::size_t line = i < _t.size() ? _t[i].line : 0;
+        const bool after_dot =
+            i > 0 && (tok(i - 1) == "." ||
+                      (i > 1 && tok(i - 1) == ">" && tok(i - 2) == "-"));
+        const bool before_paren = tok(i + 1) == "(";
+
+        // fork-derived / locally constructed engines
+        if (t == "Rng" && isIdentTok(tok(i + 1)) && tok(i - 1) != ":") {
+            fn.safeEngines.push_back(tok(i + 1));
+            return;
+        }
+        if (t == "auto" && isIdentTok(tok(i + 1)) && tok(i + 2) == "=" &&
+            isIdentTok(tok(i + 3)) && tok(i + 4) == "." &&
+            tok(i + 5) == "fork") {
+            fn.safeEngines.push_back(tok(i + 1));
+            return;
+        }
+
+        // draws
+        if (after_dot && before_paren && drawMethods().count(t)) {
+            std::string engine;
+            std::size_t obj = tok(i - 1) == "." ? i - 2 : i - 3;
+            if (obj < _t.size() && isIdentTok(tok(obj)))
+                engine = tok(obj);
+            fn.draws.push_back({engine, t, line});
+            return;
+        }
+
+        // impurities
+        if (t == "new") {
+            fn.impurities.push_back({"alloc", line, "heap-allocates "
+                                                    "with `new`"});
+            return;
+        }
+        if (t == "make_unique" || t == "make_shared") {
+            fn.impurities.push_back(
+                {"alloc", line, "heap-allocates via std::" + t});
+            return;
+        }
+        if ((t == "malloc" || t == "calloc" || t == "realloc") &&
+            before_paren) {
+            fn.impurities.push_back({"alloc", line, "calls " + t + "()"});
+            return;
+        }
+        if (after_dot && before_paren && growMethods().count(t)) {
+            fn.impurities.push_back(
+                {"grow", line, "grows a container via ." + t + "()"});
+            return;
+        }
+        if (after_dot && before_paren && t == "substr") {
+            fn.impurities.push_back(
+                {"string", line, "builds a std::string via .substr()"});
+            return;
+        }
+        if (t == "to_string") {
+            fn.impurities.push_back(
+                {"string", line, "builds a std::string via to_string"});
+            return;
+        }
+        if (lockTypes().count(t)) {
+            fn.impurities.push_back({"lock", line, "takes a lock (" + t +
+                                                   ")"});
+            return;
+        }
+        if (after_dot && before_paren && t == "lock") {
+            fn.impurities.push_back({"lock", line, "takes a lock "
+                                                   "(.lock())"});
+            return;
+        }
+        if (t == "MINDFUL_INFORM" || t == "MINDFUL_WARN" ||
+            t == "MINDFUL_WARN_ONCE") {
+            fn.impurities.push_back({"log", line, "logs via " + t});
+            return;
+        }
+        if ((t == "inform" || t == "warn") && before_paren &&
+            !after_dot) {
+            fn.impurities.push_back({"log", line, "logs via " + t + "()"});
+            return;
+        }
+        if (after_dot && before_paren &&
+            (t == "counter" || t == "gauge" || t == "histogram")) {
+            fn.impurities.push_back(
+                {"metric-lookup", line,
+                 "does a by-name MetricRegistry ." + t + "() lookup"});
+            return;
+        }
+        if (t == "MINDFUL_METRIC_COUNT" || t == "MINDFUL_METRIC_GAUGE" ||
+            t == "MINDFUL_METRIC_RECORD") {
+            fn.impurities.push_back(
+                {"metric-lookup", line,
+                 "does a by-name metric lookup via " + t});
+            return;
+        }
+        // Heap-container type use: the tree always spells these
+        // `std::vector` etc., so requiring the qualifier separates
+        // the type from same-named locals (`map(shard)`).
+        if (heapContainers().count(t) && tok(i - 1) == ":" && i > 0) {
+            scanContainerMention(fn, i);
+            return;
+        }
+
+        // calls
+        if (isIdentTok(t) && !notCalls().count(t) &&
+            !typeWords().count(t)) {
+            std::size_t paren = kNpos;
+            if (before_paren) {
+                paren = i + 1;
+            } else if (tok(i + 1) == "<") {
+                std::size_t close = matchAngle(_t, i + 1);
+                if (close != kNpos && tok(close + 1) == "(")
+                    paren = close + 1;
+            }
+            if (paren != kNpos) {
+                CallSite call;
+                call.callee = t;
+                call.line = line;
+                collectArgIdents(paren, call.argIdents);
+                fn.calls.push_back(std::move(call));
+            }
+        }
+    }
+
+    /**
+     * A container-type mention: `std::vector<T> v`, `std::string s`,
+     * `std::function<...> f(...)` construct (heap); `const
+     * std::vector<T> &v`, `std::vector<T>::size_type` do not.
+     */
+    void
+    scanContainerMention(FunctionFacts &fn, std::size_t i)
+    {
+        const std::string &name = tok(i);
+        std::size_t after = i + 1;
+        if (tok(after) == "<") {
+            std::size_t close = matchAngle(_t, after);
+            if (close == kNpos)
+                return; // comparison or malformed; not a type
+            after = close + 1;
+        }
+        const std::string &next = tok(after);
+        const bool constructs =
+            isIdentTok(next) || next == "(" || next == "{";
+        if (!constructs)
+            return;
+        // `std::vector<T> foo(...)` where foo is a *type* of a nested
+        // declaration is indistinguishable; accept the rare false hit,
+        // the escape hatch documents it.
+        const char *kind = isStringish(name) ? "string" : "alloc";
+        fn.impurities.push_back(
+            {kind, _t[i].line, "constructs std::" + name});
+    }
+
+    void
+    collectArgIdents(std::size_t paren,
+                     std::vector<std::string> &args)
+    {
+        std::size_t close = matchParen(_t, paren);
+        std::size_t depth = 0;
+        std::size_t start = paren + 1;
+        auto flush = [&](std::size_t stop) {
+            if (stop == start)
+                return;
+            if (stop == start + 1 && isIdentTok(tok(start)))
+                args.push_back(tok(start));
+            else
+                args.push_back("");
+        };
+        for (std::size_t k = paren + 1; k < close; ++k) {
+            const std::string &t = tok(k);
+            if (t == "(" || t == "[" || t == "{") {
+                ++depth;
+            } else if (t == ")" || t == "]" || t == "}") {
+                if (depth > 0)
+                    --depth;
+            } else if (t == "," && depth == 0) {
+                flush(k);
+                start = k + 1;
+            }
+        }
+        if (close > paren + 1)
+            flush(close);
+    }
+};
+
+// --- phase 1: unit algebra ------------------------------------------------
+
+const std::unordered_set<std::string> &
+unitAccessors()
+{
+    static const std::unordered_set<std::string> set{
+        "inWatts", "inMilliwatts", "inMicrowatts", "inSquareMetres",
+        "inSquareCentimetres", "inSquareMillimetres",
+        "inSquareMicrometres", "inWattsPerSquareMetre",
+        "inMilliwattsPerSquareCentimetre", "inJoules", "inNanojoules",
+        "inPicojoules", "inJoulesPerBit", "inPicojoulesPerBit",
+        "inHertz", "inKilohertz", "inMegahertz", "inSeconds",
+        "inMilliseconds", "inMicroseconds", "inNanoseconds",
+        "inBitsPerSecond", "inMegabitsPerSecond", "inMetres",
+        "inCentimetres", "inMillimetres", "inMicrometres",
+        "inWattsPerMetreKelvin", "inKilogramsPerCubicMetre",
+        "inJoulesPerKilogramKelvin", "inKelvin", "inCelsius",
+    };
+    return set;
+}
+
+bool
+isPowerDensityAccessor(const std::string &name)
+{
+    return name == "inWattsPerSquareMetre" ||
+           name == "inMilliwattsPerSquareCentimetre";
+}
+
+bool
+compatibleAccessors(const std::string &a, const std::string &b)
+{
+    if (a == b)
+        return true;
+    // TemperatureDelta exposes the same delta in both scales.
+    return (a == "inKelvin" && b == "inCelsius") ||
+           (a == "inCelsius" && b == "inKelvin");
+}
+
+bool
+isEnvelopeExempt(const std::string &path)
+{
+    return path == "thermal/safety.hh" || path == "thermal/safety.cc" ||
+           path == "base/units.hh" || path == "base/units.cc";
+}
+
+/**
+ * Expression-level unit tracking: one slot of (left operand, pending
+ * operator) per parenthesis depth. Unknown operands clear the slot,
+ * so only provably-mixed expressions are reported.
+ */
+std::vector<Finding>
+unitAlgebraFindings(const SourceFile &src)
+{
+    std::vector<Finding> findings;
+    const std::vector<Token> &t = src.tokens;
+
+    struct Operand
+    {
+        std::string acc; //!< accessor name; "" = numeric literal
+        bool valid = false;
+    };
+    struct Slot
+    {
+        Operand left;
+        std::string op; //!< "+" (additive) or "<" (comparison); "" none
+        bool grouping = false; //!< plain parens (not a call)
+    };
+    std::vector<Slot> stack(1);
+
+    auto combine = [&](const Operand &rhs, std::size_t line) {
+        Slot &slot = stack.back();
+        if (slot.left.valid && !slot.op.empty() && rhs.valid) {
+            const std::string &a = slot.left.acc;
+            const std::string &b = rhs.acc;
+            if (!a.empty() && !b.empty() &&
+                !compatibleAccessors(a, b)) {
+                findings.push_back(
+                    {src.path, line, "unit-algebra",
+                     "mixes unwrapped ." + a + "() and ." + b +
+                         "() across `" + slot.op +
+                         "`; quantities of different dimensions or "
+                         "scales must be combined as strong types "
+                         "(base/units.hh) or through one accessor"});
+            } else if (slot.op == "<" &&
+                       ((isPowerDensityAccessor(a) && b.empty()) ||
+                        (a.empty() && isPowerDensityAccessor(b))) &&
+                       !isEnvelopeExempt(src.path)) {
+                findings.push_back(
+                    {src.path, line, "unit-algebra",
+                     "compares a power density against a bare "
+                     "numeric literal; route the check through "
+                     "thermal::SafetyLimits / PowerBudget "
+                     "(src/thermal/safety.hh)"});
+            }
+        }
+        slot.left = rhs;
+        slot.op.clear();
+    };
+
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const std::string &tk = t[i].text;
+        if (tk == "(") {
+            Slot slot;
+            slot.grouping = i == 0 || !isIdentTok(t[i - 1].text);
+            stack.push_back(slot);
+        } else if (tk == ")") {
+            Operand result;
+            if (stack.size() > 1) {
+                Slot inner = stack.back();
+                stack.pop_back();
+                if (inner.grouping && inner.left.valid &&
+                    inner.op.empty())
+                    result = inner.left;
+            }
+            if (result.valid)
+                combine(result, t[i].line);
+            else
+                stack.back().left.valid = false;
+        } else if (tk == "+" || tk == "-") {
+            if (stack.back().left.valid)
+                stack.back().op = "+";
+        } else if (tk == "<" || tk == ">") {
+            if (stack.back().left.valid)
+                stack.back().op = "<";
+        } else if (tk == "=" || tk == "!") {
+            // ==, !=, <=, >= keep the comparison; plain `=` resets.
+            if (stack.back().op != "<" &&
+                !(i > 0 && (t[i - 1].text == "=" || t[i - 1].text == "!")))
+                stack.back() = Slot{.grouping = stack.back().grouping};
+            if (tk == "=" && i > 0 &&
+                (t[i - 1].text == "=" || t[i - 1].text == "!"))
+                stack.back().op = "<";
+        } else if (isIdentTok(tk) && unitAccessors().count(tk) &&
+                   i > 0 && t[i - 1].text == "." &&
+                   i + 2 < t.size() && t[i + 1].text == "(" &&
+                   t[i + 2].text == ")") {
+            combine({tk, true}, t[i].line);
+            i += 2;
+        } else if (isNumberTok(tk)) {
+            combine({"", true}, t[i].line);
+        } else if (tk == "." && i + 1 < t.size() &&
+                   unitAccessors().count(t[i + 1].text)) {
+            // the object identifier before `.accessor()` — keep slot
+        } else if (isIdentTok(tk) && t[i + 1].text == "." &&
+                   i + 2 < t.size() &&
+                   unitAccessors().count(t[i + 2].text)) {
+            // object about to be unwrapped — keep slot
+        } else {
+            // `,`, `;`, braces, `*`, `/`, `&&`, unknown idents, ...:
+            // the expression's unit story is no longer provable.
+            stack.back() = Slot{.grouping = stack.back().grouping};
+        }
+    }
+
+    // The 40 mW/cm^2 safety envelope must come from thermal::safety,
+    // never be re-derived from a literal.
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+        const std::string &tk = t[i].text;
+        if ((tk == "milliwattsPerSquareCentimetre" ||
+             tk == "wattsPerSquareMetre") &&
+            t[i + 1].text == "(" && isNumberTok(t[i + 2].text) &&
+            !isEnvelopeExempt(src.path)) {
+            const std::string &v = t[i + 2].text;
+            const bool envelope =
+                (tk == "milliwattsPerSquareCentimetre" &&
+                 (v == "40.0" || v == "40" || v == "40.")) ||
+                (tk == "wattsPerSquareMetre" &&
+                 (v == "400.0" || v == "400"));
+            if (envelope) {
+                findings.push_back(
+                    {src.path, t[i].line, "unit-algebra",
+                     "re-derives the 40 mW/cm^2 safety envelope from "
+                     "a literal; use thermal::SafetyLimits / "
+                     "PowerBudget (src/thermal/safety.hh) so the "
+                     "limit has one source of truth"});
+            }
+        }
+    }
+    return findings;
+}
+
+} // namespace
+
+FileFacts
+analyzeFile(const SourceFile &source)
+{
+    FileFacts facts;
+    facts.path = source.path;
+    facts.analyzeOk = source.analyzeOk;
+    Parser parser(source, facts);
+    parser.parseTopLevel();
+    facts.expression = unitAlgebraFindings(source);
+    facts.lexical = lexicalFindings(source);
+    return facts;
+}
+
+// --- phase 2 --------------------------------------------------------------
+
+namespace {
+
+struct FnKey
+{
+    std::size_t file = 0;
+    std::size_t fn = 0;
+    bool
+    operator<(const FnKey &o) const
+    {
+        return file != o.file ? file < o.file : fn < o.fn;
+    }
+    bool
+    operator==(const FnKey &o) const
+    {
+        return file == o.file && fn == o.fn;
+    }
+};
+
+/** Tracks which `analyze:` markers suppressed at least one finding. */
+class Suppressions
+{
+  public:
+    explicit Suppressions(const std::vector<FileFacts> &files)
+        : _files(files)
+    {
+    }
+
+    /**
+     * Whether a finding in @p file at @p line is covered by a
+     * `analyze: <tag>(...)` marker on the line or the line above.
+     * Marks the marker used.
+     */
+    bool
+    covered(const std::string &tag, std::size_t file_index,
+            std::size_t line)
+    {
+        const auto &tags = _files[file_index].analyzeOk;
+        auto tag_it = tags.find(tag);
+        if (tag_it == tags.end())
+            return false;
+        for (std::size_t at : {line, line > 0 ? line - 1 : line}) {
+            if (tag_it->second.count(at)) {
+                _used.insert({file_index, tag, at});
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Empty-reason and stale-marker findings, in file order. */
+    std::vector<Finding>
+    police() const
+    {
+        std::vector<Finding> findings;
+        for (std::size_t f = 0; f < _files.size(); ++f) {
+            for (const auto &[tag, lines] : _files[f].analyzeOk) {
+                for (const auto &[line, reason] : lines) {
+                    if (reason.empty()) {
+                        findings.push_back(
+                            {_files[f].path, line, "suppression",
+                             "`analyze: " + tag +
+                                 "` marker has an empty reason; "
+                                 "explain why this is safe"});
+                    } else if (!_used.count({f, tag, line})) {
+                        findings.push_back(
+                            {_files[f].path, line, "suppression",
+                             "stale `analyze: " + tag + "(" + reason +
+                                 ")` marker: it suppresses no "
+                                 "finding; remove it so the ratchet "
+                                 "holds"});
+                    }
+                }
+            }
+        }
+        return findings;
+    }
+
+  private:
+    const std::vector<FileFacts> &_files;
+    std::set<std::tuple<std::size_t, std::string, std::size_t>> _used;
+};
+
+class Linker
+{
+  public:
+    explicit Linker(const std::vector<FileFacts> &files) : _files(files)
+    {
+        for (std::size_t f = 0; f < files.size(); ++f)
+            for (std::size_t k = 0; k < files[f].functions.size(); ++k)
+                _byName[files[f].functions[k].name].push_back({f, k});
+    }
+
+    /**
+     * Conservative resolution: same-file candidates win; otherwise a
+     * name defined in exactly one file resolves; a name defined in
+     * several files is an overload set we cannot type, so it stays
+     * opaque (assumed pure) — every reported path is real.
+     */
+    std::vector<FnKey>
+    resolve(std::size_t from_file, const std::string &name) const
+    {
+        auto it = _byName.find(name);
+        if (it == _byName.end() || name.empty())
+            return {};
+        std::vector<FnKey> same_file;
+        std::set<std::size_t> defining_files;
+        for (const FnKey &key : it->second) {
+            defining_files.insert(key.file);
+            if (key.file == from_file)
+                same_file.push_back(key);
+        }
+        if (!same_file.empty())
+            return same_file;
+        if (defining_files.size() == 1)
+            return it->second;
+        return {};
+    }
+
+    const FunctionFacts &
+    fn(FnKey key) const
+    {
+        return _files[key.file].functions[key.fn];
+    }
+
+  private:
+    const std::vector<FileFacts> &_files;
+    std::map<std::string, std::vector<FnKey>> _byName;
+};
+
+struct Root
+{
+    FnKey key;
+    std::string label;
+    std::size_t line = 0; //!< parallelFor/parallelReduce call line
+    bool byName = false;  //!< handed by name (lexical check is blind)
+};
+
+std::vector<Root>
+collectRoots(const std::vector<FileFacts> &files, const Linker &linker)
+{
+    std::vector<Root> roots;
+    for (std::size_t f = 0; f < files.size(); ++f) {
+        for (std::size_t k = 0; k < files[f].functions.size(); ++k) {
+            const FunctionFacts &fn = files[f].functions[k];
+            if (fn.shardRoot)
+                roots.push_back({{f, k}, fn.rootLabel, fn.rootLine,
+                                 false});
+        }
+        for (const RootRef &ref : files[f].rootRefs) {
+            // by-name roots resolve within their own file only
+            for (const FnKey &key : linker.resolve(f, ref.name)) {
+                if (key.file == f)
+                    roots.push_back({key, ref.label, ref.line, true});
+            }
+        }
+    }
+    std::sort(roots.begin(), roots.end(),
+              [](const Root &a, const Root &b) {
+                  if (!(a.key == b.key))
+                      return a.key < b.key;
+                  return a.line < b.line;
+              });
+    roots.erase(std::unique(roots.begin(), roots.end(),
+                            [](const Root &a, const Root &b) {
+                                return a.key == b.key;
+                            }),
+                roots.end());
+    return roots;
+}
+
+/** BFS over resolvable calls; returns visit order with parents. */
+struct Reach
+{
+    std::vector<FnKey> order;
+    std::map<FnKey, FnKey> parent;
+};
+
+Reach
+reachableFrom(FnKey root, const Linker &linker)
+{
+    Reach reach;
+    std::set<FnKey> visited{root};
+    reach.order.push_back(root);
+    for (std::size_t head = 0; head < reach.order.size(); ++head) {
+        FnKey current = reach.order[head];
+        for (const CallSite &call : linker.fn(current).calls) {
+            for (const FnKey &next :
+                 linker.resolve(current.file, call.callee)) {
+                if (visited.insert(next).second) {
+                    reach.parent[next] = current;
+                    reach.order.push_back(next);
+                }
+            }
+        }
+    }
+    return reach;
+}
+
+std::string
+callChain(const Reach &reach, FnKey root, FnKey node,
+          const Linker &linker)
+{
+    std::vector<std::string> names;
+    for (FnKey at = node; !(at == root);) {
+        names.push_back(linker.fn(at).name);
+        auto it = reach.parent.find(at);
+        if (it == reach.parent.end())
+            break;
+        at = it->second;
+    }
+    if (names.empty())
+        return "in the shard body";
+    std::string chain = "via ";
+    for (std::size_t i = names.size(); i > 0; --i) {
+        chain += names[i - 1] + "()";
+        if (i > 1)
+            chain += " -> ";
+    }
+    return chain;
+}
+
+bool
+engineIsSafe(const FunctionFacts &fn, const std::string &engine)
+{
+    return std::find(fn.safeEngines.begin(), fn.safeEngines.end(),
+                     engine) != fn.safeEngines.end();
+}
+
+/** Param indices a function (transitively) draws from without fork. */
+std::map<FnKey, std::set<std::size_t>>
+unforkedParamDraws(const std::vector<FileFacts> &files,
+                   const Linker &linker)
+{
+    std::map<FnKey, std::set<std::size_t>> unforked;
+    for (std::size_t f = 0; f < files.size(); ++f) {
+        for (std::size_t k = 0; k < files[f].functions.size(); ++k) {
+            const FunctionFacts &fn = files[f].functions[k];
+            for (const DrawSite &draw : fn.draws) {
+                if (draw.engine.empty() ||
+                    engineIsSafe(fn, draw.engine))
+                    continue;
+                for (std::size_t p = 0; p < fn.params.size(); ++p)
+                    if (fn.params[p].name == draw.engine)
+                        unforked[{f, k}].insert(p);
+            }
+        }
+    }
+    // Propagate through call argument positions to a fixpoint.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t f = 0; f < files.size(); ++f) {
+            for (std::size_t k = 0; k < files[f].functions.size();
+                 ++k) {
+                const FunctionFacts &fn = files[f].functions[k];
+                for (const CallSite &call : fn.calls) {
+                    for (const FnKey &target :
+                         linker.resolve(f, call.callee)) {
+                        auto it = unforked.find(target);
+                        if (it == unforked.end())
+                            continue;
+                        const FunctionFacts &callee = linker.fn(target);
+                        for (std::size_t j = 0;
+                             j < call.argIdents.size() &&
+                             j < callee.params.size();
+                             ++j) {
+                            if (!it->second.count(j) ||
+                                call.argIdents[j].empty() ||
+                                engineIsSafe(fn, call.argIdents[j]))
+                                continue;
+                            for (std::size_t p = 0;
+                                 p < fn.params.size(); ++p) {
+                                if (fn.params[p].name ==
+                                        call.argIdents[j] &&
+                                    unforked[{f, k}].insert(p).second)
+                                    changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return unforked;
+}
+
+} // namespace
+
+std::vector<Finding>
+semanticFindings(const std::vector<FileFacts> &files)
+{
+    Linker linker(files);
+    Suppressions suppressions(files);
+    std::vector<Finding> findings;
+
+    // unit-algebra (phase-1 expression findings + unit-ok hatch)
+    for (std::size_t f = 0; f < files.size(); ++f) {
+        for (const Finding &finding : files[f].expression) {
+            if (!suppressions.covered("unit-ok", f, finding.line))
+                findings.push_back(finding);
+        }
+    }
+
+    const std::vector<Root> roots = collectRoots(files, linker);
+    const auto unforked = unforkedParamDraws(files, linker);
+
+    // hot-path purity + rng-flow, one BFS per shard root
+    std::set<std::tuple<std::string, std::size_t, std::string>> seen;
+    for (const Root &root : roots) {
+        const FunctionFacts &root_fn = linker.fn(root.key);
+        Reach reach = reachableFrom(root.key, linker);
+        const std::string context =
+            "the " + root.label + " shard body '" + root_fn.name +
+            "' at " + files[root.key.file].path + ":" +
+            std::to_string(root.line);
+
+        for (const FnKey &node : reach.order) {
+            const FunctionFacts &fn = linker.fn(node);
+            for (const Impurity &impurity : fn.impurities) {
+                if (suppressions.covered("hot-ok", node.file,
+                                         impurity.line) ||
+                    suppressions.covered("hot-ok", root.key.file,
+                                         root.line))
+                    continue;
+                std::tuple<std::string, std::size_t, std::string> key{
+                    files[node.file].path, impurity.line,
+                    impurity.detail};
+                if (!seen.insert(key).second)
+                    continue;
+                findings.push_back(
+                    {files[node.file].path, impurity.line, "hot-path",
+                     impurity.detail + " (" +
+                         callChain(reach, root.key, node, linker) +
+                         ") inside " + context +
+                         "; shard code must stay allocation-, lock-, "
+                         "log- and metric-lookup-free "
+                         "(docs/parallelism.md); annotate `// "
+                         "analyze: hot-ok(<reason>)` if intended"});
+            }
+        }
+
+        // rng-flow (a): unforked draws inside a by-name root — the
+        // lexical rng-discipline check cannot see these.
+        if (root.byName) {
+            for (const DrawSite &draw : root_fn.draws) {
+                if (draw.engine.empty() ||
+                    engineIsSafe(root_fn, draw.engine))
+                    continue;
+                if (suppressions.covered("rng-ok", root.key.file,
+                                         draw.line) ||
+                    suppressions.covered("rng-ok", root.key.file,
+                                         root.line))
+                    continue;
+                std::tuple<std::string, std::size_t, std::string> key{
+                    files[root.key.file].path, draw.line,
+                    "draw:" + draw.engine};
+                if (!seen.insert(key).second)
+                    continue;
+                findings.push_back(
+                    {files[root.key.file].path, draw.line, "rng-flow",
+                     "draws (." + draw.method + "()) from engine '" +
+                         draw.engine +
+                         "' that is not derived via Rng::fork(stream) "
+                         "inside " + context +
+                         "; sharing one engine across shards breaks "
+                         "determinism (docs/parallelism.md)"});
+            }
+        }
+
+        // rng-flow (b): the root hands a shared engine to a helper
+        // that (transitively) draws from it without forking.
+        for (const CallSite &call : root_fn.calls) {
+            for (const FnKey &target :
+                 linker.resolve(root.key.file, call.callee)) {
+                auto it = unforked.find(target);
+                if (it == unforked.end())
+                    continue;
+                const FunctionFacts &callee = linker.fn(target);
+                for (std::size_t j = 0; j < call.argIdents.size() &&
+                                        j < callee.params.size();
+                     ++j) {
+                    const std::string &engine = call.argIdents[j];
+                    if (!it->second.count(j) || engine.empty() ||
+                        !callee.params[j].isRng ||
+                        engineIsSafe(root_fn, engine))
+                        continue;
+                    if (suppressions.covered("rng-ok", root.key.file,
+                                             call.line) ||
+                        suppressions.covered("rng-ok", root.key.file,
+                                             root.line))
+                        continue;
+                    std::tuple<std::string, std::size_t, std::string>
+                        key{files[root.key.file].path, call.line,
+                            "flow:" + engine + ":" + call.callee};
+                    if (!seen.insert(key).second)
+                        continue;
+                    findings.push_back(
+                        {files[root.key.file].path, call.line,
+                         "rng-flow",
+                         "passes engine '" + engine + "' to " +
+                             call.callee +
+                             "(), which draws from it without "
+                             "Rng::fork, inside " + context +
+                             "; fork a sub-stream per shard instead "
+                             "(docs/parallelism.md)"});
+                }
+            }
+        }
+    }
+
+    auto policed = suppressions.police();
+    findings.insert(findings.end(), policed.begin(), policed.end());
+    return findings;
+}
+
+// --- driver ---------------------------------------------------------------
+
+int
+runAnalyze(const AnalyzeOptions &options, std::ostream &out,
+           std::ostream &err)
+{
+    namespace fs = std::filesystem;
+
+    if (options.threads > 0)
+        exec::ThreadPool::setGlobalThreadCount(options.threads);
+
+    std::string walk_error;
+    std::vector<std::string> files =
+        collectSources(options.root, walk_error);
+    if (!walk_error.empty()) {
+        err << options.root << ": " << walk_error << "\n";
+        return 2;
+    }
+
+    if (!options.cacheDir.empty()) {
+        std::error_code ec;
+        fs::create_directories(options.cacheDir, ec);
+        if (ec) {
+            err << options.cacheDir
+                << ": cannot create cache directory: " << ec.message()
+                << "\n";
+            return 2;
+        }
+    }
+
+    std::vector<FileFacts> facts(files.size());
+    std::vector<std::string> errors(files.size());
+    auto parse_one = [&](std::size_t i) {
+        std::ifstream in(fs::path(options.root) / files[i],
+                         std::ios::binary);
+        if (!in) {
+            errors[i] = "cannot read file";
+            return;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        const std::string content = buffer.str();
+        const std::string key = factsCacheKey(files[i], content);
+        if (!options.cacheDir.empty() &&
+            loadCachedFacts(options.cacheDir, key, files[i], facts[i]))
+            return;
+        facts[i] = analyzeFile(scanSource(files[i], content));
+        if (!options.cacheDir.empty())
+            storeCachedFacts(options.cacheDir, key, facts[i]);
+    };
+    // One task per TU on the pool we analyze; every result lands in
+    // its own index slot, so assembly order is file order regardless
+    // of scheduling.
+    if (files.size() > 1)
+        exec::parallelFor(files.size(), parse_one, "analyze.parse");
+    else if (files.size() == 1)
+        parse_one(0);
+
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        if (!errors[i].empty()) {
+            err << files[i] << ": " << errors[i] << "\n";
+            return 2;
+        }
+    }
+
+    std::vector<Finding> findings;
+    for (const FileFacts &file : facts)
+        findings.insert(findings.end(), file.lexical.begin(),
+                        file.lexical.end());
+
+    if (!options.allowlistPath.empty()) {
+        std::ifstream in(options.allowlistPath);
+        if (!in) {
+            err << options.allowlistPath << ": cannot read allowlist\n";
+            return 2;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        auto entries = parseAllowlist(buffer.str(),
+                                      options.allowlistPath, findings);
+        findings = applyAllowlist(std::move(findings), entries,
+                                  options.allowlistPath);
+    }
+
+    if (options.semantic) {
+        auto semantic = semanticFindings(facts);
+        findings.insert(findings.end(), semantic.begin(),
+                        semantic.end());
+    }
+
+    std::sort(findings.begin(), findings.end(), findingLess);
+    for (const Finding &finding : findings) {
+        out << finding.file << ":" << finding.line << ": ["
+            << finding.check << "] " << finding.message << "\n";
+    }
+
+    if (!options.sarifPath.empty()) {
+        std::ofstream sarif(options.sarifPath, std::ios::binary);
+        if (!sarif) {
+            err << options.sarifPath << ": cannot write SARIF output\n";
+            return 2;
+        }
+        writeSarif(findings, options.root, sarif);
+    }
+    return findings.empty() ? 0 : 1;
+}
+
+} // namespace mindful::lint

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * mindful-analyze: two-phase semantic analysis over the MINDFUL tree.
+ *
+ * Phase 1 (per TU, cacheable, parallel): parse the pragmatic C++
+ * subset the project is written in — namespaces, classes, free and
+ * member function definitions, local lambdas — into FunctionFacts:
+ * the impurities a function commits (heap allocation, container
+ * growth, string construction, locks, logging, by-name metric
+ * lookups), the calls it makes, the RNG draws it performs and which
+ * engines it derived via Rng::fork. Shard roots are the lambdas (or
+ * named local functions) handed to exec::parallelFor/parallelReduce.
+ *
+ * Phase 2 (whole program, serial): link FunctionFacts into a project
+ * symbol table and call graph, then run three checks:
+ *
+ *  - hot-path: nothing reachable from a shard root may commit an
+ *    impurity. Protects the dnn/gemm.cc and thermal/bioheat.cc inner
+ *    kernels from silent perf/determinism regressions.
+ *  - unit-algebra: expression-level unit discipline — unwrapped
+ *    accessors of different dimensions/scales must not meet across
+ *    +/-/comparison operators, and power-density comparisons must go
+ *    through the thermal::safety API, never a bare 40.0 literal.
+ *  - rng-flow: a shared Rng engine must not reach a shard body, even
+ *    through helper functions; only Rng::fork(stream) sub-streams
+ *    (or engines constructed inside the shard) may be drawn from.
+ *
+ * Escape hatches mirror `lint: raw-ok`: `// analyze: hot-ok(<reason>)`,
+ * `// analyze: unit-ok(<reason>)`, `// analyze: rng-ok(<reason>)` on
+ * the finding line, the line above, or the shard-root line (hot-ok /
+ * rng-ok only). Empty reasons and stale markers are findings.
+ *
+ * Name resolution is deliberately conservative: a callee resolves to
+ * same-file candidates first, then to a unique defining file; names
+ * defined in several files (overload sets we cannot type-check) are
+ * treated as opaque — assumed pure — so every reported path is real.
+ */
+
+#ifndef MINDFUL_TOOLS_LINT_ANALYZE_HH
+#define MINDFUL_TOOLS_LINT_ANALYZE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace mindful::lint {
+
+/** One unsafe-on-a-hot-path act committed directly by a function. */
+struct Impurity
+{
+    /** "alloc", "grow", "string", "lock", "log" or "metric-lookup". */
+    std::string kind;
+    std::size_t line = 0;
+    std::string detail; //!< human phrasing, e.g. "constructs std::vector"
+};
+
+/** One call site: unqualified callee plus single-identifier args. */
+struct CallSite
+{
+    std::string callee;
+    std::size_t line = 0;
+    /** Top-level args; single identifiers verbatim, "" otherwise. */
+    std::vector<std::string> argIdents;
+};
+
+/** One RNG draw (`engine.gaussian()` and friends). */
+struct DrawSite
+{
+    std::string engine; //!< identifier drawn from ("" when unknown)
+    std::string method;
+    std::size_t line = 0;
+};
+
+struct ParamFacts
+{
+    std::string name;
+    bool isRng = false; //!< declared type mentions Rng
+};
+
+/** Everything phase 2 needs to know about one function body. */
+struct FunctionFacts
+{
+    std::string name; //!< unqualified ("forward", not "Network::forward")
+    std::size_t line = 0;
+
+    /** Lambda handed directly to parallelFor/parallelReduce. */
+    bool shardRoot = false;
+    std::string rootLabel; //!< "parallelFor" / "parallelReduce"
+    std::size_t rootLine = 0;
+
+    std::vector<ParamFacts> params;
+    std::vector<Impurity> impurities;
+    std::vector<CallSite> calls;
+    std::vector<DrawSite> draws;
+
+    /** Engines safe to draw from: Rng::fork-derived or local. */
+    std::vector<std::string> safeEngines;
+};
+
+/** A function *name* passed to parallelFor (`run_attempt` style). */
+struct RootRef
+{
+    std::string name;
+    std::size_t line = 0;
+    std::string label; //!< "parallelFor" / "parallelReduce"
+};
+
+/** Phase-1 output for one TU; serializable for the incremental cache. */
+struct FileFacts
+{
+    std::string path;
+    std::vector<FunctionFacts> functions;
+    std::vector<RootRef> rootRefs;
+
+    /** unit-algebra findings (suppressions NOT yet applied). */
+    std::vector<Finding> expression;
+
+    /** The per-file lexical checks (allowlist NOT yet applied). */
+    std::vector<Finding> lexical;
+
+    /** `analyze: <tag>(<reason>)` markers, copied from SourceFile. */
+    std::map<std::string, std::map<std::size_t, std::string>> analyzeOk;
+};
+
+/** Phase 1: parse one lexed TU (also runs the lexical checks). */
+FileFacts analyzeFile(const SourceFile &source);
+
+/**
+ * Phase 2 plus suppression accounting: cross-TU checks over every
+ * TU's facts, `analyze:` escape hatches applied, empty-reason and
+ * stale markers reported. Deterministic for a given @p files order.
+ */
+std::vector<Finding> semanticFindings(const std::vector<FileFacts> &files);
+
+/** Options for the full driver (defaults match the ctest entry). */
+struct AnalyzeOptions
+{
+    std::string root;          //!< source tree to scan (required)
+    std::string allowlistPath; //!< unit-safety allowlist ("" = none)
+    std::string sarifPath;     //!< SARIF 2.1.0 output ("" = none)
+    std::string cacheDir;      //!< parse-facts cache ("" = disabled)
+    unsigned threads = 0;      //!< worker threads (0 = pool default)
+    bool semantic = true;      //!< false = lexical checks only
+};
+
+/**
+ * The mindful-analyze driver: collect sources, parse (cached,
+ * sharded over the mindful_exec pool), link, check, print findings
+ * to @p out sorted by (file, line, check), optionally emit SARIF.
+ * Output is byte-identical across thread counts and cache states.
+ *
+ * @return 0 clean, 1 findings, 2 driver error (unreadable root, ...).
+ */
+int runAnalyze(const AnalyzeOptions &options, std::ostream &out,
+               std::ostream &err);
+
+} // namespace mindful::lint
+
+#endif // MINDFUL_TOOLS_LINT_ANALYZE_HH

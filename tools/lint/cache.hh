@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Incremental parse cache for mindful-analyze phase 1.
+ *
+ * Phase 1 is a pure function of one file's content, so its FileFacts
+ * are cached on disk keyed by a hash of (format version, path,
+ * content). A warm run replays the facts without re-lexing; any edit
+ * changes the content hash and misses naturally. The serialized form
+ * is a line-oriented text record with whitespace-escaped fields; a
+ * strict reader treats *any* anomaly (version skew, truncation,
+ * malformed field) as a miss and reparses, so a corrupt cache can
+ * slow the analyzer down but never change its output.
+ */
+
+#ifndef MINDFUL_TOOLS_LINT_CACHE_HH
+#define MINDFUL_TOOLS_LINT_CACHE_HH
+
+#include <string>
+
+#include "analyze.hh"
+
+namespace mindful::lint {
+
+/**
+ * Cache key for one TU: FNV-1a 64 over the serialization-format
+ * version, the relative @p path and the file @p content, as hex.
+ */
+std::string factsCacheKey(const std::string &path,
+                          const std::string &content);
+
+/**
+ * Load cached facts for @p key from @p cache_dir. Returns false (and
+ * leaves @p facts untouched) on a miss or any malformed record; the
+ * recorded path must match @p expected_path.
+ */
+bool loadCachedFacts(const std::string &cache_dir, const std::string &key,
+                     const std::string &expected_path, FileFacts &facts);
+
+/** Persist @p facts under @p key (atomically: temp file + rename). */
+void storeCachedFacts(const std::string &cache_dir, const std::string &key,
+                      const FileFacts &facts);
+
+} // namespace mindful::lint
+
+#endif // MINDFUL_TOOLS_LINT_CACHE_HH

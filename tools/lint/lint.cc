@@ -25,28 +25,54 @@ isIdentChar(char c)
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/** Record a `lint: raw-ok(<reason>)` marker found in a comment. */
+/** Trim surrounding whitespace in place. */
 void
-noteRawOk(const std::string &comment, std::size_t line, SourceFile &out)
+trim(std::string &s)
 {
-    const std::string marker = "lint: raw-ok(";
-    auto pos = comment.find(marker);
-    if (pos == std::string::npos)
-        return;
-    auto start = pos + marker.size();
-    auto close = comment.find(')', start);
-    std::string reason = close == std::string::npos
-                             ? std::string()
-                             : comment.substr(start, close - start);
-    // Trim surrounding whitespace from the reason.
     auto is_space = [](char c) {
         return std::isspace(static_cast<unsigned char>(c));
     };
-    while (!reason.empty() && is_space(reason.front()))
-        reason.erase(reason.begin());
-    while (!reason.empty() && is_space(reason.back()))
-        reason.pop_back();
-    out.rawOk[line] = reason;
+    while (!s.empty() && is_space(s.front()))
+        s.erase(s.begin());
+    while (!s.empty() && is_space(s.back()))
+        s.pop_back();
+}
+
+/**
+ * Record the suppression markers found in one comment:
+ * `lint: raw-ok(<reason>)` plus the semantic-analyzer hatches
+ * `analyze: hot-ok(...)` / `unit-ok(...)` / `rng-ok(...)`.
+ */
+void
+noteMarkers(const std::string &comment, std::size_t line, SourceFile &out)
+{
+    auto reason_at = [&](std::size_t start) {
+        auto close = comment.find(')', start);
+        std::string reason = close == std::string::npos
+                                 ? std::string()
+                                 : comment.substr(start, close - start);
+        trim(reason);
+        return reason;
+    };
+
+    const std::string raw_marker = "lint: raw-ok(";
+    if (auto pos = comment.find(raw_marker); pos != std::string::npos)
+        out.rawOk[line] = reason_at(pos + raw_marker.size());
+
+    static const char *kTags[] = {"hot-ok", "unit-ok", "rng-ok"};
+    for (const char *tag : kTags) {
+        std::string marker = std::string("analyze: ") + tag + "(";
+        if (auto pos = comment.find(marker); pos != std::string::npos)
+            out.analyzeOk[tag][line] = reason_at(pos + marker.size());
+    }
+}
+
+/** Whether @p ident is a raw-string-literal prefix (R"..., u8R"...). */
+bool
+isRawStringPrefix(const std::string &ident)
+{
+    return ident == "R" || ident == "LR" || ident == "uR" ||
+           ident == "UR" || ident == "u8R";
 }
 
 } // namespace
@@ -60,33 +86,82 @@ scanSource(std::string path, const std::string &content)
     std::size_t line = 1;
     std::size_t i = 0;
     const std::size_t n = content.size();
+    // True until the first token of the current physical line — a '#'
+    // here starts a preprocessor directive.
+    bool line_start = true;
+
+    auto count_lines = [&](std::size_t from, std::size_t to) {
+        line += static_cast<std::size_t>(std::count(
+            content.begin() + static_cast<std::ptrdiff_t>(from),
+            content.begin() + static_cast<std::ptrdiff_t>(to), '\n'));
+    };
 
     while (i < n) {
         char c = content[i];
         if (c == '\n') {
             ++line;
             ++i;
+            line_start = true;
+        } else if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+        } else if (c == '\\' && i + 1 < n && content[i + 1] == '\n') {
+            // Line splice between tokens: the logical line continues.
+            ++line;
+            i += 2;
+        } else if (c == '#' && line_start) {
+            // Preprocessor directive: consume the whole logical line
+            // (honoring backslash continuations) without emitting
+            // tokens — macro definitions are not analyzable source.
+            // Stop at a comment start so markers there still register.
+            while (i < n && content[i] != '\n') {
+                if (content[i] == '\\' && i + 1 < n &&
+                    content[i + 1] == '\n') {
+                    ++line;
+                    i += 2;
+                    continue;
+                }
+                if (content[i] == '/' && i + 1 < n &&
+                    (content[i + 1] == '/' || content[i + 1] == '*'))
+                    break;
+                ++i;
+            }
+            line_start = false;
         } else if (c == '/' && i + 1 < n && content[i + 1] == '/') {
-            auto end = content.find('\n', i);
-            if (end == std::string::npos)
-                end = n;
-            noteRawOk(content.substr(i, end - i), line, out);
+            // Line comment; a trailing backslash continues it onto the
+            // next physical line (common in macro tables).
+            const std::size_t comment_line = line;
+            std::size_t end = i;
+            while (true) {
+                end = content.find('\n', end);
+                if (end == std::string::npos) {
+                    end = n;
+                    break;
+                }
+                std::size_t back = end;
+                if (back > i && content[back - 1] == '\r')
+                    --back;
+                if (back > i && content[back - 1] == '\\') {
+                    ++line;
+                    ++end; // past the newline, keep scanning
+                    continue;
+                }
+                break;
+            }
+            noteMarkers(content.substr(i, end - i), comment_line, out);
             i = end;
+            line_start = false;
         } else if (c == '/' && i + 1 < n && content[i + 1] == '*') {
             auto end = content.find("*/", i + 2);
             if (end == std::string::npos)
                 end = n;
             else
                 end += 2;
-            std::string comment = content.substr(i, end - i);
-            noteRawOk(comment, line, out);
-            line += static_cast<std::size_t>(
-                std::count(comment.begin(), comment.end(), '\n'));
+            noteMarkers(content.substr(i, end - i), line, out);
+            count_lines(i, end);
             i = end;
+            line_start = false;
         } else if (c == '"' || c == '\'') {
-            // Skip string/char literals, honoring escapes. (Raw
-            // strings are not used in this codebase; a plain scan
-            // keeps the lexer simple.)
+            // Skip plain string/char literals, honoring escapes.
             char quote = c;
             ++i;
             while (i < n && content[i] != quote) {
@@ -97,24 +172,46 @@ scanSource(std::string path, const std::string &content)
                 ++i;
             }
             ++i;
+            line_start = false;
         } else if (isIdentStart(c)) {
             std::size_t start = i;
             while (i < n && isIdentChar(content[i]))
                 ++i;
-            out.tokens.push_back({content.substr(start, i - start), line});
+            std::string ident = content.substr(start, i - start);
+            if (i < n && content[i] == '"' && isRawStringPrefix(ident)) {
+                // Raw string literal: R"delim( ... )delim". No escape
+                // processing; ends only at the matching delimiter.
+                ++i;
+                std::size_t dstart = i;
+                while (i < n && content[i] != '(')
+                    ++i;
+                std::string closer =
+                    ")" + content.substr(dstart, i - dstart) + "\"";
+                auto end = content.find(closer, i);
+                std::size_t stop =
+                    end == std::string::npos ? n : end + closer.size();
+                count_lines(i, stop);
+                i = stop;
+            } else {
+                out.tokens.push_back({std::move(ident), line});
+            }
+            line_start = false;
         } else if (std::isdigit(static_cast<unsigned char>(c))) {
             std::size_t start = i;
-            while (i < n && (isIdentChar(content[i]) || content[i] == '.' ||
-                             ((content[i] == '+' || content[i] == '-') &&
-                              (content[i - 1] == 'e' ||
-                               content[i - 1] == 'E'))))
+            while (i < n &&
+                   (isIdentChar(content[i]) || content[i] == '.' ||
+                    ((content[i] == '+' || content[i] == '-') &&
+                     (content[i - 1] == 'e' || content[i - 1] == 'E')) ||
+                    // digit separator: 1'000'000
+                    (content[i] == '\'' && i + 1 < n &&
+                     isIdentChar(content[i + 1]))))
                 ++i;
             out.tokens.push_back({content.substr(start, i - start), line});
-        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            line_start = false;
+        } else {
             out.tokens.push_back({std::string(1, c), line});
             ++i;
-        } else {
-            ++i;
+            line_start = false;
         }
     }
     return out;
@@ -561,7 +658,8 @@ applyAllowlist(std::vector<Finding> findings,
             kept.push_back(
                 {allowlist_path, entry.line, "allowlist",
                  "stale entry '" + entry.file +
-                     "': the file has no unit-safety findings left; "
+                     "' (allowlisted because: " + entry.reason +
+                     "): the file has no unit-safety findings left; "
                      "remove it so the ratchet holds"});
         }
     }
@@ -595,13 +693,10 @@ startsWithAny(const std::string &path, const std::vector<std::string> &dirs)
 
 } // namespace
 
-int
-runLint(const std::string &root, const std::string &allowlist_path,
-        std::ostream &out)
+std::vector<std::string>
+collectSources(const std::string &root, std::string &error)
 {
     namespace fs = std::filesystem;
-
-    std::vector<Finding> findings;
     std::vector<std::string> files;
     std::error_code ec;
     for (fs::recursive_directory_iterator it(root, ec), endit;
@@ -615,31 +710,67 @@ runLint(const std::string &root, const std::string &allowlist_path,
             fs::relative(it->path(), root).generic_string());
     }
     if (ec) {
-        out << root << ":0: [driver] cannot walk source root: "
-            << ec.message() << "\n";
-        return 1;
+        error = "cannot walk source root: " + ec.message();
+        return {};
     }
     std::sort(files.begin(), files.end());
+    return files;
+}
 
+std::vector<Finding>
+lexicalFindings(const SourceFile &source)
+{
+    std::vector<Finding> findings;
+    const std::string &relative = source.path;
+    if (relative.size() > 3 &&
+        relative.compare(relative.size() - 3, 3, ".hh") == 0 &&
+        startsWithAny(relative, kUnitDirs)) {
+        auto unit = checkUnitSafety(source);
+        findings.insert(findings.end(), unit.begin(), unit.end());
+    }
+    if (!kLoggingSinks.count(relative)) {
+        auto logging = checkLoggingIdiom(source);
+        findings.insert(findings.end(), logging.begin(), logging.end());
+    }
+    auto rng = checkRngDiscipline(source);
+    findings.insert(findings.end(), rng.begin(), rng.end());
+    return findings;
+}
+
+bool
+findingLess(const Finding &a, const Finding &b)
+{
+    if (a.file != b.file)
+        return a.file < b.file;
+    if (a.line != b.line)
+        return a.line < b.line;
+    if (a.check != b.check)
+        return a.check < b.check;
+    return a.message < b.message;
+}
+
+int
+runLint(const std::string &root, const std::string &allowlist_path,
+        std::ostream &out)
+{
+    namespace fs = std::filesystem;
+
+    std::string walk_error;
+    std::vector<std::string> files = collectSources(root, walk_error);
+    if (!walk_error.empty()) {
+        out << root << ":0: [driver] " << walk_error << "\n";
+        return 1;
+    }
+
+    std::vector<Finding> findings;
     for (const auto &relative : files) {
         std::ifstream in(fs::path(root) / relative);
         std::ostringstream content;
         content << in.rdbuf();
         SourceFile source = scanSource(relative, content.str());
-
-        if (relative.size() > 3 &&
-            relative.compare(relative.size() - 3, 3, ".hh") == 0 &&
-            startsWithAny(relative, kUnitDirs)) {
-            auto unit = checkUnitSafety(source);
-            findings.insert(findings.end(), unit.begin(), unit.end());
-        }
-        if (!kLoggingSinks.count(relative)) {
-            auto logging = checkLoggingIdiom(source);
-            findings.insert(findings.end(), logging.begin(),
-                            logging.end());
-        }
-        auto rng = checkRngDiscipline(source);
-        findings.insert(findings.end(), rng.begin(), rng.end());
+        auto file_findings = lexicalFindings(source);
+        findings.insert(findings.end(), file_findings.begin(),
+                        file_findings.end());
     }
 
     if (!allowlist_path.empty()) {
@@ -657,14 +788,7 @@ runLint(const std::string &root, const std::string &allowlist_path,
                                   allowlist_path);
     }
 
-    std::sort(findings.begin(), findings.end(),
-              [](const Finding &a, const Finding &b) {
-                  if (a.file != b.file)
-                      return a.file < b.file;
-                  if (a.line != b.line)
-                      return a.line < b.line;
-                  return a.message < b.message;
-              });
+    std::sort(findings.begin(), findings.end(), findingLess);
     for (const auto &finding : findings) {
         out << finding.file << ":" << finding.line << ": ["
             << finding.check << "] " << finding.message << "\n";

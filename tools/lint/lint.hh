@@ -49,7 +49,7 @@ struct Token
     std::size_t line = 0;
 };
 
-/** A lexed source file plus its `lint: raw-ok(...)` suppressions. */
+/** A lexed source file plus its suppression markers. */
 struct SourceFile
 {
     /** Path as reported in findings (relative to the scan root). */
@@ -57,11 +57,28 @@ struct SourceFile
 
     std::vector<Token> tokens;
 
-    /** Line of each raw-ok comment -> its reason (may be empty). */
+    /** Line of each `lint: raw-ok(...)` comment -> its reason. */
     std::map<std::size_t, std::string> rawOk;
+
+    /**
+     * Semantic-analyzer escape hatches, `analyze: <tag>(<reason>)`,
+     * keyed by tag ("hot-ok", "unit-ok", "rng-ok") then line. Policed
+     * exactly like raw-ok: empty reasons and stale markers are
+     * findings (tools/lint/analyze.cc).
+     */
+    std::map<std::string, std::map<std::size_t, std::string>> analyzeOk;
 };
 
-/** Lex @p content; @p path is recorded verbatim for findings. */
+/**
+ * Lex @p content; @p path is recorded verbatim for findings.
+ *
+ * The lexer understands the full literal surface of the tree: plain
+ * and raw (`R"(...)"`, with delimiters and encoding prefixes) string
+ * literals, digit separators (`1'000`), backslash line continuations
+ * (in line comments and between tokens), and preprocessor directives
+ * (consumed whole, emitting no tokens — macro *definitions* are not
+ * analyzable source, macro *uses* are).
+ */
 SourceFile scanSource(std::string path, const std::string &content);
 
 /**
@@ -110,8 +127,27 @@ std::vector<Finding> applyAllowlist(std::vector<Finding> findings,
                                     const std::string &allowlist_path);
 
 /**
- * Walk @p root (the src/ tree), run every check, apply the allowlist
- * at @p allowlist_path (empty = none), print findings to @p out.
+ * Collect the `.hh` / `.cc` files under @p root, sorted by relative
+ * path (so every downstream pass is independent of directory-walk
+ * order). On failure returns empty and sets @p error.
+ */
+std::vector<std::string> collectSources(const std::string &root,
+                                        std::string &error);
+
+/**
+ * The per-file lexical checks, routed by path: unit-safety for
+ * physics-layer headers, logging-idiom everywhere but the designated
+ * sinks, rng-discipline everywhere.
+ */
+std::vector<Finding> lexicalFindings(const SourceFile &source);
+
+/** Stable output order: (file, line, check, message). */
+bool findingLess(const Finding &a, const Finding &b);
+
+/**
+ * Walk @p root (the src/ tree), run every lexical check, apply the
+ * allowlist at @p allowlist_path (empty = none), print findings to
+ * @p out sorted by (file, line, check).
  *
  * @return 0 when clean, 1 when any finding survives.
  */

@@ -1,42 +1,73 @@
 /**
  * @file
- * mindful-lint CLI. Usage:
+ * mindful-analyze CLI. Usage:
  *
- *   mindful-lint --root src [--allowlist tools/lint/allowlist.txt]
+ *   mindful-analyze --root src
+ *       [--allowlist tools/lint/allowlist.txt]
+ *       [--sarif out.sarif] [--cache-dir .cache/analyze]
+ *       [--threads N] [--no-semantic]
  *
- * Exits 0 when the tree is clean, 1 when any finding survives the
- * allowlist. Findings print as `file:line: [check] message`.
+ * `--no-semantic` restricts the run to the PR-3 lexical checks (the
+ * old mindful-lint behaviour). Exits 0 when the tree is clean, 1 when
+ * any finding survives, 2 on a driver error. Findings print as
+ * `file:line: [check] message` and are byte-identical across thread
+ * counts and cache states.
  */
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
-#include "lint.hh"
+#include "analyze.hh"
+
+namespace {
+
+const char *kUsage =
+    "usage: mindful-analyze --root <dir> [--allowlist <file>]\n"
+    "           [--sarif <file>] [--cache-dir <dir>] [--threads <n>]\n"
+    "           [--no-semantic]\n";
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string root;
-    std::string allowlist;
+    mindful::lint::AnalyzeOptions options;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--root" && i + 1 < argc) {
-            root = argv[++i];
+            options.root = argv[++i];
         } else if (arg == "--allowlist" && i + 1 < argc) {
-            allowlist = argv[++i];
+            options.allowlistPath = argv[++i];
+        } else if (arg == "--sarif" && i + 1 < argc) {
+            options.sarifPath = argv[++i];
+        } else if (arg == "--cache-dir" && i + 1 < argc) {
+            options.cacheDir = argv[++i];
+        } else if (arg == "--threads" && i + 1 < argc) {
+            char *end = nullptr;
+            unsigned long value = std::strtoul(argv[++i], &end, 10);
+            if (end == nullptr || *end != '\0' || value == 0 ||
+                value > 256) {
+                std::cerr << "mindful-analyze: --threads expects a "
+                             "count in [1, 256]\n";
+                return 2;
+            }
+            options.threads = static_cast<unsigned>(value);
+        } else if (arg == "--no-semantic") {
+            options.semantic = false;
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: mindful-lint --root <dir> "
-                         "[--allowlist <file>]\n";
+            std::cout << kUsage;
             return 0;
         } else {
-            std::cerr << "mindful-lint: unknown argument '" << arg
-                      << "'\n";
+            std::cerr << "mindful-analyze: unknown argument '" << arg
+                      << "'\n"
+                      << kUsage;
             return 2;
         }
     }
-    if (root.empty()) {
-        std::cerr << "mindful-lint: --root is required\n";
+    if (options.root.empty()) {
+        std::cerr << "mindful-analyze: --root is required\n" << kUsage;
         return 2;
     }
-    return mindful::lint::runLint(root, allowlist, std::cout);
+    return mindful::lint::runAnalyze(options, std::cout, std::cerr);
 }

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * SARIF 2.1.0 emission for mindful-analyze, so CI can upload findings
+ * to code-scanning UIs. One run, one driver ("mindful-analyze"), one
+ * reportingDescriptor per distinct check id, one result per finding.
+ * Output is fully deterministic: rules sorted by id, results in the
+ * caller's (already sorted) finding order, stable JSON field order.
+ */
+
+#ifndef MINDFUL_TOOLS_LINT_SARIF_HH
+#define MINDFUL_TOOLS_LINT_SARIF_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace mindful::lint {
+
+/**
+ * Write @p findings as a SARIF 2.1.0 log to @p out. Finding paths are
+ * relative to the scan root; @p root_prefix (e.g. "src") is prepended
+ * to each artifact URI so results anchor to repo-relative paths.
+ */
+void writeSarif(const std::vector<Finding> &findings,
+                const std::string &root_prefix, std::ostream &out);
+
+} // namespace mindful::lint
+
+#endif // MINDFUL_TOOLS_LINT_SARIF_HH
