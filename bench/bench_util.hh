@@ -7,13 +7,19 @@
  * CSV form. Pass --csv to print CSV only (for external plotting).
  *
  * All binaries also accept the observability flags:
- *   --trace-out FILE    enable span tracing, write Chrome trace JSON
+ *   --trace-out FILE    stream Chrome trace JSON while running (the
+ *                       hot-tier collector drains per-thread rings
+ *                       into FILE incrementally; cold TraceSpans join
+ *                       the same stream, memory stays bounded)
  *   --metrics-out FILE  write a metric-registry snapshot as CSV
  * and the execution flag:
  *   --threads N         size the process-wide thread pool (0 = auto)
  * Call parseObsOptions() early and finalizeObs() before exit (or use
- * ObsGuard, which does both). Output is bit-identical for any
- * --threads value (docs/parallelism.md).
+ * ObsGuard, which does both). parseObsOptions also hashes the full
+ * command line into the run manifest (obs/manifest.hh) before
+ * stripping its own flags, so every trace footer and metrics JSON
+ * names the exact invocation that produced it. Output is
+ * bit-identical for any --threads value (docs/parallelism.md).
  */
 
 #ifndef MINDFUL_BENCH_BENCH_UTIL_HH
@@ -21,12 +27,15 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "base/logging.hh"
 #include "base/table.hh"
 #include "exec/thread_pool.hh"
+#include "obs/collector.hh"
+#include "obs/manifest.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -59,6 +68,9 @@ struct ObsOptions
     std::string traceOut;   //!< Chrome trace JSON path ("" = off)
     std::string metricsOut; //!< metric snapshot CSV path ("" = off)
 
+    /** Open sink the collector streams into; must outlive stop(). */
+    std::shared_ptr<std::ofstream> traceStream;
+
     bool any() const { return !traceOut.empty() || !metricsOut.empty(); }
 };
 
@@ -72,6 +84,10 @@ struct ObsOptions
 inline ObsOptions
 parseObsOptions(int &argc, char **argv)
 {
+    // Hash the line as invoked — including the obs flags about to be
+    // stripped — so the manifest pins the exact reproduction command.
+    obs::setManifestConfigHash(obs::hashCommandLine(argc, argv));
+
     ObsOptions options;
     std::string threads;
     int out = 1;
@@ -114,8 +130,22 @@ parseObsOptions(int &argc, char **argv)
             static_cast<unsigned>(n));
     }
 
-    if (!options.traceOut.empty())
+    if (options.any())
+        obs::setManifestThreadCount(exec::ThreadPool::globalThreadCount());
+
+    if (!options.traceOut.empty()) {
         obs::TraceSession::global().setEnabled(true);
+        // Streaming mode: open the sink now and let the collector
+        // drain into it for the whole run. Pool workers register
+        // their rings on startup; the main thread registers here so
+        // inline (single-shard) hot spans are captured too.
+        options.traceStream =
+            std::make_shared<std::ofstream>(options.traceOut);
+        if (!*options.traceStream)
+            MINDFUL_FATAL("cannot open trace output ", options.traceOut);
+        obs::TraceCollector::global().registerCurrentThread();
+        obs::TraceCollector::global().start(options.traceStream.get());
+    }
     return options;
 }
 
@@ -124,13 +154,10 @@ inline void
 finalizeObs(const ObsOptions &options)
 {
     if (!options.traceOut.empty()) {
-        std::ofstream os(options.traceOut);
-        if (!os)
-            MINDFUL_FATAL("cannot open trace output ", options.traceOut);
-        obs::TraceSession::global().writeJson(os);
-        MINDFUL_INFORM("wrote ",
-                       obs::TraceSession::global().eventCount(),
-                       " trace events to ", options.traceOut);
+        obs::CollectorTotals totals = obs::TraceCollector::global().stop();
+        MINDFUL_INFORM("streamed ", totals.emitted, " trace events (",
+                       totals.dropped, " dropped at full rings) to ",
+                       options.traceOut);
     }
     if (!options.metricsOut.empty()) {
         std::ofstream os(options.metricsOut);

@@ -35,6 +35,8 @@
 #include "core/experiments.hh"
 #include "dnn/conv.hh"
 #include "dnn/dense.hh"
+#include "obs/json.hh"
+#include "obs/manifest.hh"
 #include "thermal/bioheat.hh"
 
 namespace {
@@ -190,42 +192,47 @@ writeJson(const std::string &path, bool quick,
     if (!os)
         MINDFUL_FATAL("cannot open JSON output ", path);
     os << "{\n";
+    os << "  \"manifest\": ";
+    mindful::obs::RunManifest::current().writeJsonObject(os);
+    os << ",\n";
     os << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
     os << "  \"threads\": " << exec::ThreadPool::global().threadCount()
        << ",\n";
     os << "  \"kernels\": [\n";
     for (std::size_t i = 0; i < kernels.size(); ++i) {
         const auto &k = kernels[i];
+        os << "    {\"name\": ";
+        mindful::obs::writeJsonEscaped(os, k.name);
         char buf[512];
         std::snprintf(
             buf, sizeof(buf),
-            "    {\"name\": \"%s\", \"fast_ms\": %.6f, "
+            ", \"fast_ms\": %.6f, "
             "\"reference_ms\": %.6f, \"speedup\": %.3f, "
             "\"gops\": %.4f, \"iterations\": %zu, "
             "\"reference_iterations\": %zu, \"checksum\": %.12e}",
-            k.name.c_str(), k.fastMs, k.referenceMs, k.speedup(),
-            k.gigaOpsPerSec, k.iterations, k.referenceIterations,
-            k.checksum);
+            k.fastMs, k.referenceMs, k.speedup(), k.gigaOpsPerSec,
+            k.iterations, k.referenceIterations, k.checksum);
         os << buf << (i + 1 < kernels.size() ? "," : "") << "\n";
     }
     os << "  ],\n";
     os << "  \"end_to_end\": [\n";
     for (std::size_t i = 0; i < end_to_end.size(); ++i) {
+        os << "    {\"name\": ";
+        mindful::obs::writeJsonEscaped(os, end_to_end[i].name);
         char buf[256];
-        std::snprintf(buf, sizeof(buf),
-                      "    {\"name\": \"%s\", \"wall_ms\": %.3f}",
-                      end_to_end[i].name.c_str(), end_to_end[i].wallMs);
+        std::snprintf(buf, sizeof(buf), ", \"wall_ms\": %.3f}",
+                      end_to_end[i].wallMs);
         os << buf << (i + 1 < end_to_end.size() ? "," : "") << "\n";
     }
     os << "  ],\n";
     os << "  \"thread_scaling\": [\n";
     for (std::size_t i = 0; i < scaling.size(); ++i) {
+        os << "    {\"name\": ";
+        mindful::obs::writeJsonEscaped(os, scaling[i].name);
         char buf[256];
-        std::snprintf(
-            buf, sizeof(buf),
-            "    {\"name\": \"%s\", \"threads\": %u, \"wall_ms\": %.6f}",
-            scaling[i].name.c_str(), scaling[i].threads,
-            scaling[i].wallMs);
+        std::snprintf(buf, sizeof(buf),
+                      ", \"threads\": %u, \"wall_ms\": %.6f}",
+                      scaling[i].threads, scaling[i].wallMs);
         os << buf << (i + 1 < scaling.size() ? "," : "") << "\n";
     }
     os << "  ]\n";

@@ -10,6 +10,8 @@
 #include "base/decibel.hh"
 #include "base/logging.hh"
 #include "exec/parallel.hh"
+#include "obs/collector.hh"
+#include "obs/handles.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -138,10 +140,17 @@ AwgnChannelSimulator::measureBer(double eb_n0_linear, std::uint64_t symbols)
     // exact and order-independent — bit-identical on any thread
     // count (docs/parallelism.md).
     const std::uint64_t call = _calls++;
+    // Hot-tier shard instrumentation: site and handles resolved once,
+    // recorded lock-free inside the shard body (docs/observability.md).
+    static const obs::TraceSite shard_site =
+        obs::TraceCollector::global().site("comm", "qam.ber_shard");
+    static const obs::CounterHandle shard_symbols =
+        obs::HotMetricTable::global().counter("comm.qam.shard_symbols");
     std::vector<std::uint64_t> shard_errors(kBerShards, 0);
     exec::parallelFor(
         kBerShards,
         [&](std::size_t shard) {
+            obs::HotSpan shard_span(shard_site);
             const auto range =
                 exec::shardRange(symbols, kBerShards, shard);
             Rng rng = _rng.fork(call * kBerShards + shard);
@@ -157,6 +166,8 @@ AwgnChannelSimulator::measureBer(double eb_n0_linear, std::uint64_t symbols)
                     std::popcount(tx_bits ^ rx_bits));
             }
             shard_errors[shard] = errors;
+            shard_span.setArg(errors);
+            shard_symbols.bump(range.end - range.begin);
         },
         "comm.qam.ber_shard");
 
@@ -210,10 +221,16 @@ OokChannelSimulator::measureBer(double eb_n0_linear, std::uint64_t bits)
     // count, per-shard forked streams, exact integer reduction in
     // shard order — bit-identical on any thread count.
     const std::uint64_t call = _calls++;
+    // Same hot-tier pattern as the QAM path.
+    static const obs::TraceSite shard_site =
+        obs::TraceCollector::global().site("comm", "ook.ber_shard");
+    static const obs::CounterHandle shard_bits =
+        obs::HotMetricTable::global().counter("comm.ook.shard_bits");
     std::vector<std::uint64_t> shard_errors(kBerShards, 0);
     exec::parallelFor(
         kBerShards,
         [&](std::size_t shard) {
+            obs::HotSpan shard_span(shard_site);
             const auto range = exec::shardRange(bits, kBerShards, shard);
             Rng rng = _rng.fork(call * kBerShards + shard);
             std::uint64_t errors = 0;
@@ -225,6 +242,8 @@ OokChannelSimulator::measureBer(double eb_n0_linear, std::uint64_t bits)
                 errors += decoded != tx;
             }
             shard_errors[shard] = errors;
+            shard_span.setArg(errors);
+            shard_bits.bump(range.end - range.begin);
         },
         "comm.ook.ber_shard");
 

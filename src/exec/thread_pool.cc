@@ -6,6 +6,9 @@
 
 #include "base/compiler.hh"
 #include "base/logging.hh"
+#include "obs/collector.hh"
+#include "obs/handles.hh"
+#include "obs/manifest.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -28,6 +31,8 @@ struct GlobalPool
 #ifndef MINDFUL_OBS_DISABLED
         obs::MetricRegistry::global();
         obs::TraceSession::global();
+        obs::TraceCollector::global();
+        obs::HotMetricTable::global();
 #endif
     }
 
@@ -74,6 +79,11 @@ ThreadPool::ThreadPool(unsigned threads) : _threadCount(threads)
     MINDFUL_ASSERT(threads >= 1, "a pool needs at least one thread");
     MINDFUL_METRIC_GAUGE("exec.pool.threads",
                          static_cast<double>(threads));
+#ifndef MINDFUL_OBS_DISABLED
+    // Pool width is a run-manifest fact (obs/manifest.hh); obs cannot
+    // link against exec, so exec publishes it.
+    obs::setManifestThreadCount(threads);
+#endif
     _workers.reserve(threads);
     for (unsigned i = 0; i < threads; ++i)
         _workers.emplace_back([this, i] { workerLoop(i); });
@@ -141,6 +151,11 @@ void
 ThreadPool::workerLoop(unsigned)
 {
     t_on_worker = true;
+#ifndef MINDFUL_OBS_DISABLED
+    // One-time, up-front allocation of this worker's trace ring, so
+    // hot-path spans inside shard bodies never allocate.
+    obs::TraceCollector::global().registerCurrentThread();
+#endif
     for (;;) {
         std::function<void()> task;
         {

@@ -1,0 +1,215 @@
+#include "obs/handles.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace mindful::obs {
+
+namespace {
+
+/** Sum of a counter's stripes (relaxed; exact once producers rest). */
+std::uint64_t
+stripesTotal(const CounterCells &cells)
+{
+    std::uint64_t total = 0;
+    for (const HotCell &stripe : cells.stripes)
+        total += stripe.value.load(std::memory_order_relaxed);
+    return total;
+}
+
+double
+cellsBinLowerEdge(const HistogramCells &h, std::size_t i)
+{
+    double frac = static_cast<double>(i) / static_cast<double>(h.bins);
+    return h.lo * std::pow(h.hi / h.lo, frac);
+}
+
+double
+cellsBinUpperEdge(const HistogramCells &h, std::size_t i)
+{
+    double frac =
+        static_cast<double>(i + 1) / static_cast<double>(h.bins);
+    return h.lo * std::pow(h.hi / h.lo, frac);
+}
+
+/**
+ * Nearest-rank percentile over the atomic buckets — the same
+ * arithmetic as LogHistogram::percentile (base/stats.cc), so a hot
+ * histogram and a HistogramMetric fed identical samples report
+ * identical p50/p95/p99.
+ */
+double
+cellsPercentile(const HistogramCells &h, double p)
+{
+    const std::uint64_t total = h.total.load(std::memory_order_relaxed);
+    if (total == 0)
+        return 0.0;
+    const double minSeen = h.minSeen.load(std::memory_order_relaxed);
+    const double maxSeen = h.maxSeen.load(std::memory_order_relaxed);
+
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(total)));
+    rank = std::max<std::uint64_t>(rank, 1);
+
+    std::uint64_t cumulative =
+        h.underflow.load(std::memory_order_relaxed);
+    if (rank <= cumulative)
+        return minSeen;
+    for (std::size_t i = 0; i < h.bins; ++i) {
+        cumulative += h.counts[i].load(std::memory_order_relaxed);
+        if (rank <= cumulative) {
+            double mid = std::sqrt(cellsBinLowerEdge(h, i) *
+                                   cellsBinUpperEdge(h, i));
+            return std::clamp(mid, minSeen, maxSeen);
+        }
+    }
+    return maxSeen;
+}
+
+} // namespace
+
+std::uint64_t
+CounterHandle::total() const
+{
+    return _cells ? stripesTotal(*_cells) : 0;
+}
+
+std::uint64_t
+HistogramHandle::count() const
+{
+    return _cells ? _cells->total.load(std::memory_order_relaxed) : 0;
+}
+
+double
+HistogramHandle::sum() const
+{
+    return _cells ? _cells->sum.load(std::memory_order_relaxed) : 0.0;
+}
+
+HotMetricTable &
+HotMetricTable::global()
+{
+    static HotMetricTable table;
+    return table;
+}
+
+CounterHandle
+HotMetricTable::counter(const std::string &name)
+{
+    LockGuard lock(_mutex);
+    MINDFUL_ASSERT(_histograms.count(name) == 0,
+                   "hot metric '", name, "' already registered with "
+                   "a different kind");
+    auto &cells = _counters[name];
+    if (!cells)
+        cells = std::make_unique<CounterCells>();
+    return CounterHandle(cells.get());
+}
+
+HistogramHandle
+HotMetricTable::histogram(const std::string &name, HistogramOptions options)
+{
+    LockGuard lock(_mutex);
+    MINDFUL_ASSERT(_counters.count(name) == 0,
+                   "hot metric '", name, "' already registered with "
+                   "a different kind");
+    auto &cells = _histograms[name];
+    if (!cells) {
+        MINDFUL_ASSERT(options.lo > 0.0 && options.hi > options.lo &&
+                           options.bins > 0,
+                       "hot histogram '", name, "' needs 0 < lo < hi "
+                       "and at least one bin");
+        cells = std::make_unique<HistogramCells>();
+        cells->lo = options.lo;
+        cells->hi = options.hi;
+        cells->logLo = std::log(options.lo);
+        cells->invLogRatio =
+            static_cast<double>(options.bins) /
+            (std::log(options.hi) - std::log(options.lo));
+        cells->bins = options.bins;
+        cells->counts =
+            std::make_unique<std::atomic<std::uint64_t>[]>(options.bins);
+        for (std::size_t i = 0; i < options.bins; ++i)
+            cells->counts[i].store(0, std::memory_order_relaxed);
+    }
+    return HistogramHandle(cells.get());
+}
+
+std::size_t
+HotMetricTable::size() const
+{
+    LockGuard lock(_mutex);
+    return _counters.size() + _histograms.size();
+}
+
+std::vector<MetricSample>
+HotMetricTable::snapshot() const
+{
+    // Cells are never deleted, so reading their atomics outside the
+    // lock would also be safe; holding it keeps registration ordered
+    // with the snapshot. Values are exact once producers have
+    // quiesced (e.g. after parallelFor returns).
+    LockGuard lock(_mutex);
+    std::vector<MetricSample> samples;
+    samples.reserve(_counters.size() + _histograms.size());
+    for (const auto &[name, cells] : _counters) {
+        MetricSample sample;
+        sample.name = name;
+        sample.type = "counter";
+        const std::uint64_t total = stripesTotal(*cells);
+        sample.value = static_cast<double>(total);
+        sample.count = static_cast<std::size_t>(total);
+        samples.push_back(std::move(sample));
+    }
+    for (const auto &[name, cells] : _histograms) {
+        MetricSample sample;
+        sample.name = name;
+        sample.type = "histogram";
+        const std::uint64_t total =
+            cells->total.load(std::memory_order_relaxed);
+        sample.count = static_cast<std::size_t>(total);
+        if (total > 0) {
+            sample.value = cells->sum.load(std::memory_order_relaxed) /
+                           static_cast<double>(total);
+            sample.min = cells->minSeen.load(std::memory_order_relaxed);
+            sample.max = cells->maxSeen.load(std::memory_order_relaxed);
+        }
+        sample.p50 = cellsPercentile(*cells, 50.0);
+        sample.p95 = cellsPercentile(*cells, 95.0);
+        sample.p99 = cellsPercentile(*cells, 99.0);
+        samples.push_back(std::move(sample));
+    }
+    std::sort(samples.begin(), samples.end(),
+              [](const MetricSample &a, const MetricSample &b) {
+                  return a.name < b.name;
+              });
+    return samples;
+}
+
+void
+HotMetricTable::reset()
+{
+    LockGuard lock(_mutex);
+    for (auto &[name, cells] : _counters) {
+        (void)name;
+        for (HotCell &stripe : cells->stripes)
+            stripe.value.store(0, std::memory_order_relaxed);
+    }
+    for (auto &[name, cells] : _histograms) {
+        (void)name;
+        for (std::size_t i = 0; i < cells->bins; ++i)
+            cells->counts[i].store(0, std::memory_order_relaxed);
+        cells->total.store(0, std::memory_order_relaxed);
+        cells->underflow.store(0, std::memory_order_relaxed);
+        cells->overflow.store(0, std::memory_order_relaxed);
+        cells->sum.store(0.0, std::memory_order_relaxed);
+        cells->minSeen.store(std::numeric_limits<double>::infinity(),
+                             std::memory_order_relaxed);
+        cells->maxSeen.store(-std::numeric_limits<double>::infinity(),
+                             std::memory_order_relaxed);
+    }
+}
+
+} // namespace mindful::obs

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Handle-based metric cells: the lock-free record tier of the metric
+ * system.
+ *
+ * The MetricRegistry (obs/metrics.hh) is the setup/export tier: name
+ * lookup under a mutex, histograms behind a short critical section.
+ * mindful-analyze's hot-path check rightly bans that record path from
+ * parallelFor shard bodies. This header is the hot tier: a handle is
+ * resolved ONCE at setup time (HotMetricTable::counter/histogram,
+ * which does lock) and records through a raw pointer forever after —
+ *
+ *   CounterHandle::bump      one relaxed fetch_add into the calling
+ *                            thread's stripe (no lookup, no lock);
+ *   HistogramHandle::observe log-bucket index arithmetic plus relaxed
+ *                            atomic adds (CAS loops for min/max/sum).
+ *
+ * Both record bodies live inline in this header, inside the analyzer's
+ * scan root, so the purity checker *verifies* them rather than taking
+ * them on faith — instrumented shard roots need no `hot-ok` hatch.
+ *
+ * The global MetricRegistry folds HotMetricTable::global() into its
+ * snapshots, so CSV/JSON export is unchanged for consumers. Counter
+ * totals are exact and order-independent (integer adds commute);
+ * histogram bucket counts, count, min and max likewise. Only a
+ * histogram's mean is accumulated in floating point and may differ in
+ * the last ulp across thread interleavings — keep determinism-contract
+ * metrics on counters (docs/observability.md).
+ */
+
+#ifndef MINDFUL_OBS_HANDLES_HH
+#define MINDFUL_OBS_HANDLES_HH
+
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/compiler.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace mindful::obs {
+
+/** Stripe count for counters; power of two, ~one per active core. */
+constexpr std::size_t kMetricStripes = 8;
+
+/** Map the calling thread onto one of kMetricStripes cells. */
+inline std::size_t
+hotStripeIndex()
+{
+    return TraceSession::currentThreadId() & (kMetricStripes - 1);
+}
+
+/** One cache line per stripe: concurrent bumps never false-share. */
+struct alignas(64) HotCell
+{
+    std::atomic<std::uint64_t> value{0};
+};
+
+/** Storage behind a CounterHandle; owned by the HotMetricTable. */
+struct CounterCells
+{
+    HotCell stripes[kMetricStripes];
+};
+
+/**
+ * Storage behind a HistogramHandle: an atomic mirror of LogHistogram's
+ * bucket layout (base/stats.hh) so exported percentiles match the
+ * locked HistogramMetric bit for bit on the same samples.
+ */
+struct HistogramCells
+{
+    double lo = 0.0;
+    double hi = 0.0;
+    double logLo = 0.0;
+    double invLogRatio = 0.0;
+    std::size_t bins = 0;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+    std::atomic<std::uint64_t> total{0};
+    std::atomic<std::uint64_t> underflow{0};
+    std::atomic<std::uint64_t> overflow{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> minSeen{std::numeric_limits<double>::infinity()};
+    std::atomic<double> maxSeen{-std::numeric_limits<double>::infinity()};
+};
+
+/** Relaxed CAS add; std::atomic<double> has no portable fetch_add. */
+inline void
+atomicAddDouble(std::atomic<double> &cell, double delta)
+{
+    double seen = cell.load(std::memory_order_relaxed);
+    while (!cell.compare_exchange_weak(seen, seen + delta,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+inline void
+atomicMinDouble(std::atomic<double> &cell, double candidate)
+{
+    double seen = cell.load(std::memory_order_relaxed);
+    while (candidate < seen &&
+           !cell.compare_exchange_weak(seen, candidate,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+inline void
+atomicMaxDouble(std::atomic<double> &cell, double candidate)
+{
+    double seen = cell.load(std::memory_order_relaxed);
+    while (candidate > seen &&
+           !cell.compare_exchange_weak(seen, candidate,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+/**
+ * Pre-resolved counter. Copyable; default-constructed handles record
+ * nothing. Honors the global registry's runtime gate, like the
+ * MINDFUL_METRIC_* macros.
+ */
+class CounterHandle
+{
+  public:
+    CounterHandle() = default;
+
+    bool valid() const { return _cells != nullptr; }
+
+    /** Hot-path record: one relaxed add into this thread's stripe. */
+    void
+    bump(std::uint64_t n = 1) const
+    {
+        if (_cells == nullptr || !MetricRegistry::global().enabled())
+            return;
+        _cells->stripes[hotStripeIndex()].value.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    /** Exact total across stripes (export/test side, not hot). */
+    std::uint64_t total() const;
+
+  private:
+    friend class HotMetricTable;
+    explicit CounterHandle(CounterCells *cells) : _cells(cells) {}
+
+    CounterCells *_cells = nullptr;
+};
+
+/** Pre-resolved histogram; same gate semantics as CounterHandle. */
+class HistogramHandle
+{
+  public:
+    HistogramHandle() = default;
+
+    bool valid() const { return _cells != nullptr; }
+
+    /** Hot-path record: bucket arithmetic + relaxed atomic adds. */
+    void
+    observe(double value) const
+    {
+        if (_cells == nullptr || !MetricRegistry::global().enabled())
+            return;
+        HistogramCells &h = *_cells;
+        h.total.fetch_add(1, std::memory_order_relaxed);
+        atomicMinDouble(h.minSeen, value);
+        atomicMaxDouble(h.maxSeen, value);
+        atomicAddDouble(h.sum, value);
+        if (value < h.lo) {
+            h.underflow.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        // Same exclusive right edge as LogHistogram::add.
+        if (value >= h.hi) {
+            h.overflow.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        auto idx = static_cast<std::size_t>(
+            (std::log(value) - h.logLo) * h.invLogRatio);
+        if (idx >= h.bins) {
+            h.overflow.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        h.counts[idx].fetch_add(1, std::memory_order_relaxed);
+    }
+
+    std::uint64_t count() const;
+    double sum() const;
+
+  private:
+    friend class HotMetricTable;
+    explicit HistogramHandle(HistogramCells *cells) : _cells(cells) {}
+
+    HistogramCells *_cells = nullptr;
+};
+
+/**
+ * Process-wide table of hot metric cells. Registration (by name,
+ * idempotent, kind-checked) and snapshots lock; recording through
+ * the returned handles never does. Cells live for the process — a
+ * handle can never dangle.
+ */
+class HotMetricTable
+{
+  public:
+    static HotMetricTable &global();
+
+    HotMetricTable() = default;
+    HotMetricTable(const HotMetricTable &) = delete;
+    HotMetricTable &operator=(const HotMetricTable &) = delete;
+
+    /** Resolve (registering on first use) a counter handle. */
+    CounterHandle counter(const std::string &name);
+
+    /** Resolve (registering on first use) a histogram handle. */
+    HistogramHandle histogram(const std::string &name,
+                              HistogramOptions options = {});
+
+    /** Number of registered hot metrics (all kinds). */
+    std::size_t size() const;
+
+    /**
+     * Rows in MetricSample form, name-sorted — the global registry
+     * appends these to its own snapshot so exports see one merged,
+     * format-identical table.
+     */
+    std::vector<MetricSample> snapshot() const;
+
+    /** Zero every cell; handles stay valid (MetricRegistry::clear). */
+    void reset();
+
+  private:
+    mutable Mutex _mutex;
+    std::map<std::string, std::unique_ptr<CounterCells>>
+        _counters MINDFUL_GUARDED_BY(_mutex);
+    std::map<std::string, std::unique_ptr<HistogramCells>>
+        _histograms MINDFUL_GUARDED_BY(_mutex);
+};
+
+} // namespace mindful::obs
+
+/**
+ * Hot-path record macros over pre-resolved handles. They vanish under
+ * MINDFUL_OBS_DISABLED (arguments unevaluated). Code that prefers the
+ * analyzer to certify its record sites calls .bump()/.observe()
+ * directly instead — see docs/observability.md.
+ */
+#ifndef MINDFUL_OBS_DISABLED
+
+#define MINDFUL_HOT_COUNT(handle, n) (handle).bump((n))
+#define MINDFUL_HOT_RECORD(handle, v) (handle).observe((v))
+
+#else
+
+#define MINDFUL_HOT_COUNT(handle, n) \
+    do { \
+    } while (0)
+#define MINDFUL_HOT_RECORD(handle, v) \
+    do { \
+    } while (0)
+
+#endif // MINDFUL_OBS_DISABLED
+
+#endif // MINDFUL_OBS_HANDLES_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared JSON string escaping for every obs exporter.
+ *
+ * The trace_event writer, the metric-registry JSON snapshot, the
+ * streaming collector, and the run manifest all emit user-supplied
+ * strings (span names, metric names, build flags). RFC 8259 requires
+ * quotes, backslashes, and control characters to be escaped; a single
+ * helper keeps the four writers from drifting apart (they used to
+ * carry private copies).
+ */
+
+#ifndef MINDFUL_OBS_JSON_HH
+#define MINDFUL_OBS_JSON_HH
+
+#include <ostream>
+#include <string_view>
+
+namespace mindful::obs {
+
+/** Write @p s as a quoted JSON string with all required escapes. */
+inline void
+writeJsonEscaped(std::ostream &os, std::string_view s)
+{
+    constexpr const char *hex = "0123456789abcdef";
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                const auto u = static_cast<unsigned char>(c);
+                os << "\\u00" << hex[(u >> 4) & 0xf] << hex[u & 0xf];
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace mindful::obs
+
+#endif // MINDFUL_OBS_JSON_HH

@@ -1,12 +1,16 @@
 #include "obs/metrics.hh"
 
+#include <algorithm>
 #include <cmath>
-#include <cstdio>
+#include <iterator>
 #include <ostream>
 #include <sstream>
 #include <vector>
 
 #include "base/logging.hh"
+#include "obs/handles.hh"
+#include "obs/json.hh"
+#include "obs/manifest.hh"
 
 namespace mindful::obs {
 
@@ -196,8 +200,14 @@ MetricRegistry::merge(const MetricRegistry &other)
 void
 MetricRegistry::clear()
 {
-    LockGuard lock(_mutex);
-    _entries.clear();
+    {
+        LockGuard lock(_mutex);
+        _entries.clear();
+    }
+    // The global registry fronts the hot cells too; clearing it
+    // zeroes them (handles stay valid — cells are never deleted).
+    if (this == &global())
+        HotMetricTable::global().reset();
 }
 
 std::vector<MetricSample>
@@ -248,6 +258,22 @@ MetricRegistry::snapshot() const
         }
         samples.push_back(std::move(sample));
     }
+
+    // The global registry is the one reporting path: fold the
+    // lock-free hot cells (obs/handles.hh) into its snapshot so CSV /
+    // JSON exports see one merged, name-sorted table.
+    if (this == &global()) {
+        std::vector<MetricSample> hot = HotMetricTable::global().snapshot();
+        if (!hot.empty()) {
+            samples.insert(samples.end(),
+                           std::make_move_iterator(hot.begin()),
+                           std::make_move_iterator(hot.end()));
+            std::sort(samples.begin(), samples.end(),
+                      [](const MetricSample &a, const MetricSample &b) {
+                          return a.name < b.name;
+                      });
+        }
+    }
     return samples;
 }
 
@@ -276,30 +302,6 @@ MetricRegistry::snapshotTable() const
 namespace {
 
 void
-writeJsonString(std::ostream &os, const std::string &s)
-{
-    os << '"';
-    for (char c : s) {
-        switch (c) {
-          case '"': os << "\\\""; break;
-          case '\\': os << "\\\\"; break;
-          case '\n': os << "\\n"; break;
-          case '\t': os << "\\t"; break;
-          case '\r': os << "\\r"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                os << buf;
-            } else {
-                os << c;
-            }
-        }
-    }
-    os << '"';
-}
-
-void
 writeJsonNumber(std::ostream &os, double v)
 {
     // JSON has no Infinity/NaN literals; clamp to null.
@@ -319,15 +321,16 @@ void
 MetricRegistry::writeJson(std::ostream &os) const
 {
     os << "{";
-    bool first = true;
+    // Provenance block first; the leading underscore keeps it clear
+    // of the metric namespace (names start with a subsystem letter).
+    os << "\n  \"_manifest\": ";
+    RunManifest::current().writeJsonObject(os);
     for (const auto &s : snapshot()) {
-        if (!first)
-            os << ",";
-        first = false;
+        os << ",";
         os << "\n  ";
-        writeJsonString(os, s.name);
+        writeJsonEscaped(os, s.name);
         os << ": {\"type\": ";
-        writeJsonString(os, s.type);
+        writeJsonEscaped(os, s.type);
         os << ", \"count\": " << s.count << ", \"value\": ";
         writeJsonNumber(os, s.value);
         if (s.type == "histogram") {

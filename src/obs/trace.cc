@@ -1,10 +1,12 @@
 #include "obs/trace.hh"
 
 #include <chrono>
-#include <cstdio>
 #include <ostream>
 #include <sstream>
 
+#include "obs/collector.hh"
+#include "obs/json.hh"
+#include "obs/manifest.hh"
 #include "obs/metrics.hh"
 
 namespace mindful::obs {
@@ -30,40 +32,49 @@ nanosSinceEpoch()
             .count());
 }
 
-void
-writeJsonString(std::ostream &os, const std::string &s)
+} // namespace
+
+std::uint64_t
+traceNowNanos()
 {
-    os << '"';
-    for (char c : s) {
-        switch (c) {
-          case '"': os << "\\\""; break;
-          case '\\': os << "\\\\"; break;
-          case '\n': os << "\\n"; break;
-          case '\t': os << "\\t"; break;
-          case '\r': os << "\\r"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                os << buf;
-            } else {
-                os << c;
-            }
-        }
-    }
-    os << '"';
+    return nanosSinceEpoch();
 }
 
-/** ts/dur in microseconds with nanosecond decimals. */
 void
-writeMicros(std::ostream &os, std::uint64_t nanos)
+writeTraceMicros(std::ostream &os, std::uint64_t nanos)
 {
     os << nanos / 1000 << '.' << static_cast<char>('0' + nanos / 100 % 10)
        << static_cast<char>('0' + nanos / 10 % 10)
        << static_cast<char>('0' + nanos % 10);
 }
 
-} // namespace
+void
+writeTraceEventJson(std::ostream &os, const TraceEvent &event)
+{
+    os << "{\"name\": ";
+    writeJsonEscaped(os, event.name);
+    os << ", \"cat\": ";
+    writeJsonEscaped(os, event.category);
+    os << ", \"ph\": \"X\", \"ts\": ";
+    writeTraceMicros(os, event.startNanos);
+    os << ", \"dur\": ";
+    writeTraceMicros(os, event.durationNanos);
+    os << ", \"pid\": 1, \"tid\": " << event.threadId;
+    if (!event.args.empty()) {
+        os << ", \"args\": {";
+        bool first_arg = true;
+        for (const auto &[key, value] : event.args) {
+            if (!first_arg)
+                os << ", ";
+            first_arg = false;
+            writeJsonEscaped(os, key);
+            os << ": ";
+            writeJsonEscaped(os, value);
+        }
+        os << "}";
+    }
+    os << "}";
+}
 
 TraceSession &
 TraceSession::global()
@@ -96,6 +107,14 @@ TraceSession::currentThreadId()
 void
 TraceSession::record(TraceEvent event)
 {
+    // While the streaming collector is live, the global session's
+    // cold spans join the stream instead of accumulating here — one
+    // timeline, bounded memory.
+    if (this == &global() &&
+        detail::g_collectorStreaming.load(std::memory_order_relaxed)) {
+        TraceCollector::global().submitCold(std::move(event));
+        return;
+    }
     LockGuard lock(_mutex);
     _events.push_back(std::move(event));
 }
@@ -131,31 +150,13 @@ TraceSession::writeJson(std::ostream &os) const
         if (!first)
             os << ",";
         first = false;
-        os << "\n  {\"name\": ";
-        writeJsonString(os, event.name);
-        os << ", \"cat\": ";
-        writeJsonString(os, event.category);
-        os << ", \"ph\": \"X\", \"ts\": ";
-        writeMicros(os, event.startNanos);
-        os << ", \"dur\": ";
-        writeMicros(os, event.durationNanos);
-        os << ", \"pid\": 1, \"tid\": " << event.threadId;
-        if (!event.args.empty()) {
-            os << ", \"args\": {";
-            bool first_arg = true;
-            for (const auto &[key, value] : event.args) {
-                if (!first_arg)
-                    os << ", ";
-                first_arg = false;
-                writeJsonString(os, key);
-                os << ": ";
-                writeJsonString(os, value);
-            }
-            os << "}";
-        }
-        os << "}";
+        os << "\n  ";
+        writeTraceEventJson(os, event);
     }
-    os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+    os << "\n], \"displayTimeUnit\": \"ms\", \"otherData\": "
+          "{\"manifest\": ";
+    RunManifest::current().writeJsonObject(os);
+    os << "}}\n";
 }
 
 TraceSpan::TraceSpan(const char *category, std::string name)

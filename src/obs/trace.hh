@@ -160,7 +160,24 @@ class NullSpan
     {
         return *this;
     }
+
+    /** HotSpan-compatible no-op (MINDFUL_HOT_SPAN when disabled). */
+    template <typename V>
+    NullSpan &
+    setArg(const V &)
+    {
+        return *this;
+    }
 };
+
+/**
+ * Exporter plumbing shared with the streaming collector
+ * (obs/collector.cc): one trace_event object, no surrounding comma.
+ */
+void writeTraceEventJson(std::ostream &os, const TraceEvent &event);
+
+/** ts/dur in microseconds with nanosecond decimals. */
+void writeTraceMicros(std::ostream &os, std::uint64_t nanos);
 
 } // namespace mindful::obs
 

@@ -7,6 +7,8 @@
 
 #include "base/logging.hh"
 #include "exec/parallel.hh"
+#include "obs/collector.hh"
+#include "obs/handles.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -266,15 +268,26 @@ class RedBlackSweep
                 updateRow<Measure>(i, parity, acc);
             return acc;
         }
+        // Hot-tier shard instrumentation (resolved once; see
+        // docs/observability.md). site() is idempotent, so the two
+        // Measure instantiations share one interned id.
+        static const obs::TraceSite shard_site =
+            obs::TraceCollector::global().site("thermal", "sor.shard");
+        static const obs::CounterHandle shard_rows =
+            obs::HotMetricTable::global().counter(
+                "thermal.sor.shard_rows");
         return exec::parallelReduce(
             _shards, std::array<double, 2>{0.0, 0.0},
             [&](std::size_t shard) {
+                obs::HotSpan shard_span(shard_site);
                 auto range =
                     exec::shardRange(sweep_rows, _shards, shard);
+                shard_span.setArg(range.end - range.begin);
                 std::array<double, 2> acc{0.0, 0.0};
                 for (std::uint64_t i = range.begin; i < range.end; ++i)
                     updateRow<Measure>(static_cast<std::size_t>(i),
                                        parity, acc);
+                shard_rows.bump(range.end - range.begin);
                 return acc;
             },
             [](std::array<double, 2> a, std::array<double, 2> b) {

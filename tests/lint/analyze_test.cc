@@ -150,6 +150,72 @@ TEST(AnalyzeHotPath, CleanKernelFixtureIsClean)
     EXPECT_TRUE(findings.empty()) << findings[0].message;
 }
 
+TEST(AnalyzeHotPath, HotRecordMacrosArePermittedInShardBodies)
+{
+    // The MINDFUL_HOT_* macros are the certified hot-tier record
+    // path (obs/handles.hh, obs/collector.hh): whitelisted by name,
+    // like MINDFUL_TRACE_SPAN.
+    auto findings = analyze({{"dnn/fixture.cc", R"fix(
+        void kernel(float *out, std::size_t n)
+        {
+            exec::parallelFor(4, [&](std::size_t shard) {
+                MINDFUL_HOT_SPAN(span, shard_site);
+                auto range = exec::shardRange(n, 4, shard);
+                for (std::size_t i = range.begin; i < range.end; ++i)
+                    out[i] = static_cast<float>(i);
+                MINDFUL_HOT_COUNT(shard_rows, range.end - range.begin);
+                MINDFUL_HOT_RECORD(shard_us, 1.5);
+            }, "fixture.kernel");
+        }
+    )fix"}});
+    EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(AnalyzeHotPath, CertifiedInlineRecordBodyResolvesClean)
+{
+    // Direct handle records (`.bump()` in src) resolve to the inline
+    // body, which the checker walks and certifies — no whitelist
+    // entry, no hatch, the proof is the body itself.
+    auto findings = analyze({
+        {"obs/handles_fixture.cc", R"fix(
+            void bump(int n)
+            {
+                cell += static_cast<long>(n);
+            }
+        )fix"},
+        {"dnn/driver.cc", R"fix(
+            void drive(double *sink)
+            {
+                exec::parallelFor(4, [&](std::size_t shard) {
+                    sink[shard] = static_cast<double>(shard);
+                    bump(static_cast<int>(shard));
+                }, "fixture.drive");
+            }
+        )fix"},
+    });
+    EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(AnalyzeHotPath, RegistryLookupInShardBodyIsStillAFinding)
+{
+    // Handles are the only sanctioned metric path in shard bodies: a
+    // by-name MetricRegistry lookup stays banned.
+    auto findings = analyze({{"dnn/fixture.cc", R"fix(
+        void kernel(double *out, std::size_t n)
+        {
+            exec::parallelFor(4, [&](std::size_t shard) {
+                registry.counter("fixture.rows").add(shard);
+                out[shard] = static_cast<double>(n);
+            }, "fixture.kernel");
+        }
+    )fix"}});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].check, "hot-path");
+    EXPECT_NE(findings[0].message.find(".counter() lookup"),
+              std::string::npos)
+        << findings[0].message;
+}
+
 TEST(AnalyzeHotPath, FlagsLocksLogsAndStringsDirectly)
 {
     auto findings = analyze({{"obs/fixture.cc", R"fix(

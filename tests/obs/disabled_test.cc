@@ -3,9 +3,10 @@
  * MINDFUL_OBS_DISABLED build test. This file is compiled into its own
  * executable with the macro defined (see tests/CMakeLists.txt), so it
  * verifies both that instrumented code still compiles in that
- * configuration and that every MINDFUL_TRACE_* / MINDFUL_METRIC_*
- * macro degrades to a genuine no-op: nothing reaches the global trace
- * session or metric registry even when both are explicitly enabled.
+ * configuration and that every MINDFUL_TRACE_* / MINDFUL_METRIC_* /
+ * MINDFUL_HOT_* macro degrades to a genuine no-op: nothing reaches
+ * the global trace session, metric registry, hot metric table, or
+ * trace collector even when all of them are explicitly enabled.
  */
 
 #ifndef MINDFUL_OBS_DISABLED
@@ -17,6 +18,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/collector.hh"
+#include "obs/handles.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -48,6 +51,42 @@ TEST(ObsDisabledTest, MetricMacrosRegisterNothing)
     MINDFUL_METRIC_RECORD("disabled.hist", 2.5);
     EXPECT_EQ(MetricRegistry::global().size(), 0u);
     EXPECT_FALSE(MetricRegistry::global().contains("disabled.count"));
+}
+
+TEST(ObsDisabledTest, HotSpanMacroRecordsNothingWhileStreaming)
+{
+    auto &collector = TraceCollector::global();
+    [[maybe_unused]] const TraceSite site =
+        collector.site("disabled", "hot_span");
+    collector.registerCurrentThread();
+    collector.start(nullptr);
+    {
+        // Expands to a NullSpan: compiles, records nothing.
+        MINDFUL_HOT_SPAN(span, site);
+        span.setArg(std::uint64_t{7});
+        EXPECT_FALSE(span.active());
+    }
+    CollectorTotals totals = collector.stop();
+    EXPECT_EQ(totals.emitted, 0u);
+    EXPECT_EQ(totals.dropped, 0u);
+}
+
+TEST(ObsDisabledTest, HotMetricMacrosRecordNothing)
+{
+    MetricRegistry::global().setEnabled(true);
+    CounterHandle counter =
+        HotMetricTable::global().counter("disabled.hot_count");
+    HistogramHandle histogram =
+        HotMetricTable::global().histogram("disabled.hot_hist");
+    MINDFUL_HOT_COUNT(counter, 5);
+    MINDFUL_HOT_RECORD(histogram, 2.5);
+    EXPECT_EQ(counter.total(), 0u);
+    EXPECT_EQ(histogram.count(), 0u);
+    // Macro arguments are not evaluated at all in this configuration.
+    std::uint64_t evaluations = 0;
+    MINDFUL_HOT_COUNT(counter, ++evaluations);
+    MINDFUL_HOT_RECORD(histogram, static_cast<double>(++evaluations));
+    EXPECT_EQ(evaluations, 0u);
 }
 
 TEST(ObsDisabledTest, DirectApiStillWorks)

@@ -7,205 +7,16 @@
 
 #include <gtest/gtest.h>
 
-#include <cctype>
-#include <cstring>
 #include <sstream>
 #include <string>
 #include <thread>
 
+#include "json_checker.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
 namespace mindful::obs {
 namespace {
-
-/**
- * Minimal recursive-descent JSON validity checker. Accepts exactly
- * the RFC 8259 grammar (objects, arrays, strings with escapes,
- * numbers, true/false/null); the tests only need "does this parse",
- * not a DOM.
- */
-class JsonChecker
-{
-  public:
-    explicit JsonChecker(std::string text) : _text(std::move(text)) {}
-
-    bool
-    valid()
-    {
-        _pos = 0;
-        skipWs();
-        if (!value())
-            return false;
-        skipWs();
-        return _pos == _text.size();
-    }
-
-  private:
-    bool
-    value()
-    {
-        if (_pos >= _text.size())
-            return false;
-        switch (_text[_pos]) {
-          case '{': return object();
-          case '[': return array();
-          case '"': return string();
-          case 't': return literal("true");
-          case 'f': return literal("false");
-          case 'n': return literal("null");
-          default: return number();
-        }
-    }
-
-    bool
-    object()
-    {
-        ++_pos; // '{'
-        skipWs();
-        if (peek() == '}') {
-            ++_pos;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            if (!string())
-                return false;
-            skipWs();
-            if (peek() != ':')
-                return false;
-            ++_pos;
-            skipWs();
-            if (!value())
-                return false;
-            skipWs();
-            if (peek() == ',') {
-                ++_pos;
-                continue;
-            }
-            if (peek() == '}') {
-                ++_pos;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    bool
-    array()
-    {
-        ++_pos; // '['
-        skipWs();
-        if (peek() == ']') {
-            ++_pos;
-            return true;
-        }
-        while (true) {
-            skipWs();
-            if (!value())
-                return false;
-            skipWs();
-            if (peek() == ',') {
-                ++_pos;
-                continue;
-            }
-            if (peek() == ']') {
-                ++_pos;
-                return true;
-            }
-            return false;
-        }
-    }
-
-    bool
-    string()
-    {
-        if (peek() != '"')
-            return false;
-        ++_pos;
-        while (_pos < _text.size()) {
-            char c = _text[_pos];
-            if (c == '"') {
-                ++_pos;
-                return true;
-            }
-            if (static_cast<unsigned char>(c) < 0x20)
-                return false; // control chars must be escaped
-            if (c == '\\') {
-                ++_pos;
-                if (_pos >= _text.size())
-                    return false;
-                char e = _text[_pos];
-                if (e == 'u') {
-                    for (int i = 0; i < 4; ++i) {
-                        ++_pos;
-                        if (_pos >= _text.size() ||
-                            !std::isxdigit(static_cast<unsigned char>(
-                                _text[_pos])))
-                            return false;
-                    }
-                } else if (!std::strchr("\"\\/bfnrt", e)) {
-                    return false;
-                }
-            }
-            ++_pos;
-        }
-        return false;
-    }
-
-    bool
-    number()
-    {
-        std::size_t start = _pos;
-        if (peek() == '-')
-            ++_pos;
-        if (!std::isdigit(static_cast<unsigned char>(peek())))
-            return false;
-        while (std::isdigit(static_cast<unsigned char>(peek())))
-            ++_pos;
-        if (peek() == '.') {
-            ++_pos;
-            if (!std::isdigit(static_cast<unsigned char>(peek())))
-                return false;
-            while (std::isdigit(static_cast<unsigned char>(peek())))
-                ++_pos;
-        }
-        if (peek() == 'e' || peek() == 'E') {
-            ++_pos;
-            if (peek() == '+' || peek() == '-')
-                ++_pos;
-            if (!std::isdigit(static_cast<unsigned char>(peek())))
-                return false;
-            while (std::isdigit(static_cast<unsigned char>(peek())))
-                ++_pos;
-        }
-        return _pos > start;
-    }
-
-    bool
-    literal(const char *word)
-    {
-        for (const char *c = word; *c; ++c) {
-            if (_pos >= _text.size() || _text[_pos] != *c)
-                return false;
-            ++_pos;
-        }
-        return true;
-    }
-
-    char peek() const { return _pos < _text.size() ? _text[_pos] : '\0'; }
-
-    void
-    skipWs()
-    {
-        while (_pos < _text.size() &&
-               (std::isspace(static_cast<unsigned char>(_text[_pos]))))
-            ++_pos;
-    }
-
-    std::string _text;
-    std::size_t _pos = 0;
-};
 
 /** Scoped enable + clear of the global session, restoring on exit. */
 class SessionFixture : public ::testing::Test
