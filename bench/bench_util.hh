@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "base/parse.hh"
 #include "base/table.hh"
 #include "exec/thread_pool.hh"
 #include "obs/collector.hh"
@@ -116,18 +117,15 @@ parseObsOptions(int &argc, char **argv)
     argc = out;
 
     if (!threads.empty()) {
-        std::size_t pos = 0;
-        unsigned long n = 0;
-        try {
-            n = std::stoul(threads, &pos);
-        } catch (const std::exception &) {
-            pos = 0;
-        }
-        if (pos != threads.size())
-            MINDFUL_FATAL("--threads requires a non-negative integer, "
-                          "got '", threads, "'");
-        exec::ThreadPool::setGlobalThreadCount(
-            static_cast<unsigned>(n));
+        // Strict locale-independent parse (base/parse.hh): rejects
+        // negatives instead of wrapping them to huge counts, rejects
+        // trailing junk, and never throws on garbage.
+        std::optional<unsigned> n = parseThreadCount(threads);
+        if (!n)
+            MINDFUL_FATAL("--threads requires an integer thread count "
+                          "in [0, ", kMaxThreadCount,
+                          "] (0 = auto), got '", threads, "'");
+        exec::ThreadPool::setGlobalThreadCount(*n);
     }
 
     if (options.any())

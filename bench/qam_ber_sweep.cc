@@ -26,12 +26,19 @@ main(int argc, char **argv)
 
     bool csv = bench::csvOnly(argc, argv);
     std::uint64_t symbols = 200000;
+    auto parse_symbols = [](const std::string &text) {
+        std::optional<std::uint64_t> value = parseUnsigned(text);
+        if (!value || *value == 0)
+            MINDFUL_FATAL("--symbols requires a positive integer, "
+                          "got '", text, "'");
+        return *value;
+    };
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--symbols" && i + 1 < argc)
-            symbols = std::strtoull(argv[++i], nullptr, 10);
+            symbols = parse_symbols(argv[++i]);
         else if (arg.rfind("--symbols=", 0) == 0)
-            symbols = std::strtoull(arg.c_str() + 10, nullptr, 10);
+            symbols = parse_symbols(arg.substr(10));
     }
 
     Table table("Monte-Carlo BER vs Eb/N0 (" + std::to_string(symbols) +

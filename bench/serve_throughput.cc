@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Throughput/latency harness for the mindful_serve query engine.
+ *
+ * Builds a deterministic mixed batch of design-space queries (every
+ * workload class, SoCs 1-8, several channel counts and knob settings)
+ * and measures:
+ *
+ *  - batch throughput (queries/sec) via QueryEngine::evaluateBatch,
+ *    cold (empty memo cache) and warm (fully populated), across a
+ *    1/2/8-thread sweep;
+ *  - per-query latency percentiles (p50/p99/p99.9) from a
+ *    LogHistogram over individually timed evaluate() calls, again
+ *    cold and warm;
+ *  - cache hit/miss/drop counter deltas for both passes.
+ *
+ * Outputs:
+ *  - human-readable summary on stdout (default);
+ *  - `--json FILE`: manifest-stamped BENCH_serve.json (CI artifact);
+ *  - `--csv`: *deterministic values only* — the batch result digest
+ *    and per-workload feasible counts for a cold and a warm pass,
+ *    byte-identical for any --threads value and cache state
+ *    (the determinism-contract ctest diffs exactly this);
+ *  - `--quick`: CI smoke mode (smaller batch, no thread sweep);
+ *  - `--queries N`: batch size override (default 10000).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+#include "bench_util.hh"
+#include "obs/json.hh"
+#include "obs/manifest.hh"
+#include "serve/query_engine.hh"
+
+namespace {
+
+using namespace mindful;
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/**
+ * Deterministic mixed batch: round-robin over the wireless SoCs,
+ * all six workload classes, channel counts 1024..8192, and the
+ * node/partitioning/efficiency knobs. Many entries canonicalize onto
+ * the same memo key (as production request streams do), so a cold
+ * pass exercises both the evaluation and the intra-batch hit path.
+ */
+std::vector<serve::DesignQuery>
+buildBatch(std::size_t count)
+{
+    using serve::WorkloadClass;
+    static constexpr WorkloadClass kClasses[] = {
+        WorkloadClass::RawStreaming,   WorkloadClass::QamStreaming,
+        WorkloadClass::EventStreaming, WorkloadClass::DnnMlp,
+        WorkloadClass::DnnCnn,         WorkloadClass::Kalman,
+    };
+
+    std::vector<serve::DesignQuery> batch;
+    batch.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        serve::DesignQuery query;
+        query.socId = static_cast<int>(1 + i % 8);
+        query.workload = kClasses[(i / 8) % 6];
+        query.channels = 1024 * (1 + (i / 48) % 8);
+        query.node = (i % 96 < 48) ? serve::ProcessNode::Node45nm
+                                   : serve::ProcessNode::Node12nm;
+        query.partitioned = (i / 384) % 2 == 1;
+        query.qamEfficiency = (i / 768) % 2 == 1 ? 0.5 : 0.25;
+        query.commStrategy = (i / 1536) % 2 == 1
+                                 ? core::CommScalingStrategy::Naive
+                                 : core::CommScalingStrategy::HighMargin;
+        batch.push_back(query);
+    }
+    return batch;
+}
+
+/** Order-independent-free digest: FNV over the in-order digests. */
+std::uint64_t
+batchDigest(const std::vector<serve::QueryResult> &results)
+{
+    std::uint64_t hash = 1469598103934665603ull;
+    for (const serve::QueryResult &result : results) {
+        std::uint64_t digest = serve::resultDigest(result);
+        for (int byte = 0; byte < 8; ++byte) {
+            hash ^= (digest >> (byte * 8)) & 0xffu;
+            hash *= 1099511628211ull;
+        }
+    }
+    return hash;
+}
+
+struct PassStats
+{
+    double wallMs = 0.0;
+    double qps = 0.0;
+    std::uint64_t digest = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t feasible = 0;
+};
+
+PassStats
+runBatchPass(serve::QueryEngine &engine,
+             const std::vector<serve::DesignQuery> &batch)
+{
+    PassStats stats;
+    const std::uint64_t hits0 = engine.cacheHitsTotal();
+    const std::uint64_t misses0 = engine.cacheMissesTotal();
+    const double start = nowMs();
+    const std::vector<serve::QueryResult> results =
+        engine.evaluateBatch(batch);
+    stats.wallMs = nowMs() - start;
+    stats.qps = stats.wallMs > 0.0
+                    ? 1e3 * static_cast<double>(batch.size()) /
+                          stats.wallMs
+                    : 0.0;
+    stats.digest = batchDigest(results);
+    stats.hits = engine.cacheHitsTotal() - hits0;
+    stats.misses = engine.cacheMissesTotal() - misses0;
+    for (const serve::QueryResult &result : results)
+        stats.feasible += result.feasible ? 1 : 0;
+    return stats;
+}
+
+struct LatencyStats
+{
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+    double p999Us = 0.0;
+    double maxUs = 0.0;
+};
+
+LatencyStats
+runLatencyPass(serve::QueryEngine &engine,
+               const std::vector<serve::DesignQuery> &batch)
+{
+    // 0.01 us .. 10 s at ~4.6% relative error per bucket.
+    LogHistogram hist(0.01, 1e7, 480);
+    for (const serve::DesignQuery &query : batch) {
+        const double start = nowMs();
+        engine.evaluate(query);
+        hist.add((nowMs() - start) * 1e3);
+    }
+    LatencyStats stats;
+    stats.p50Us = hist.percentile(50.0);
+    stats.p99Us = hist.percentile(99.0);
+    stats.p999Us = hist.percentile(99.9);
+    stats.maxUs = hist.max();
+    return stats;
+}
+
+struct SweepPoint
+{
+    unsigned threads = 0;
+    PassStats cold;
+    PassStats warm;
+};
+
+void
+writeJson(const std::string &path, bool quick, std::size_t queries,
+          const PassStats &cold, const PassStats &warm,
+          const LatencyStats &lat_cold, const LatencyStats &lat_warm,
+          std::uint64_t drops, const std::vector<SweepPoint> &sweep)
+{
+    std::ofstream os(path);
+    if (!os)
+        MINDFUL_FATAL("cannot open JSON output ", path);
+    char buf[768];
+    os << "{\n  \"manifest\": ";
+    obs::RunManifest::current().writeJsonObject(os);
+    os << ",\n";
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"quick\": %s,\n"
+        "  \"threads\": %u,\n"
+        "  \"queries\": %zu,\n"
+        "  \"cache_drops\": %llu,\n"
+        "  \"cold\": {\"wall_ms\": %.3f, \"qps\": %.1f,"
+        " \"hits\": %llu, \"misses\": %llu, \"feasible\": %llu,"
+        " \"digest\": \"%016llx\"},\n"
+        "  \"warm\": {\"wall_ms\": %.3f, \"qps\": %.1f,"
+        " \"hits\": %llu, \"misses\": %llu, \"feasible\": %llu,"
+        " \"digest\": \"%016llx\"},\n"
+        "  \"latency_us\": {\n"
+        "    \"cold\": {\"p50\": %.3f, \"p99\": %.3f, \"p999\": %.3f,"
+        " \"max\": %.3f},\n"
+        "    \"warm\": {\"p50\": %.3f, \"p99\": %.3f, \"p999\": %.3f,"
+        " \"max\": %.3f}\n  },\n",
+        quick ? "true" : "false",
+        exec::ThreadPool::global().threadCount(), queries,
+        static_cast<unsigned long long>(drops), cold.wallMs, cold.qps,
+        static_cast<unsigned long long>(cold.hits),
+        static_cast<unsigned long long>(cold.misses),
+        static_cast<unsigned long long>(cold.feasible),
+        static_cast<unsigned long long>(cold.digest), warm.wallMs,
+        warm.qps, static_cast<unsigned long long>(warm.hits),
+        static_cast<unsigned long long>(warm.misses),
+        static_cast<unsigned long long>(warm.feasible),
+        static_cast<unsigned long long>(warm.digest), lat_cold.p50Us,
+        lat_cold.p99Us, lat_cold.p999Us, lat_cold.maxUs, lat_warm.p50Us,
+        lat_warm.p99Us, lat_warm.p999Us, lat_warm.maxUs);
+    os << buf;
+    os << "  \"thread_sweep\": [\n";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\"threads\": %u, \"cold_qps\": %.1f,"
+            " \"warm_qps\": %.1f, \"digest\": \"%016llx\"}%s\n",
+            sweep[i].threads, sweep[i].cold.qps, sweep[i].warm.qps,
+            static_cast<unsigned long long>(sweep[i].cold.digest),
+            i + 1 < sweep.size() ? "," : "");
+        os << buf;
+    }
+    os << "  ]\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bench::ObsGuard _obs(argc, argv);
+    bool csv = bench::csvOnly(argc, argv);
+    bool quick = false;
+    std::string json_path;
+    std::size_t queries = 10000;
+    auto parse_queries = [](const std::string &text) {
+        std::optional<std::uint64_t> value = parseUnsigned(text);
+        if (!value || *value == 0)
+            MINDFUL_FATAL("--queries requires a positive integer, "
+                          "got '", text, "'");
+        return static_cast<std::size_t>(*value);
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else if (arg == "--queries" && i + 1 < argc) {
+            queries = parse_queries(argv[++i]);
+        } else if (arg.rfind("--queries=", 0) == 0) {
+            queries = parse_queries(arg.substr(10));
+        }
+    }
+    if (quick && queries == 10000)
+        queries = 2000;
+
+    const std::vector<serve::DesignQuery> batch = buildBatch(queries);
+
+    // --- Batch passes: cold (empty cache), then warm (same engine) ---
+    serve::QueryEngine engine;
+    const PassStats cold = runBatchPass(engine, batch);
+    const PassStats warm = runBatchPass(engine, batch);
+    const std::uint64_t drops = engine.cacheDropsTotal();
+
+    if (csv) {
+        // Deterministic values only: byte-identical for any --threads
+        // and for any cache state (the warm row re-reads what the
+        // cold pass published; equal digests are the contract).
+        std::printf("pass,queries,feasible,digest\n");
+        std::printf("cold,%zu,%llu,%016llx\n", queries,
+                    static_cast<unsigned long long>(cold.feasible),
+                    static_cast<unsigned long long>(cold.digest));
+        std::printf("warm,%zu,%llu,%016llx\n", queries,
+                    static_cast<unsigned long long>(warm.feasible),
+                    static_cast<unsigned long long>(warm.digest));
+        return 0;
+    }
+
+    // --- Per-query latency distributions -----------------------------
+    serve::QueryEngine lat_engine;
+    const LatencyStats lat_cold = runLatencyPass(lat_engine, batch);
+    const LatencyStats lat_warm = runLatencyPass(lat_engine, batch);
+
+    // --- Thread-scaling sweep (fresh engine per point = cold cache) --
+    std::vector<SweepPoint> sweep;
+    if (!quick) {
+        const unsigned initial = exec::ThreadPool::global().threadCount();
+        for (unsigned threads : {1u, 2u, 8u}) {
+            exec::ThreadPool::setGlobalThreadCount(threads);
+            SweepPoint point;
+            point.threads = threads;
+            serve::QueryEngine sweep_engine;
+            point.cold = runBatchPass(sweep_engine, batch);
+            point.warm = runBatchPass(sweep_engine, batch);
+            sweep.push_back(point);
+        }
+        exec::ThreadPool::setGlobalThreadCount(initial);
+    }
+
+    std::printf("serve_throughput: %zu mixed queries, %u threads\n",
+                queries, exec::ThreadPool::global().threadCount());
+    std::printf("%-6s %10s %12s %10s %10s %10s\n", "pass", "wall_ms",
+                "qps", "hits", "misses", "feasible");
+    std::printf("%-6s %10.2f %12.0f %10llu %10llu %10llu\n", "cold",
+                cold.wallMs, cold.qps,
+                static_cast<unsigned long long>(cold.hits),
+                static_cast<unsigned long long>(cold.misses),
+                static_cast<unsigned long long>(cold.feasible));
+    std::printf("%-6s %10.2f %12.0f %10llu %10llu %10llu\n", "warm",
+                warm.wallMs, warm.qps,
+                static_cast<unsigned long long>(warm.hits),
+                static_cast<unsigned long long>(warm.misses),
+                static_cast<unsigned long long>(warm.feasible));
+    std::printf("latency cold: p50 %.2f us, p99 %.2f us, "
+                "p99.9 %.2f us, max %.2f us\n",
+                lat_cold.p50Us, lat_cold.p99Us, lat_cold.p999Us,
+                lat_cold.maxUs);
+    std::printf("latency warm: p50 %.2f us, p99 %.2f us, "
+                "p99.9 %.2f us, max %.2f us\n",
+                lat_warm.p50Us, lat_warm.p99Us, lat_warm.p999Us,
+                lat_warm.maxUs);
+    for (const SweepPoint &point : sweep)
+        std::printf("sweep t=%u: cold %.0f qps, warm %.0f qps\n",
+                    point.threads, point.cold.qps, point.warm.qps);
+    if (cold.digest != warm.digest)
+        MINDFUL_FATAL("cache hit returned different bytes: cold ",
+                      cold.digest, " vs warm ", warm.digest);
+    for (const SweepPoint &point : sweep) {
+        if (point.cold.digest != cold.digest ||
+            point.warm.digest != cold.digest)
+            MINDFUL_FATAL("thread sweep broke determinism at t=",
+                          point.threads);
+    }
+
+    if (!json_path.empty()) {
+        writeJson(json_path, quick, queries, cold, warm, lat_cold,
+                  lat_warm, drops, sweep);
+        MINDFUL_INFORM("wrote ", json_path);
+    }
+    return 0;
+}

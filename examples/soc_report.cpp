@@ -15,28 +15,13 @@
  * Try it with the shipped sample: soc_report configs/custom_socs.cfg
  */
 
-#include <cctype>
 #include <iostream>
 #include <string>
 
+#include "base/parse.hh"
 #include "core/catalog_io.hh"
 #include "core/report.hh"
 #include "core/soc_catalog.hh"
-
-namespace {
-
-bool
-isInteger(const std::string &text)
-{
-    if (text.empty())
-        return false;
-    for (char ch : text)
-        if (!std::isdigit(static_cast<unsigned char>(ch)))
-            return false;
-    return true;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -44,10 +29,13 @@ main(int argc, char **argv)
     using namespace mindful::core;
 
     std::vector<SocDesign> designs;
+    std::optional<std::uint64_t> id;
+    if (argc >= 2)
+        id = mindful::parseUnsigned(argv[1]);
     if (argc < 2) {
         designs = socCatalog();
-    } else if (isInteger(argv[1])) {
-        designs.push_back(socById(std::stoi(argv[1])));
+    } else if (id) {
+        designs.push_back(socById(static_cast<int>(*id)));
     } else {
         designs = loadCatalog(argv[1]);
         std::cout << "Loaded " << designs.size() << " design(s) from "

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Locale-independent, non-throwing numeric parsing.
+ *
+ * Every user-facing input edge of the framework — catalog files,
+ * bench/CLI flags, environment variables — parses numbers through
+ * these helpers instead of `std::stod`/`std::stoul`. The std::sto*
+ * family is interpreted in the process's C locale (a `de_DE`-style
+ * locale stops consuming "3.14" at the decimal point) and throws on
+ * malformed input; `std::strtoul` silently accepts trailing junk and
+ * wraps negative input to huge values. These wrappers are built on
+ * `std::from_chars`, which is defined to use the "C" locale grammar
+ * regardless of the process locale, and they enforce strict
+ * full-consume semantics: the entire input must be one number, or the
+ * parse fails (returns std::nullopt, never throws).
+ */
+
+#ifndef MINDFUL_BASE_PARSE_HH
+#define MINDFUL_BASE_PARSE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace mindful {
+
+/**
+ * Parse a finite decimal floating-point number ("C"-locale grammar,
+ * scientific notation allowed). A leading '+' is accepted for
+ * compatibility with the historical std::stod-based parser; "inf",
+ * "nan" and partially-consumed input are rejected.
+ */
+std::optional<double> parseDouble(std::string_view text);
+
+/**
+ * Parse a non-negative decimal integer exactly (no rounding through
+ * double, so values above 2^53 survive bit-for-bit). Rejects signs
+ * other than a leading '+', scientific notation, and trailing junk.
+ */
+std::optional<std::uint64_t> parseUnsigned(std::string_view text);
+
+/** Widest thread count any knob accepts (0 means "automatic"). */
+inline constexpr unsigned kMaxThreadCount = 4096;
+
+/**
+ * Parse a thread-count knob (`--threads`, `MINDFUL_THREADS`): a
+ * non-negative integer with 0 meaning "use hardware concurrency".
+ * Rejects negatives (no silent wraparound), trailing junk, and
+ * counts above kMaxThreadCount.
+ */
+std::optional<unsigned> parseThreadCount(std::string_view text);
+
+} // namespace mindful
+
+#endif // MINDFUL_BASE_PARSE_HH

@@ -2,10 +2,12 @@
 
 #include <fstream>
 #include <istream>
+#include <locale>
 #include <ostream>
 #include <sstream>
 
 #include "base/logging.hh"
+#include "base/parse.hh"
 
 namespace mindful::core {
 
@@ -25,27 +27,26 @@ trim(const std::string &text)
 double
 parseDouble(const std::string &value, int line)
 {
-    try {
-        std::size_t consumed = 0;
-        double parsed = std::stod(value, &consumed);
-        if (consumed != value.size())
-            throw std::invalid_argument("trailing characters");
-        return parsed;
-    } catch (const std::exception &) {
+    // std::from_chars under the hood: the same catalog file parses
+    // identically in every process locale, and malformed values fail
+    // here with the line number instead of throwing from std::stod.
+    std::optional<double> parsed = mindful::parseDouble(value);
+    if (!parsed)
         MINDFUL_FATAL("catalog line ", line, ": '", value,
                       "' is not a number");
-    }
+    return *parsed;
 }
 
 std::uint64_t
 parseUnsigned(const std::string &value, int line)
 {
-    double parsed = parseDouble(value, line);
-    if (parsed < 0.0 || parsed != static_cast<double>(
-                                      static_cast<std::uint64_t>(parsed)))
+    // Integers parse directly as std::uint64_t — never through
+    // double, which silently rounds values above 2^53.
+    std::optional<std::uint64_t> parsed = mindful::parseUnsigned(value);
+    if (!parsed)
         MINDFUL_FATAL("catalog line ", line, ": '", value,
                       "' is not a non-negative integer");
-    return static_cast<std::uint64_t>(parsed);
+    return *parsed;
 }
 
 bool
@@ -223,6 +224,11 @@ loadCatalog(const std::string &path)
 void
 writeCatalog(std::ostream &output, const std::vector<SocDesign> &designs)
 {
+    // Streams format numbers in the locale they were constructed
+    // under; pin the classic ("C") locale for the write so a catalog
+    // emitted under a de_DE-style global locale still reads back
+    // ("3.14", never "3,14"), then restore the caller's locale.
+    const std::locale saved = output.imbue(std::locale::classic());
     for (const auto &soc : designs) {
         output << "[soc]\n";
         output << "id = " << soc.id << '\n';
@@ -264,6 +270,7 @@ writeCatalog(std::ostream &output, const std::vector<SocDesign> &designs)
         output << "comm_share = " << soc.commShareOfNonSensing << '\n';
         output << '\n';
     }
+    output.imbue(saved);
 }
 
 std::string

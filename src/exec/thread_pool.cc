@@ -6,6 +6,7 @@
 
 #include "base/compiler.hh"
 #include "base/logging.hh"
+#include "base/parse.hh"
 #include "obs/collector.hh"
 #include "obs/handles.hh"
 #include "obs/manifest.hh"
@@ -54,10 +55,14 @@ resolveThreadCount(unsigned requested)
     if (requested > 0)
         return requested;
     if (const char *env = std::getenv("MINDFUL_THREADS")) {
-        long value = std::strtol(env, nullptr, 10);
-        if (value >= 1)
-            return static_cast<unsigned>(value);
-        MINDFUL_WARN_ONCE("ignoring invalid MINDFUL_THREADS=", env);
+        // Strict parse (base/parse.hh): "8abc" and "-1" are invalid
+        // rather than 8 threads or a wrapped-around huge count.
+        std::optional<unsigned> value = parseThreadCount(env);
+        if (value && *value >= 1)
+            return *value;
+        MINDFUL_WARN_ONCE("ignoring invalid MINDFUL_THREADS=", env,
+                          " (want an integer in [1, ", kMaxThreadCount,
+                          "])");
     }
     unsigned hardware = std::thread::hardware_concurrency();
     return hardware > 0 ? hardware : 1;

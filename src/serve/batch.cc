@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Batched query evaluation under the determinism contract
+ * (docs/parallelism.md): requests shard over exec::parallelFor with
+ * the fixed kDefaultShards decomposition, every request writes its
+ * own results slot, and results are therefore bit-identical for any
+ * --threads value. They are also bit-identical for any *cache* state:
+ * a hit returns the atomically published first evaluation, and the
+ * analytic paths are deterministic, so re-evaluating produces the
+ * same bytes the cache would have returned.
+ *
+ * The shard body's probe path — canonicalize, queryKey, MemoCache
+ * probe, CounterHandle::bump — is allocation- and lock-free and is
+ * certified by mindful-analyze's hot-path check. Only a miss drops
+ * into the (allocating) analytic evaluation.
+ */
+
+#include "exec/parallel.hh"
+#include "serve/query_engine.hh"
+
+namespace mindful::serve {
+
+std::vector<QueryResult>
+QueryEngine::evaluateBatch(const std::vector<DesignQuery> &requests)
+{
+    std::vector<QueryResult> results(requests.size());
+    if (requests.empty())
+        return results;
+
+    exec::parallelFor(
+        exec::kDefaultShards,
+        [&](std::size_t shard) {
+            const exec::ShardRange range = exec::shardRange(
+                requests.size(), exec::kDefaultShards, shard);
+            for (std::uint64_t i = range.begin; i < range.end; ++i) {
+                const DesignQuery canonical =
+                    canonicalize(requests[i]);
+                const std::uint64_t key = queryKey(canonical);
+                _queries.bump();
+                const QueryResult *hit = _cache.probe(key);
+                if (hit != nullptr) {
+                    _hits.bump();
+                    results[i] = *hit;
+                } else {
+                    results[i] = evaluate(canonical, key);
+                }
+            }
+        },
+        "serve.batch_shard");
+    return results;
+}
+
+} // namespace mindful::serve

@@ -1,0 +1,71 @@
+#include "serve/cache.hh"
+
+#include "base/logging.hh"
+
+namespace mindful::serve {
+
+namespace {
+
+std::size_t
+roundUpPowerOfTwo(std::size_t value)
+{
+    std::size_t rounded = 1;
+    while (rounded < value)
+        rounded <<= 1;
+    return rounded;
+}
+
+} // namespace
+
+MemoCache::MemoCache(std::size_t capacity)
+{
+    const std::size_t slots =
+        roundUpPowerOfTwo(capacity < kProbeWindow ? kProbeWindow
+                                                  : capacity);
+    _mask = slots - 1;
+    _slots = std::make_unique<std::atomic<const Entry *>[]>(slots);
+    for (std::size_t i = 0; i < slots; ++i)
+        _slots[i].store(nullptr, std::memory_order_relaxed);
+}
+
+MemoCache::~MemoCache()
+{
+    for (std::size_t i = 0; i <= _mask; ++i)
+        delete _slots[i].load(std::memory_order_relaxed);
+}
+
+const QueryResult *
+MemoCache::publish(std::uint64_t key, const QueryResult &result)
+{
+    Entry *fresh = new Entry{key, result};
+    for (std::size_t i = 0; i < kProbeWindow; ++i) {
+        const std::size_t slot = (key + i) & _mask;
+        const Entry *expected = nullptr;
+        if (_slots[slot].compare_exchange_strong(
+                expected, fresh, std::memory_order_release,
+                std::memory_order_acquire)) {
+            return &fresh->result;
+        }
+        // Slot taken: if by our key, another thread finished the
+        // same evaluation first — adopt its (bit-identical) entry.
+        if (expected->key == key) {
+            delete fresh;
+            return &expected->result;
+        }
+    }
+    delete fresh;
+    return nullptr; // window full; not cached
+}
+
+std::size_t
+MemoCache::size() const
+{
+    std::size_t filled = 0;
+    for (std::size_t i = 0; i <= _mask; ++i) {
+        if (_slots[i].load(std::memory_order_relaxed) != nullptr)
+            ++filled;
+    }
+    return filled;
+}
+
+} // namespace mindful::serve

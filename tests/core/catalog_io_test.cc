@@ -4,6 +4,9 @@
  * error reporting.
  */
 
+#include <clocale>
+#include <locale>
+
 #include <gtest/gtest.h>
 
 #include "core/catalog_io.hh"
@@ -115,6 +118,77 @@ TEST(CatalogIoTest, CommentsAndBlankLinesIgnored)
         "channels = 4\narea_mm2 = 1\npower_mw = 1\nsampling_khz = 1\n\n");
     ASSERT_EQ(designs.size(), 1u);
     EXPECT_EQ(designs[0].name, "X");
+}
+
+/** A de_DE-style numpunct: ',' decimal point, '.' grouping. */
+struct CommaDecimalPunct : std::numpunct<char>
+{
+    char do_decimal_point() const override { return ','; }
+    char do_thousands_sep() const override { return '.'; }
+    std::string do_grouping() const override { return "\3"; }
+};
+
+TEST(CatalogIoTest, RoundTripsUnderHostileGlobalLocale)
+{
+    // Force both locale mechanisms a parser or serializer could
+    // accidentally depend on: the global C++ locale (which every
+    // std::ostream imbues at construction) gets a comma-decimal
+    // facet, and the C locale is switched best-effort (containers
+    // usually only ship "C", so setlocale may be a no-op — the
+    // facet is the part that is always installed).
+    const std::locale saved_cpp = std::locale::global(
+        std::locale(std::locale::classic(), new CommaDecimalPunct));
+    const char *previous = std::setlocale(LC_ALL, nullptr);
+    const std::string saved_c = previous ? previous : "C";
+    std::setlocale(LC_ALL, "de_DE.UTF-8");
+
+    // Parsing: '.' stays the decimal point, ',' stays an error.
+    auto designs = parseCatalogString(
+        "[soc]\nid = 7\nname = Punct\nchannels = 2048\n"
+        "area_mm2 = 400.5\npower_mw = 30.25\nsampling_khz = 10\n");
+    ASSERT_EQ(designs.size(), 1u);
+    EXPECT_DOUBLE_EQ(designs[0].reportedArea.inSquareMillimetres(),
+                     400.5);
+    EXPECT_DOUBLE_EQ(designs[0].reportedPower.inMilliwatts(), 30.25);
+
+    // Serializing: the writer pins the classic locale, so the
+    // emitted text must reparse to the same catalog ("30.25",
+    // never "30,25" or "2.048" channels).
+    auto reparsed = parseCatalogString(writeCatalogString(designs));
+    ASSERT_EQ(reparsed.size(), 1u);
+    EXPECT_EQ(reparsed[0].reportedChannels, 2048u);
+    EXPECT_NEAR(reparsed[0].reportedPower.inMilliwatts(), 30.25, 1e-9);
+
+    std::setlocale(LC_ALL, saved_c.c_str());
+    std::locale::global(saved_cpp);
+}
+
+TEST(CatalogIoTest, ParsesHugeChannelCountsExactly)
+{
+    // 2^53 + 1 is exact in uint64 but rounds to 2^53 through any
+    // double-mediated integer parse.
+    auto designs = parseCatalogString(
+        "[soc]\nid = 8\nname = Dense\nchannels = 9007199254740993\n"
+        "area_mm2 = 400\npower_mw = 30\nsampling_khz = 10\n");
+    ASSERT_EQ(designs.size(), 1u);
+    EXPECT_EQ(designs[0].reportedChannels, 9007199254740993ull);
+
+    auto reparsed = parseCatalogString(writeCatalogString(designs));
+    ASSERT_EQ(reparsed.size(), 1u);
+    EXPECT_EQ(reparsed[0].reportedChannels, 9007199254740993ull);
+}
+
+TEST(CatalogIoDeathTest, TrailingJunkIsFatal)
+{
+    // std::stod would have silently accepted "12.5mm2" as 12.5.
+    EXPECT_EXIT(parseCatalogString("[soc]\narea_mm2 = 12.5mm2\n"),
+                ::testing::ExitedWithCode(1), "not a number");
+}
+
+TEST(CatalogIoDeathTest, NonFiniteNumberIsFatal)
+{
+    EXPECT_EXIT(parseCatalogString("[soc]\npower_mw = inf\n"),
+                ::testing::ExitedWithCode(1), "not a number");
 }
 
 TEST(CatalogIoDeathTest, UnknownKeyIsFatal)

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * MemoCache tests: atomic publication semantics, first-writer-wins
+ * races, bounded probe windows, and bit-identical reads.
+ */
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/cache.hh"
+
+namespace mindful::serve {
+namespace {
+
+QueryResult
+makeResult(int soc, double total_mw)
+{
+    QueryResult result;
+    result.status = QueryStatus::Ok;
+    result.socId = soc;
+    result.channels = 1024;
+    result.totalPowerMw = total_mw;
+    return result;
+}
+
+TEST(MemoCacheTest, ProbeMissesOnEmptyCache)
+{
+    MemoCache cache(64);
+    EXPECT_EQ(cache.probe(12345), nullptr);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(MemoCacheTest, PublishedEntryReadsBackBitIdentical)
+{
+    MemoCache cache(64);
+    const QueryResult original = makeResult(3, 57.6);
+    const QueryResult *published = cache.publish(777, original);
+    ASSERT_NE(published, nullptr);
+
+    const QueryResult *hit = cache.probe(777);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit, published);
+    EXPECT_EQ(std::memcmp(hit, &original, sizeof(QueryResult)), 0);
+    EXPECT_EQ(resultDigest(*hit), resultDigest(original));
+}
+
+TEST(MemoCacheTest, FirstWriterWins)
+{
+    MemoCache cache(64);
+    const QueryResult first = makeResult(1, 10.0);
+    const QueryResult second = makeResult(1, 99.0);
+    cache.publish(42, first);
+    const QueryResult *kept = cache.publish(42, second);
+    ASSERT_NE(kept, nullptr);
+    // The losing publish adopts the winner's entry; readers never
+    // observe the duplicate.
+    EXPECT_DOUBLE_EQ(kept->totalPowerMw, 10.0);
+    EXPECT_DOUBLE_EQ(cache.probe(42)->totalPowerMw, 10.0);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(MemoCacheTest, DistinctKeysCoexist)
+{
+    MemoCache cache(256);
+    for (std::uint64_t key = 1; key <= 100; ++key)
+        cache.publish(key * 0x9e3779b97f4a7c15ull, makeResult(
+            static_cast<int>(key), static_cast<double>(key)));
+    for (std::uint64_t key = 1; key <= 100; ++key) {
+        const QueryResult *hit =
+            cache.probe(key * 0x9e3779b97f4a7c15ull);
+        ASSERT_NE(hit, nullptr);
+        EXPECT_DOUBLE_EQ(hit->totalPowerMw, static_cast<double>(key));
+    }
+}
+
+TEST(MemoCacheTest, FullProbeWindowDropsInsteadOfEvicting)
+{
+    // Minimum capacity equals one probe window, so keys landing on
+    // the same home slot exhaust it after kProbeWindow inserts.
+    MemoCache cache(MemoCache::kProbeWindow);
+    ASSERT_EQ(cache.capacity(), MemoCache::kProbeWindow);
+    const std::uint64_t stride = cache.capacity();
+    for (std::uint64_t i = 0; i < MemoCache::kProbeWindow; ++i) {
+        EXPECT_NE(cache.publish(i * stride,
+                                makeResult(static_cast<int>(i), 1.0)),
+                  nullptr);
+    }
+    // Window full: the next publish is dropped, nothing is evicted.
+    EXPECT_EQ(cache.publish(MemoCache::kProbeWindow * stride,
+                            makeResult(99, 99.0)),
+              nullptr);
+    for (std::uint64_t i = 0; i < MemoCache::kProbeWindow; ++i)
+        EXPECT_NE(cache.probe(i * stride), nullptr);
+    EXPECT_EQ(cache.probe(MemoCache::kProbeWindow * stride), nullptr);
+}
+
+TEST(MemoCacheTest, ConcurrentSameKeyPublishersConverge)
+{
+    MemoCache cache(1024);
+    constexpr int kThreads = 8;
+    std::vector<const QueryResult *> seen(kThreads, nullptr);
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(kThreads);
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&cache, &seen, t] {
+                // Every thread computes the same (deterministic)
+                // result, as the engine's miss path does.
+                seen[t] = cache.publish(555, makeResult(5, 21.5));
+            });
+        }
+        for (auto &thread : threads)
+            thread.join();
+    }
+    // All publishers converged on one winning entry.
+    for (int t = 0; t < kThreads; ++t) {
+        ASSERT_NE(seen[t], nullptr);
+        EXPECT_EQ(seen[t], seen[0]);
+    }
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.probe(555), seen[0]);
+}
+
+TEST(MemoCacheTest, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(MemoCache(1000).capacity(), 1024u);
+    EXPECT_EQ(MemoCache(1).capacity(), MemoCache::kProbeWindow);
+}
+
+} // namespace
+} // namespace mindful::serve

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "analyze.hh"
+#include "base/parse.hh"
 
 namespace {
 
@@ -44,15 +45,14 @@ main(int argc, char **argv)
         } else if (arg == "--cache-dir" && i + 1 < argc) {
             options.cacheDir = argv[++i];
         } else if (arg == "--threads" && i + 1 < argc) {
-            char *end = nullptr;
-            unsigned long value = std::strtoul(argv[++i], &end, 10);
-            if (end == nullptr || *end != '\0' || value == 0 ||
-                value > 256) {
+            std::optional<unsigned> value =
+                mindful::parseThreadCount(argv[++i]);
+            if (!value || *value == 0 || *value > 256) {
                 std::cerr << "mindful-analyze: --threads expects a "
                              "count in [1, 256]\n";
                 return 2;
             }
-            options.threads = static_cast<unsigned>(value);
+            options.threads = *value;
         } else if (arg == "--no-semantic") {
             options.semantic = false;
         } else if (arg == "--help" || arg == "-h") {
