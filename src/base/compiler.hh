@@ -74,6 +74,35 @@
 #define MINDFUL_NO_THREAD_SAFETY_ANALYSIS \
     MINDFUL_TSA(no_thread_safety_analysis)
 
+/**
+ * Declared publication protocol of a std::atomic field, checked by
+ * mindful-analyze's atomics-discipline pass (docs/static_analysis.md).
+ * Place directly before the declaration (or before the parameter, for
+ * helpers that operate on a caller's cell):
+ *
+ *   MINDFUL_ATOMIC_ROLE(spsc_head)
+ *   alignas(64) std::atomic<std::size_t> _head{0};
+ *
+ * Roles and the per-operation rules they switch on:
+ *  - publish_ptr:  release (or CAS-release) stores paired with acquire
+ *                  loads; a relaxed load may be null-checked but never
+ *                  dereferenced.
+ *  - spsc_head /   single-writer ring indices: one producer site, plain
+ *    spsc_tail:    release stores, consumer loads acquire.
+ *  - stat_counter: relaxed everywhere; the value is telemetry and must
+ *                  not steer control flow.
+ *  - once_flag:    latched gates/config cells; relaxed or
+ *                  acquire/release as the handoff requires.
+ *  - seqlock:      reserved for the streaming pipeline's sequence
+ *                  counters (acquire loads, release stores).
+ *
+ * The macro expands to nothing — it is a marker for the analyzer's
+ * lexer, which also flags unannotated atomics, memory_order_consume,
+ * and orderings a role forbids. Escapes use `analyze: atomic-ok`
+ * comments, policed like every other suppression.
+ */
+#define MINDFUL_ATOMIC_ROLE(role)
+
 namespace mindful {
 
 /**

@@ -13,7 +13,9 @@ namespace mindful {
 
 namespace {
 
+MINDFUL_ATOMIC_ROLE(once_flag)
 std::atomic<LogLevel> globalLevel{LogLevel::Info};
+MINDFUL_ATOMIC_ROLE(once_flag)
 std::atomic<bool> elapsedPrefix{false};
 
 /**

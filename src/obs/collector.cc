@@ -11,7 +11,9 @@ namespace mindful::obs {
 
 namespace detail {
 
+MINDFUL_ATOMIC_ROLE(once_flag)
 std::atomic<bool> g_collectorStreaming{false};
+MINDFUL_ATOMIC_ROLE(stat_counter)
 std::atomic<std::uint64_t> g_unregisteredDrops{0};
 thread_local TraceRing *t_traceRing = nullptr;
 

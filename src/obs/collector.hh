@@ -56,9 +56,11 @@ namespace detail {
 
 /** True while the global collector streams; every HotSpan gates on
  * one relaxed load of this before touching anything else. */
+MINDFUL_ATOMIC_ROLE(once_flag)
 extern std::atomic<bool> g_collectorStreaming;
 
 /** HotSpans constructed while streaming on a thread with no ring. */
+MINDFUL_ATOMIC_ROLE(stat_counter)
 extern std::atomic<std::uint64_t> g_unregisteredDrops;
 
 /** The calling thread's ring; null until registerCurrentThread(). */
@@ -185,8 +187,11 @@ class TraceCollector
     // start()/stop() are control-plane calls from one thread; the
     // drain thread itself only reads the atomics below.
     std::thread _drain;
+    MINDFUL_ATOMIC_ROLE(once_flag)
     std::atomic<bool> _stopRequested{false};
+    MINDFUL_ATOMIC_ROLE(once_flag)
     std::atomic<bool> _paused{false};
+    MINDFUL_ATOMIC_ROLE(stat_counter)
     std::atomic<std::uint64_t> _emitted{0};
 };
 

@@ -60,6 +60,7 @@ hotStripeIndex()
 /** One cache line per stripe: concurrent bumps never false-share. */
 struct alignas(64) HotCell
 {
+    MINDFUL_ATOMIC_ROLE(stat_counter)
     std::atomic<std::uint64_t> value{0};
 };
 
@@ -81,18 +82,26 @@ struct HistogramCells
     double logLo = 0.0;
     double invLogRatio = 0.0;
     std::size_t bins = 0;
+    MINDFUL_ATOMIC_ROLE(stat_counter)
     std::unique_ptr<std::atomic<std::uint64_t>[]> counts;
+    MINDFUL_ATOMIC_ROLE(stat_counter)
     std::atomic<std::uint64_t> total{0};
+    MINDFUL_ATOMIC_ROLE(stat_counter)
     std::atomic<std::uint64_t> underflow{0};
+    MINDFUL_ATOMIC_ROLE(stat_counter)
     std::atomic<std::uint64_t> overflow{0};
+    MINDFUL_ATOMIC_ROLE(stat_counter)
     std::atomic<double> sum{0.0};
+    MINDFUL_ATOMIC_ROLE(stat_counter)
     std::atomic<double> minSeen{std::numeric_limits<double>::infinity()};
+    MINDFUL_ATOMIC_ROLE(stat_counter)
     std::atomic<double> maxSeen{-std::numeric_limits<double>::infinity()};
 };
 
 /** Relaxed CAS add; std::atomic<double> has no portable fetch_add. */
 inline void
-atomicAddDouble(std::atomic<double> &cell, double delta)
+atomicAddDouble(MINDFUL_ATOMIC_ROLE(stat_counter)
+                std::atomic<double> &cell, double delta)
 {
     double seen = cell.load(std::memory_order_relaxed);
     while (!cell.compare_exchange_weak(seen, seen + delta,
@@ -101,7 +110,8 @@ atomicAddDouble(std::atomic<double> &cell, double delta)
 }
 
 inline void
-atomicMinDouble(std::atomic<double> &cell, double candidate)
+atomicMinDouble(MINDFUL_ATOMIC_ROLE(stat_counter)
+                std::atomic<double> &cell, double candidate)
 {
     double seen = cell.load(std::memory_order_relaxed);
     while (candidate < seen &&
@@ -111,7 +121,8 @@ atomicMinDouble(std::atomic<double> &cell, double candidate)
 }
 
 inline void
-atomicMaxDouble(std::atomic<double> &cell, double candidate)
+atomicMaxDouble(MINDFUL_ATOMIC_ROLE(stat_counter)
+                std::atomic<double> &cell, double candidate)
 {
     double seen = cell.load(std::memory_order_relaxed);
     while (candidate > seen &&

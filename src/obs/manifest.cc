@@ -3,6 +3,7 @@
 #include <atomic>
 #include <ostream>
 
+#include "base/compiler.hh"
 #include "obs/json.hh"
 
 // Configure-time provenance (src/obs/CMakeLists.txt). The fallbacks
@@ -19,7 +20,9 @@ namespace mindful::obs {
 
 namespace {
 
+MINDFUL_ATOMIC_ROLE(once_flag)
 std::atomic<std::uint64_t> g_configHash{0};
+MINDFUL_ATOMIC_ROLE(once_flag)
 std::atomic<unsigned> g_threadCount{0};
 
 std::string

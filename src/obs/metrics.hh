@@ -58,6 +58,7 @@ class Counter
     }
 
   private:
+    MINDFUL_ATOMIC_ROLE(stat_counter)
     std::atomic<std::uint64_t> _value{0};
 };
 
@@ -69,7 +70,9 @@ class Gauge
     set(double v)
     {
         _value.store(v, std::memory_order_relaxed);
-        _set.store(true, std::memory_order_relaxed);
+        // Release pairs with isSet()'s acquire: a reader that observes
+        // the flag also observes the value stored above.
+        _set.store(true, std::memory_order_release);
     }
 
     double
@@ -82,11 +85,13 @@ class Gauge
     bool
     isSet() const
     {
-        return _set.load(std::memory_order_relaxed);
+        return _set.load(std::memory_order_acquire);
     }
 
   private:
+    MINDFUL_ATOMIC_ROLE(stat_counter)
     std::atomic<double> _value{0.0};
+    MINDFUL_ATOMIC_ROLE(once_flag)
     std::atomic<bool> _set{false};
 };
 
@@ -226,6 +231,7 @@ class MetricRegistry
         std::unique_ptr<HistogramMetric> histogram;
     };
 
+    MINDFUL_ATOMIC_ROLE(once_flag)
     std::atomic<bool> _enabled{true};
     mutable Mutex _mutex;
     std::map<std::string, Entry> _entries MINDFUL_GUARDED_BY(_mutex);

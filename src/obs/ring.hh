@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/compiler.hh"
 #include "obs/event.hh"
 
 namespace mindful::obs {
@@ -90,8 +91,11 @@ class TraceRing
   private:
     // Head and tail live on their own cache lines so the producer's
     // publishing store never false-shares with the consumer's cursor.
+    MINDFUL_ATOMIC_ROLE(spsc_head)
     alignas(64) std::atomic<std::size_t> _head{0};
+    MINDFUL_ATOMIC_ROLE(spsc_tail)
     alignas(64) std::atomic<std::size_t> _tail{0};
+    MINDFUL_ATOMIC_ROLE(stat_counter)
     alignas(64) std::atomic<std::uint64_t> _dropped{0};
     std::size_t _mask = 0;
     std::uint32_t _threadId = 0;

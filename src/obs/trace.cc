@@ -98,6 +98,7 @@ TraceSession::nowNanos() const
 std::uint32_t
 TraceSession::currentThreadId()
 {
+    MINDFUL_ATOMIC_ROLE(stat_counter)
     static std::atomic<std::uint32_t> next{0};
     thread_local const std::uint32_t id =
         next.fetch_add(1, std::memory_order_relaxed);

@@ -92,6 +92,7 @@ class TraceSession
     void writeJson(std::ostream &os) const;
 
   private:
+    MINDFUL_ATOMIC_ROLE(once_flag)
     std::atomic<bool> _enabled{false};
     mutable Mutex _mutex;
     std::vector<TraceEvent> _events MINDFUL_GUARDED_BY(_mutex);

@@ -25,12 +25,14 @@ MemoCache::MemoCache(std::size_t capacity)
     _mask = slots - 1;
     _slots = std::make_unique<std::atomic<const Entry *>[]>(slots);
     for (std::size_t i = 0; i < slots; ++i)
+        // analyze: atomic-ok(ctor runs before any reader can exist)
         _slots[i].store(nullptr, std::memory_order_relaxed);
 }
 
 MemoCache::~MemoCache()
 {
     for (std::size_t i = 0; i <= _mask; ++i)
+        // analyze: atomic-ok(dtor is single-threaded by contract)
         delete _slots[i].load(std::memory_order_relaxed);
 }
 

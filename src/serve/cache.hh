@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "base/compiler.hh"
 #include "serve/query.hh"
 
 namespace mindful::serve {
@@ -90,6 +91,7 @@ class MemoCache
         QueryResult result;
     };
 
+    MINDFUL_ATOMIC_ROLE(publish_ptr)
     std::unique_ptr<std::atomic<const Entry *>[]> _slots;
     std::size_t _mask = 0;
 };

@@ -15,6 +15,7 @@
 #include <sstream>
 
 #include "analyze.hh"
+#include "cache.hh"
 
 namespace fs = std::filesystem;
 using namespace mindful::lint;
@@ -551,4 +552,502 @@ TEST_F(AnalyzeRunTest, FindingsAreSortedByFileLineCheck)
     std::string output;
     EXPECT_EQ(run(options, output), 1);
     EXPECT_LT(output.find("thermal/a.hh"), output.find("thermal/b.hh"));
+}
+
+// --- atomics-discipline ---------------------------------------------------
+
+namespace {
+
+/** Count findings of one check kind. */
+std::size_t
+countCheck(const std::vector<Finding> &findings, const std::string &check)
+{
+    std::size_t n = 0;
+    for (const Finding &finding : findings)
+        if (finding.check == check)
+            ++n;
+    return n;
+}
+
+} // namespace
+
+TEST(AnalyzeAtomics, UnannotatedFieldIsAFindingAndAnnotatedIsNot)
+{
+    auto findings = analyze({{"obs/fixture.hh", R"fix(
+        struct Cells {
+            std::atomic<int> naked{0};
+            MINDFUL_ATOMIC_ROLE(stat_counter)
+            std::atomic<int> counted{0};
+        };
+    )fix"}});
+    ASSERT_EQ(countCheck(findings, "atomics-discipline"), 1u);
+    EXPECT_TRUE(hasFinding(findings, "atomics-discipline",
+                           "'naked' declares no publication protocol"));
+}
+
+TEST(AnalyzeAtomics, DanglingAndUnknownRolesAreFindings)
+{
+    auto findings = analyze({{"obs/fixture.hh", R"fix(
+        MINDFUL_ATOMIC_ROLE(publish_ptr)
+        struct NotAnAtomic {};
+        struct Cells {
+            MINDFUL_ATOMIC_ROLE(latch)
+            std::atomic<int> gate{0};
+        };
+    )fix"}});
+    EXPECT_TRUE(hasFinding(findings, "atomics-discipline",
+                           "attaches to no std::atomic declaration"));
+    EXPECT_TRUE(hasFinding(findings, "atomics-discipline",
+                           "unknown atomic role 'latch'"));
+}
+
+TEST(AnalyzeAtomics, ConflictingRolesAcrossTUsAreAFinding)
+{
+    auto findings = analyze({{"obs/a.hh", R"fix(
+        struct A {
+            MINDFUL_ATOMIC_ROLE(stat_counter)
+            std::atomic<int> _shared{0};
+        };
+    )fix"},
+                             {"serve/b.hh", R"fix(
+        struct B {
+            MINDFUL_ATOMIC_ROLE(once_flag)
+            std::atomic<int> _shared{0};
+        };
+    )fix"}});
+    EXPECT_TRUE(hasFinding(findings, "atomics-discipline",
+                           "conflicting role 'once_flag'"));
+}
+
+TEST(AnalyzeAtomics, PublishPtrProtocolViolations)
+{
+    auto findings = analyze({{"serve/fixture.hh", R"fix(
+        struct Box {
+            MINDFUL_ATOMIC_ROLE(publish_ptr)
+            std::atomic<Entry *> _slot{nullptr};
+        };
+        void badStore(Box &b, Entry *e)
+        {
+            b._slot.store(e, std::memory_order_relaxed);
+        }
+        int badDeref(Box &b)
+        {
+            return b._slot.load(std::memory_order_relaxed)->value;
+        }
+        int badStarDeref(Box &b)
+        {
+            return *b._slot.load(std::memory_order_relaxed)->value;
+        }
+        void badRmw(Box &b)
+        {
+            b._slot.fetch_add(1, std::memory_order_acq_rel);
+        }
+        bool badCas(Box &b, Entry *e)
+        {
+            Entry *expected = nullptr;
+            return b._slot.compare_exchange_strong(
+                expected, e, std::memory_order_relaxed,
+                std::memory_order_relaxed);
+        }
+    )fix"}});
+    EXPECT_TRUE(hasFinding(findings, "atomics-discipline",
+                           "needs memory_order_release"));
+    EXPECT_TRUE(hasFinding(findings, "atomics-discipline",
+                           "dereferences a relaxed load"));
+    EXPECT_TRUE(hasFinding(findings, "atomics-discipline",
+                           "read-modify-write on publish_ptr"));
+    EXPECT_TRUE(hasFinding(findings, "atomics-discipline",
+                           "release success order"));
+}
+
+TEST(AnalyzeAtomics, PublishPtrFirstWriterWinsPatternIsClean)
+{
+    // The MemoCache shape (src/serve/cache.{hh,cc}): acquire probe,
+    // release CAS publication, relaxed pure null-check.
+    auto findings = analyze({{"serve/fixture.hh", R"fix(
+        struct Cache {
+            MINDFUL_ATOMIC_ROLE(publish_ptr)
+            std::atomic<const Entry *> _slot{nullptr};
+        };
+        const Entry *probe(const Cache &c)
+        {
+            return c._slot.load(std::memory_order_acquire);
+        }
+        bool publish(Cache &c, const Entry *fresh)
+        {
+            const Entry *expected = nullptr;
+            return c._slot.compare_exchange_strong(
+                expected, fresh, std::memory_order_release,
+                std::memory_order_acquire);
+        }
+        bool empty(const Cache &c)
+        {
+            return c._slot.load(std::memory_order_relaxed) == nullptr;
+        }
+    )fix"}});
+    EXPECT_EQ(countCheck(findings, "atomics-discipline"), 0u);
+}
+
+TEST(AnalyzeAtomics, SeqCstByOmissionAndConsumeAreFindings)
+{
+    auto findings = analyze({{"obs/fixture.hh", R"fix(
+        struct Cells {
+            MINDFUL_ATOMIC_ROLE(once_flag)
+            std::atomic<bool> _armed{false};
+        };
+        bool bare(Cells &c)
+        {
+            return c._armed.load();
+        }
+        bool consume(Cells &c)
+        {
+            return c._armed.load(std::memory_order_consume);
+        }
+    )fix"}});
+    EXPECT_TRUE(hasFinding(findings, "atomics-discipline",
+                           "defaults to seq_cst by omission"));
+    EXPECT_TRUE(hasFinding(findings, "atomics-discipline",
+                           "consume is unimplementable"));
+}
+
+TEST(AnalyzeAtomics, SpscSecondWriterAndMissingAcquirePairing)
+{
+    auto findings = analyze({{"obs/a.cc", R"fix(
+        struct Ring {
+            MINDFUL_ATOMIC_ROLE(spsc_head)
+            std::atomic<std::size_t> _head{0};
+        };
+        void push(Ring &r, std::size_t head)
+        {
+            r._head.store(head + 1, std::memory_order_release);
+        }
+        void reset(Ring &r)
+        {
+            r._head.store(0, std::memory_order_release);
+        }
+        std::size_t peek(Ring &r)
+        {
+            return r._head.load(std::memory_order_relaxed);
+        }
+    )fix"}});
+    EXPECT_TRUE(hasFinding(findings, "atomics-discipline",
+                           "second writer site"));
+    EXPECT_TRUE(hasFinding(findings, "atomics-discipline",
+                           "never observed by an acquire load"));
+}
+
+TEST(AnalyzeAtomics, SpscRingHandoffIsClean)
+{
+    // The TraceRing shape (src/obs/ring.hh): relaxed own-index load,
+    // acquire other-index load, release publishing store.
+    auto findings = analyze({{"obs/fixture.hh", R"fix(
+        struct Ring {
+            MINDFUL_ATOMIC_ROLE(spsc_head)
+            std::atomic<std::size_t> _head{0};
+            MINDFUL_ATOMIC_ROLE(spsc_tail)
+            std::atomic<std::size_t> _tail{0};
+        };
+        bool tryPush(Ring &r)
+        {
+            const std::size_t head =
+                r._head.load(std::memory_order_relaxed);
+            const std::size_t tail =
+                r._tail.load(std::memory_order_acquire);
+            if (head - tail > 7)
+                return false;
+            r._head.store(head + 1, std::memory_order_release);
+            return true;
+        }
+        bool tryPop(Ring &r)
+        {
+            const std::size_t tail =
+                r._tail.load(std::memory_order_relaxed);
+            const std::size_t head =
+                r._head.load(std::memory_order_acquire);
+            if (tail == head)
+                return false;
+            r._tail.store(tail + 1, std::memory_order_release);
+            return true;
+        }
+    )fix"}});
+    EXPECT_EQ(countCheck(findings, "atomics-discipline"), 0u);
+}
+
+TEST(AnalyzeAtomics, StatCounterGatesAndStrongOrdersAreFindings)
+{
+    auto findings = analyze({{"obs/fixture.hh", R"fix(
+        struct Cells {
+            MINDFUL_ATOMIC_ROLE(stat_counter)
+            std::atomic<std::uint64_t> _drops{0};
+        };
+        void count(Cells &c)
+        {
+            c._drops.fetch_add(1, std::memory_order_seq_cst);
+        }
+        void gate(Cells &c)
+        {
+            if (c._drops.load(std::memory_order_relaxed) > 3)
+                count(c);
+        }
+        std::uint64_t report(Cells &c)
+        {
+            return c._drops.load(std::memory_order_relaxed);
+        }
+    )fix"}});
+    EXPECT_TRUE(hasFinding(findings, "atomics-discipline",
+                           "ordering stronger than relaxed"));
+    EXPECT_TRUE(hasFinding(findings, "atomics-discipline",
+                           "control flow branches on stat_counter"));
+    // report()'s relaxed load outside control flow is clean.
+    EXPECT_EQ(countCheck(findings, "atomics-discipline"), 2u);
+}
+
+TEST(AnalyzeAtomics, OnceFlagRejectsArithmetic)
+{
+    auto findings = analyze({{"obs/fixture.hh", R"fix(
+        struct Cells {
+            MINDFUL_ATOMIC_ROLE(once_flag)
+            std::atomic<int> _armed{0};
+        };
+        void arm(Cells &c)
+        {
+            c._armed.fetch_add(1, std::memory_order_relaxed);
+        }
+        void disarm(Cells &c)
+        {
+            c._armed.store(0, std::memory_order_release);
+        }
+        bool armed(Cells &c)
+        {
+            return c._armed.load(std::memory_order_acquire);
+        }
+    )fix"}});
+    EXPECT_TRUE(hasFinding(findings, "atomics-discipline",
+                           "a flag is not a counter"));
+    EXPECT_EQ(countCheck(findings, "atomics-discipline"), 1u);
+}
+
+TEST(AnalyzeAtomics, SeqlockSequenceOrders)
+{
+    auto findings = analyze({{"core/fixture.hh", R"fix(
+        struct Seq {
+            MINDFUL_ATOMIC_ROLE(seqlock)
+            std::atomic<std::uint32_t> _seq{0};
+        };
+        std::uint32_t beginRead(Seq &s)
+        {
+            return s._seq.load(std::memory_order_relaxed);
+        }
+        void beginWrite(Seq &s)
+        {
+            s._seq.fetch_add(1, std::memory_order_acq_rel);
+        }
+        void endWrite(Seq &s, std::uint32_t seq)
+        {
+            s._seq.store(seq + 2, std::memory_order_release);
+        }
+    )fix"}});
+    EXPECT_TRUE(hasFinding(findings, "atomics-discipline",
+                           "must be acquire"));
+    EXPECT_EQ(countCheck(findings, "atomics-discipline"), 1u);
+}
+
+TEST(AnalyzeAtomics, AtomicOkSuppressesWithReason)
+{
+    auto findings = analyze({{"serve/fixture.cc", R"fix(
+        struct Box {
+            MINDFUL_ATOMIC_ROLE(publish_ptr)
+            std::atomic<Entry *> _slot{nullptr};
+        };
+        void init(Box &b, Entry *e)
+        {
+            // analyze: atomic-ok(ctor runs before any reader exists)
+            b._slot.store(e, std::memory_order_relaxed);
+        }
+    )fix"}});
+    EXPECT_EQ(countCheck(findings, "atomics-discipline"), 0u);
+    EXPECT_EQ(countCheck(findings, "suppression"), 0u);
+}
+
+TEST(AnalyzeAtomics, StaleAtomicOkIsPoliced)
+{
+    auto findings = analyze({{"serve/fixture.cc", R"fix(
+        struct Box {
+            MINDFUL_ATOMIC_ROLE(publish_ptr)
+            std::atomic<Entry *> _slot{nullptr};
+        };
+        void init(Box &b, Entry *e)
+        {
+            // analyze: atomic-ok(suppresses nothing at all)
+            b._slot.store(e, std::memory_order_release);
+        }
+    )fix"}});
+    EXPECT_EQ(countCheck(findings, "atomics-discipline"), 0u);
+    EXPECT_TRUE(hasFinding(findings, "suppression", "stale"));
+}
+
+// --- determinism-flow -----------------------------------------------------
+
+TEST(AnalyzeDeterminism, WallClockInShardBodyThroughHelper)
+{
+    auto findings = analyze({{"dnn/fixture.cc", R"fix(
+        std::uint64_t stamp()
+        {
+            return std::chrono::steady_clock::now()
+                .time_since_epoch()
+                .count();
+        }
+        void drive(double *sink)
+        {
+            exec::parallelFor(4, [&](std::size_t shard) {
+                sink[shard] = stamp();
+            }, "fixture.drive");
+        }
+    )fix"}});
+    EXPECT_TRUE(hasFinding(findings, "determinism-flow",
+                           "steady_clock::now()"));
+}
+
+TEST(AnalyzeDeterminism, UnorderedIterationAndPointerKeys)
+{
+    auto findings = analyze({{"dnn/fixture.cc", R"fix(
+        double fold(std::unordered_map<int, double> &weights)
+        {
+            double sum = 0.0;
+            for (auto &kv : weights)
+                sum += kv.second;
+            std::map<const char *, int> byPtr;
+            return sum + byPtr.size();
+        }
+        void drive(double *sink,
+                   std::unordered_map<int, double> &weights)
+        {
+            exec::parallelFor(4, [&](std::size_t shard) {
+                sink[shard] = fold(weights);
+            }, "fixture.drive");
+        }
+    )fix"}});
+    EXPECT_TRUE(hasFinding(findings, "determinism-flow",
+                           "keys a std::map by pointer"));
+}
+
+TEST(AnalyzeDeterminism, LocalUnorderedIterationInShardBody)
+{
+    auto findings = analyze({{"dnn/fixture.cc", R"fix(
+        void drive(double *sink)
+        {
+            exec::parallelFor(4, [&](std::size_t shard) {
+                std::unordered_map<int, double> m;
+                double sum = 0.0;
+                for (auto &kv : m)
+                    sum += kv.second;
+                sink[shard] = sum;
+            }, "fixture.drive");
+        }
+    )fix"}});
+    EXPECT_TRUE(hasFinding(findings, "determinism-flow",
+                           "iterates unordered container 'm'"));
+}
+
+TEST(AnalyzeDeterminism, HazardsOutsideShardReachAreClean)
+{
+    auto findings = analyze({{"obs/fixture.cc", R"fix(
+        std::uint64_t stamp()
+        {
+            return std::chrono::steady_clock::now()
+                .time_since_epoch()
+                .count();
+        }
+        void report(double *sink)
+        {
+            sink[0] = stamp();
+        }
+    )fix"}});
+    EXPECT_EQ(countCheck(findings, "determinism-flow"), 0u);
+}
+
+TEST(AnalyzeDeterminism, DeterminismOkSuppressesWithReason)
+{
+    auto findings = analyze({{"dnn/fixture.cc", R"fix(
+        void drive(double *sink)
+        {
+            exec::parallelFor(4, [&](std::size_t shard) {
+                // analyze: determinism-ok(wall time is the measurand)
+                sink[shard] = std::chrono::steady_clock::now()
+                                  .time_since_epoch()
+                                  .count();
+            }, "fixture.drive");
+        }
+    )fix"}});
+    EXPECT_EQ(countCheck(findings, "determinism-flow"), 0u);
+    EXPECT_EQ(countCheck(findings, "suppression"), 0u);
+}
+
+// --- multi-root driver and cache schema -----------------------------------
+
+TEST_F(AnalyzeRunTest, MultiRootLabelsPrefixFindingPaths)
+{
+    write("src/thermal/a.hh",
+          "struct Config {\n    double peakPower = 1.0;\n};\n");
+    write("tools/aux/t.hh",
+          "struct Cells {\n    std::atomic<int> naked{0};\n};\n");
+    AnalyzeOptions options;
+    options.roots.push_back({(_root / "src").string(), "src"});
+    options.roots.push_back({(_root / "tools").string(), "tools"});
+    std::ostringstream os;
+    std::ostringstream es;
+    EXPECT_EQ(runAnalyze(options, os, es), 1) << es.str();
+    EXPECT_NE(os.str().find("src/thermal/a.hh:"), std::string::npos)
+        << os.str();
+    EXPECT_NE(os.str().find("tools/aux/t.hh:"), std::string::npos)
+        << os.str();
+}
+
+TEST_F(AnalyzeRunTest, OldSchemaCacheFallsBackToReparse)
+{
+    const std::string rel = "dnn/fixture.cc";
+    const std::string content = R"fix(
+        std::vector<double> scratch(std::size_t n)
+        {
+            std::vector<double> out(n, 0.0);
+            return out;
+        }
+        void drive(double *sink)
+        {
+            exec::parallelFor(4, [&](std::size_t shard) {
+                sink[shard] = scratch(shard)[0];
+            }, "fixture.drive");
+        }
+    )fix";
+    write("src/" + rel, content);
+
+    AnalyzeOptions options;
+    options.cacheDir = (_root / "cache").string();
+    std::string cold;
+    EXPECT_EQ(run(options, cold), 1);
+    EXPECT_NE(cold.find("[hot-path]"), std::string::npos);
+
+    // Forge an old-schema record at the exact key the analyzer will
+    // look up, whose body claims the file has no facts at all. The
+    // strict loader must reject the header and reparse — if it trusted
+    // the record, the finding would vanish.
+    const std::string key = factsCacheKey(rel, content);
+    const fs::path forged = _root / "cache" / (key + ".facts");
+    {
+        std::ofstream out(forged);
+        out << "mindful-analyze-cache 1\nP " << rel << "\nE\n";
+    }
+    std::string warm;
+    EXPECT_EQ(run(options, warm), 1);
+    EXPECT_EQ(cold, warm);
+
+    // Control for the forgery mechanism itself: the same empty body
+    // under the CURRENT schema header IS accepted, so the key and
+    // path above really exercise the loader.
+    {
+        std::ofstream out(forged);
+        out << "mindful-analyze-cache 2\nP " << rel << "\nE\n";
+    }
+    std::string forged_out;
+    EXPECT_EQ(run(options, forged_out), 0) << forged_out;
 }

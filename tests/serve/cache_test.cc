@@ -97,6 +97,43 @@ TEST(MemoCacheTest, FullProbeWindowDropsInsteadOfEvicting)
     EXPECT_EQ(cache.probe(MemoCache::kProbeWindow * stride), nullptr);
 }
 
+TEST(MemoCacheTest, ConcurrentWindowSaturationAccountsEveryDrop)
+{
+    // Distinct keys all sharing one home slot race for a table that IS
+    // one probe window: exactly kProbeWindow publishes can win a slot,
+    // every other attempt must return nullptr (dropped, not evicted),
+    // regardless of interleaving.
+    MemoCache cache(MemoCache::kProbeWindow);
+    ASSERT_EQ(cache.capacity(), MemoCache::kProbeWindow);
+    const std::uint64_t stride = cache.capacity();
+    constexpr int kThreads = 4;
+    constexpr std::uint64_t kKeysPerThread = 16;
+    std::vector<std::uint64_t> published(kThreads, 0);
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(kThreads);
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&cache, &published, stride, t] {
+                for (std::uint64_t i = 0; i < kKeysPerThread; ++i) {
+                    const std::uint64_t key =
+                        (t * kKeysPerThread + i) * stride;
+                    if (cache.publish(key, makeResult(t, 1.0)) !=
+                        nullptr)
+                        ++published[t];
+                }
+            });
+        }
+        for (auto &thread : threads)
+            thread.join();
+    }
+    std::uint64_t wins = 0;
+    for (int t = 0; t < kThreads; ++t)
+        wins += published[t];
+    // Conservation: wins + drops == attempts, and wins == slots.
+    EXPECT_EQ(wins, MemoCache::kProbeWindow);
+    EXPECT_EQ(cache.size(), MemoCache::kProbeWindow);
+}
+
 TEST(MemoCacheTest, ConcurrentSameKeyPublishersConverge)
 {
     MemoCache cache(1024);

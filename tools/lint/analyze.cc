@@ -214,6 +214,9 @@ class Parser
     const std::vector<Token> &_t;
     FileFacts &_out;
 
+    /** Unordered locals of the body currently being flat-scanned. */
+    std::set<std::string> *_unordered = nullptr;
+
     const std::string &
     tok(std::size_t i) const
     {
@@ -397,6 +400,13 @@ class Parser
     void
     analyzeBody(FunctionFacts &fn, std::size_t begin, std::size_t end)
     {
+        // Unordered containers constructed in THIS body; iterating one
+        // is a determinism hazard. Function-local by design: member
+        // containers and captures are out of scope for the heuristic.
+        std::set<std::string> unordered_locals;
+        std::set<std::string> *saved_unordered = _unordered;
+        _unordered = &unordered_locals;
+
         std::vector<std::pair<std::size_t, std::size_t>> carved;
 
         for (std::size_t i = begin; i < end; ++i) {
@@ -440,6 +450,8 @@ class Parser
             }
             scanToken(fn, i);
         }
+
+        _unordered = saved_unordered;
     }
 
     void
@@ -501,6 +513,55 @@ class Parser
             i > 0 && (tok(i - 1) == "." ||
                       (i > 1 && tok(i - 1) == ">" && tok(i - 2) == "-"));
         const bool before_paren = tok(i + 1) == "(";
+
+        // determinism hazards: wall-clock reads
+        if (t == "now" && before_paren && i >= 3 && tok(i - 1) == ":" &&
+            tok(i - 2) == ":") {
+            const std::string &clock = tok(i - 3);
+            if (clock == "steady_clock" || clock == "system_clock" ||
+                clock == "high_resolution_clock") {
+                fn.hazards.push_back(
+                    {"wall-clock", line,
+                     "reads std::chrono::" + clock + "::now()"});
+                return;
+            }
+        }
+        if ((t == "gettimeofday" || t == "clock_gettime") &&
+            before_paren && !after_dot) {
+            fn.hazards.push_back(
+                {"wall-clock", line, "reads the wall clock via " + t +
+                                         "()"});
+            return;
+        }
+
+        // determinism hazards: range-for over an unordered container
+        // constructed in this body (iteration order is hash-seed and
+        // insertion-history dependent).
+        if (t == "for" && tok(i + 1) == "(") {
+            std::size_t close = matchParen(_t, i + 1);
+            std::size_t depth = 0;
+            for (std::size_t k = i + 1; k < close; ++k) {
+                const std::string &inner = tok(k);
+                if (inner == "(" || inner == "[" || inner == "{") {
+                    ++depth;
+                } else if (inner == ")" || inner == "]" ||
+                           inner == "}") {
+                    if (depth > 0)
+                        --depth;
+                } else if (inner == ":" && depth == 1 &&
+                           tok(k - 1) != ":" && tok(k + 1) != ":") {
+                    if (k + 2 == close && isIdentTok(tok(k + 1)) &&
+                        _unordered && _unordered->count(tok(k + 1))) {
+                        fn.hazards.push_back(
+                            {"unordered-iter", line,
+                             "iterates unordered container '" +
+                                 tok(k + 1) + "'"});
+                    }
+                    break;
+                }
+            }
+            return;
+        }
 
         // fork-derived / locally constructed engines
         if (t == "Rng" && isIdentTok(tok(i + 1)) && tok(i - 1) != ":") {
@@ -628,11 +689,12 @@ class Parser
     {
         const std::string &name = tok(i);
         std::size_t after = i + 1;
+        std::size_t angle_close = kNpos;
         if (tok(after) == "<") {
-            std::size_t close = matchAngle(_t, after);
-            if (close == kNpos)
+            angle_close = matchAngle(_t, after);
+            if (angle_close == kNpos)
                 return; // comparison or malformed; not a type
-            after = close + 1;
+            after = angle_close + 1;
         }
         const std::string &next = tok(after);
         const bool constructs =
@@ -645,6 +707,38 @@ class Parser
         const char *kind = isStringish(name) ? "string" : "alloc";
         fn.impurities.push_back(
             {kind, _t[i].line, "constructs std::" + name});
+
+        // Determinism bookkeeping for the keyed containers: remember
+        // unordered locals (iterating one is a hazard) and flag
+        // pointer-valued keys outright — pointer order is allocation
+        // order, different every run.
+        static const std::unordered_set<std::string> keyed{
+            "map",           "set",           "multimap",
+            "multiset",      "unordered_map", "unordered_set",
+        };
+        if (!keyed.count(name))
+            return;
+        if (name.rfind("unordered_", 0) == 0 && _unordered &&
+            isIdentTok(next))
+            _unordered->insert(next);
+        if (angle_close != kNpos) {
+            std::size_t depth = 0;
+            for (std::size_t k = i + 1; k < angle_close; ++k) {
+                const std::string &inner = tok(k);
+                if (inner == "<") {
+                    ++depth;
+                } else if (inner == ">") {
+                    --depth;
+                } else if (inner == "," && depth == 1) {
+                    break; // key type ends (maps); sets have one arg
+                } else if (inner == "*" && depth == 1) {
+                    fn.hazards.push_back(
+                        {"pointer-key", _t[i].line,
+                         "keys a std::" + name + " by pointer"});
+                    break;
+                }
+            }
+        }
     }
 
     void
@@ -720,8 +814,9 @@ compatibleAccessors(const std::string &a, const std::string &b)
 bool
 isEnvelopeExempt(const std::string &path)
 {
-    return path == "thermal/safety.hh" || path == "thermal/safety.cc" ||
-           path == "base/units.hh" || path == "base/units.cc";
+    const std::string p = rulePath(path);
+    return p == "thermal/safety.hh" || p == "thermal/safety.cc" ||
+           p == "base/units.hh" || p == "base/units.cc";
 }
 
 /**
@@ -860,6 +955,167 @@ unitAlgebraFindings(const SourceFile &src)
     return findings;
 }
 
+// --- phase 1: atomics extraction ------------------------------------------
+
+/** The std::atomic member functions the discipline pass models. */
+const std::unordered_set<std::string> &
+atomicOpNames()
+{
+    static const std::unordered_set<std::string> set{
+        "load",      "store",     "exchange",
+        "fetch_add", "fetch_sub", "fetch_and",
+        "fetch_or",  "fetch_xor", "compare_exchange_weak",
+        "compare_exchange_strong",
+    };
+    return set;
+}
+
+/**
+ * Flat scan for `std::atomic<...>` declarations (with their pending
+ * MINDFUL_ATOMIC_ROLE, if any) and for every load/store/RMW/CAS call
+ * spelled on an identifier receiver. Declaration and use sites are
+ * joined by field *name* in phase 2, across TUs.
+ */
+void
+scanAtomics(const SourceFile &src, FileFacts &facts)
+{
+    const std::vector<Token> &t = src.tokens;
+    auto tk = [&](std::size_t i) -> const std::string & {
+        static const std::string empty;
+        return i < t.size() ? t[i].text : empty;
+    };
+
+    std::string pending_role;
+    std::size_t pending_line = 0;
+
+    // if/while/for/switch paren nesting, for control-flow-use checks.
+    std::vector<char> parens;
+
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const std::string &cur = t[i].text;
+
+        if (cur == "(") {
+            const std::string &prev = i > 0 ? t[i - 1].text : cur;
+            parens.push_back(prev == "if" || prev == "while" ||
+                             prev == "for" || prev == "switch");
+            continue;
+        }
+        if (cur == ")") {
+            if (!parens.empty())
+                parens.pop_back();
+            continue;
+        }
+
+        if (cur == "MINDFUL_ATOMIC_ROLE" && tk(i + 1) == "(") {
+            if (!pending_role.empty()) {
+                // previous role never reached a declaration
+                facts.atomicDecls.push_back(
+                    {"", pending_role, pending_line});
+            }
+            std::size_t close = matchParen(t, i + 1);
+            pending_role = close == i + 3 && isIdentTok(tk(i + 2))
+                               ? tk(i + 2)
+                               : "<malformed>";
+            pending_line = t[i].line;
+            continue;
+        }
+
+        // `std::atomic<...>` type mention: the declared name is the
+        // first identifier after the closing angle (skipping array,
+        // pointer and outer-template punctuation, as in
+        // `unique_ptr<std::atomic<const Entry *>[]> _slots`).
+        if (cur == "atomic" && tk(i - 1) == ":" && i > 0 &&
+            tk(i + 1) == "<") {
+            std::size_t close = matchAngle(t, i + 1);
+            if (close == kNpos)
+                continue;
+            std::size_t j = close + 1;
+            while (tk(j) == "*" || tk(j) == "&" || tk(j) == "[" ||
+                   tk(j) == "]" || tk(j) == ">")
+                ++j;
+            if (isIdentTok(tk(j)) && !typeWords().count(tk(j))) {
+                facts.atomicDecls.push_back(
+                    {tk(j), pending_role, t[i].line});
+                pending_role.clear();
+            }
+            continue;
+        }
+
+        // `<recv>.op(...)` / `<recv>->op(...)`
+        if (!atomicOpNames().count(cur) || tk(i + 1) != "(" || i < 2)
+            continue;
+        const bool arrow = tk(i - 1) == ">" && i >= 3 &&
+                           tk(i - 2) == "-";
+        if (tk(i - 1) != "." && !arrow)
+            continue;
+        std::size_t recv = arrow ? i - 3 : i - 2;
+        // Walk back over subscripts: `_slots[slot].load` -> `_slots`.
+        while (recv < t.size() && tk(recv) == "]") {
+            std::size_t depth = 0;
+            std::size_t k = recv;
+            while (true) {
+                if (tk(k) == "]") {
+                    ++depth;
+                } else if (tk(k) == "[" && --depth == 0) {
+                    break;
+                }
+                if (k == 0)
+                    break;
+                --k;
+            }
+            recv = k > 0 ? k - 1 : t.size();
+        }
+        if (recv >= t.size() || !isIdentTok(tk(recv)))
+            continue; // receiver is an expression we cannot name
+
+        AtomicOp op;
+        op.field = tk(recv);
+        op.op = cur;
+        op.line = t[i].line;
+        op.inCondition =
+            std::find(parens.begin(), parens.end(), 1) != parens.end();
+
+        std::size_t close = matchParen(t, i + 1);
+        std::size_t depth = 0;
+        for (std::size_t k = i + 1; k <= close && k < t.size(); ++k) {
+            const std::string &inner = t[k].text;
+            if (inner == "(") {
+                ++depth;
+            } else if (inner == ")") {
+                --depth;
+            } else if (depth == 1 &&
+                       inner.rfind("memory_order_", 0) == 0) {
+                op.orders.push_back(inner);
+            }
+        }
+
+        // Dereference of the result: `delete recv[..].load(...)`, a
+        // `->` chained straight off the call, or a unary `*` in front
+        // of the whole receiver chain (`return *b._ptr.load(...)`).
+        if (recv > 0 && tk(recv - 1) == "delete")
+            op.dereferenced = true;
+        if (tk(close + 1) == "-" && tk(close + 2) == ">")
+            op.dereferenced = true;
+        std::size_t start = recv;
+        while (start >= 2 && tk(start - 1) == "." &&
+               isIdentTok(tk(start - 2)))
+            start -= 2;
+        if (start > 0 && tk(start - 1) == "*") {
+            const std::string &before =
+                start >= 2 ? tk(start - 2) : tk(0);
+            if (start == 1 || before == "return" || before == "=" ||
+                before == "(" || before == "," || before == ";" ||
+                before == "{")
+                op.dereferenced = true;
+        }
+
+        facts.atomicOps.push_back(std::move(op));
+    }
+
+    if (!pending_role.empty())
+        facts.atomicDecls.push_back({"", pending_role, pending_line});
+}
+
 } // namespace
 
 FileFacts
@@ -872,6 +1128,7 @@ analyzeFile(const SourceFile &source)
     parser.parseTopLevel();
     facts.expression = unitAlgebraFindings(source);
     facts.lexical = lexicalFindings(source);
+    scanAtomics(source, facts);
     return facts;
 }
 
@@ -1163,6 +1420,327 @@ unforkedParamDraws(const std::vector<FileFacts> &files,
     return unforked;
 }
 
+// --- atomics-discipline ---------------------------------------------------
+
+/** The declared-role vocabulary (base/compiler.hh). */
+const std::set<std::string> &
+atomicRoles()
+{
+    static const std::set<std::string> set{
+        "publish_ptr", "spsc_head",  "spsc_tail",
+        "stat_counter", "once_flag", "seqlock",
+    };
+    return set;
+}
+
+bool
+orderIn(const std::vector<std::string> &orders,
+        std::initializer_list<const char *> allowed)
+{
+    if (orders.empty())
+        return false;
+    for (const char *a : allowed)
+        if (orders.front() == a)
+            return true;
+    return false;
+}
+
+/** "load", "store", "rmw" or "cas". */
+std::string
+opKind(const std::string &op)
+{
+    if (op == "load" || op == "store")
+        return op;
+    if (op == "compare_exchange_weak" ||
+        op == "compare_exchange_strong")
+        return "cas";
+    return "rmw";
+}
+
+/**
+ * The per-role memory-order rules over every (declaration, operation)
+ * joined by field name across TUs. Conservative by construction: an
+ * operation whose receiver never resolves to a declared atomic is
+ * ignored (same-named locals, non-atomic `.load()` APIs), so every
+ * finding names a field the tree really declared atomic.
+ */
+std::vector<Finding>
+atomicsDisciplineFindings(const std::vector<FileFacts> &files,
+                          Suppressions &suppressions)
+{
+    std::vector<Finding> findings;
+    auto emit = [&](std::size_t f, std::size_t line,
+                    const std::string &message) {
+        if (!suppressions.covered("atomic-ok", f, line))
+            findings.push_back(
+                {files[f].path, line, "atomics-discipline", message});
+    };
+
+    // Field name -> declared role (first declaration wins; a
+    // conflicting later declaration is itself a finding).
+    struct RoleSite
+    {
+        std::string role;
+        std::size_t file = 0;
+        std::size_t line = 0;
+    };
+    std::map<std::string, RoleSite> roles;
+
+    for (std::size_t f = 0; f < files.size(); ++f) {
+        for (const AtomicDecl &decl : files[f].atomicDecls) {
+            if (decl.name.empty()) {
+                emit(f, decl.line,
+                     "MINDFUL_ATOMIC_ROLE(" + decl.role +
+                         ") attaches to no std::atomic declaration; "
+                         "place it directly before the field");
+                continue;
+            }
+            if (decl.role.empty()) {
+                emit(f, decl.line,
+                     "std::atomic field '" + decl.name +
+                         "' declares no publication protocol; "
+                         "annotate MINDFUL_ATOMIC_ROLE(publish_ptr | "
+                         "spsc_head | spsc_tail | stat_counter | "
+                         "once_flag | seqlock) (base/compiler.hh)");
+                continue;
+            }
+            if (!atomicRoles().count(decl.role)) {
+                emit(f, decl.line,
+                     "unknown atomic role '" + decl.role +
+                         "' on field '" + decl.name +
+                         "'; the vocabulary is publish_ptr, "
+                         "spsc_head, spsc_tail, stat_counter, "
+                         "once_flag, seqlock (base/compiler.hh)");
+                continue;
+            }
+            auto [it, inserted] =
+                roles.insert({decl.name, {decl.role, f, decl.line}});
+            if (!inserted && it->second.role != decl.role) {
+                emit(f, decl.line,
+                     "conflicting role '" + decl.role +
+                         "' for atomic '" + decl.name +
+                         "'; first declared " + it->second.role +
+                         " at " + files[it->second.file].path + ":" +
+                         std::to_string(it->second.line));
+            }
+        }
+    }
+
+    // Aggregate store/load sites per spsc index for the whole-program
+    // single-writer and pairing rules.
+    struct SpscAgg
+    {
+        std::vector<std::pair<std::size_t, std::size_t>> storeSites;
+        bool hasLoad = false;
+        bool hasAcquireLoad = false;
+    };
+    std::map<std::string, SpscAgg> spsc;
+
+    for (std::size_t f = 0; f < files.size(); ++f) {
+        for (const AtomicOp &op : files[f].atomicOps) {
+            for (const std::string &order : op.orders) {
+                if (order == "memory_order_consume") {
+                    emit(f, op.line,
+                         "memory_order_consume on '" + op.field +
+                             "': consume is unimplementable and "
+                             "deprecated; use memory_order_acquire");
+                }
+            }
+
+            auto rit = roles.find(op.field);
+            if (rit == roles.end())
+                continue; // not a declared atomic we track
+            const std::string &role = rit->second.role;
+            const std::string kind = opKind(op.op);
+
+            if (op.orders.empty()) {
+                emit(f, op.line,
+                     "." + op.op + "() on '" + op.field + "' (" +
+                         role + ") defaults to seq_cst by omission; "
+                         "state the memory order the protocol needs "
+                         "explicitly");
+                continue;
+            }
+
+            if (role == "spsc_head" || role == "spsc_tail") {
+                SpscAgg &agg = spsc[op.field];
+                if (kind == "store") {
+                    agg.storeSites.push_back({f, op.line});
+                } else if (kind == "load") {
+                    agg.hasLoad = true;
+                    if (orderIn(op.orders, {"memory_order_acquire",
+                                            "memory_order_seq_cst"}))
+                        agg.hasAcquireLoad = true;
+                }
+            }
+
+            if (role == "publish_ptr") {
+                if (kind == "store" &&
+                    !orderIn(op.orders, {"memory_order_release",
+                                         "memory_order_seq_cst"})) {
+                    emit(f, op.line,
+                         "store to publish_ptr '" + op.field +
+                             "' needs memory_order_release so the "
+                             "pointee is initialized before the "
+                             "pointer is visible");
+                } else if (kind == "load") {
+                    const bool relaxed = orderIn(
+                        op.orders, {"memory_order_relaxed"});
+                    if (relaxed && op.dereferenced) {
+                        emit(f, op.line,
+                             "dereferences a relaxed load of "
+                             "publish_ptr '" + op.field +
+                                 "'; nothing orders the pointee's "
+                                 "initialization before this read — "
+                                 "load with memory_order_acquire");
+                    } else if (!relaxed &&
+                               !orderIn(op.orders,
+                                        {"memory_order_acquire",
+                                         "memory_order_seq_cst"})) {
+                        emit(f, op.line,
+                             "load of publish_ptr '" + op.field +
+                                 "' must be acquire (or relaxed for "
+                                 "a pure null-check)");
+                    }
+                } else if (kind == "rmw") {
+                    emit(f, op.line,
+                         "read-modify-write on publish_ptr '" +
+                             op.field + "'; publication is "
+                             "CAS-from-null, not arithmetic");
+                } else if (kind == "cas" &&
+                           !orderIn(op.orders,
+                                    {"memory_order_release",
+                                     "memory_order_acq_rel",
+                                     "memory_order_seq_cst"})) {
+                    emit(f, op.line,
+                         "publishing CAS on '" + op.field +
+                             "' needs a release success order so "
+                             "the pointee is visible to acquire "
+                             "loaders");
+                }
+            } else if (role == "spsc_head" || role == "spsc_tail") {
+                if (kind == "store" &&
+                    !orderIn(op.orders, {"memory_order_release",
+                                         "memory_order_seq_cst"})) {
+                    emit(f, op.line,
+                         "store to " + role + " '" + op.field +
+                             "' must be release: the index store is "
+                             "what publishes the slot payload to the "
+                             "other side of the ring");
+                } else if (kind == "load" &&
+                           !orderIn(op.orders,
+                                    {"memory_order_relaxed",
+                                     "memory_order_acquire",
+                                     "memory_order_seq_cst"})) {
+                    emit(f, op.line,
+                         "load of " + role + " '" + op.field +
+                             "' must be relaxed (own index) or "
+                             "acquire (the other side's index)");
+                } else if (kind == "rmw" || kind == "cas") {
+                    emit(f, op.line,
+                         "read-modify-write on single-writer index '" +
+                             op.field + "' (" + role +
+                             "); only its one producer may advance "
+                             "it, with a plain release store");
+                }
+            } else if (role == "stat_counter") {
+                if (!orderIn(op.orders, {"memory_order_relaxed"})) {
+                    emit(f, op.line,
+                         "." + op.op + "() on stat_counter '" +
+                             op.field +
+                             "' uses an ordering stronger than "
+                             "relaxed; counters synchronize nothing "
+                             "— if this cell gates anything, its "
+                             "role is wrong, not the order");
+                }
+                if (kind == "load" && op.inCondition) {
+                    emit(f, op.line,
+                         "control flow branches on stat_counter '" +
+                             op.field +
+                             "'; counters are telemetry — a cell "
+                             "that gates behaviour needs once_flag "
+                             "or a real protocol role");
+                }
+            } else if (role == "once_flag") {
+                if (kind == "store" &&
+                    !orderIn(op.orders, {"memory_order_relaxed",
+                                         "memory_order_release",
+                                         "memory_order_seq_cst"})) {
+                    emit(f, op.line,
+                         "store to once_flag '" + op.field +
+                             "' must be relaxed (standalone gate) or "
+                             "release (publishes prior writes)");
+                } else if (kind == "load" &&
+                           !orderIn(op.orders,
+                                    {"memory_order_relaxed",
+                                     "memory_order_acquire",
+                                     "memory_order_seq_cst"})) {
+                    emit(f, op.line,
+                         "load of once_flag '" + op.field +
+                             "' must be relaxed or acquire");
+                } else if (kind == "rmw" && op.op != "exchange") {
+                    emit(f, op.line,
+                         "." + op.op + "() on once_flag '" +
+                             op.field +
+                             "'; a flag is not a counter — set it "
+                             "with store/exchange/CAS");
+                }
+            } else if (role == "seqlock") {
+                if (kind == "load" &&
+                    !orderIn(op.orders, {"memory_order_acquire",
+                                         "memory_order_seq_cst"})) {
+                    emit(f, op.line,
+                         "seqlock sequence load of '" + op.field +
+                             "' must be acquire");
+                } else if (kind == "store" &&
+                           !orderIn(op.orders,
+                                    {"memory_order_release",
+                                     "memory_order_seq_cst"})) {
+                    emit(f, op.line,
+                         "seqlock sequence store to '" + op.field +
+                             "' must be release");
+                } else if ((kind == "rmw" || kind == "cas") &&
+                           !orderIn(op.orders,
+                                    {"memory_order_release",
+                                     "memory_order_acq_rel",
+                                     "memory_order_seq_cst"})) {
+                    emit(f, op.line,
+                         "seqlock sequence bump on '" + op.field +
+                             "' must publish (release or acq_rel)");
+                }
+            }
+        }
+    }
+
+    // Whole-program spsc aggregates: one producer, paired handoff.
+    for (const auto &[field, agg] : spsc) {
+        std::set<std::pair<std::size_t, std::size_t>> sites(
+            agg.storeSites.begin(), agg.storeSites.end());
+        if (sites.size() > 1) {
+            auto it = sites.begin();
+            const auto first = *it;
+            for (++it; it != sites.end(); ++it) {
+                emit(it->first, it->second,
+                     "second writer site for single-writer index '" +
+                         field + "' (first writes at " +
+                         files[first.first].path + ":" +
+                         std::to_string(first.second) +
+                         "); SPSC rings have exactly one producer "
+                         "per index");
+            }
+        }
+        if (!sites.empty() && agg.hasLoad && !agg.hasAcquireLoad) {
+            emit(sites.begin()->first, sites.begin()->second,
+                 "release stores to '" + field +
+                     "' are never observed by an acquire load; the "
+                     "consuming side must load-acquire to complete "
+                     "the handoff");
+        }
+    }
+
+    return findings;
+}
+
 } // namespace
 
 std::vector<Finding>
@@ -1195,6 +1773,30 @@ semanticFindings(const std::vector<FileFacts> &files)
 
         for (const FnKey &node : reach.order) {
             const FunctionFacts &fn = linker.fn(node);
+            for (const Hazard &hazard : fn.hazards) {
+                if (suppressions.covered("determinism-ok", node.file,
+                                         hazard.line) ||
+                    suppressions.covered("determinism-ok",
+                                         root.key.file, root.line))
+                    continue;
+                std::tuple<std::string, std::size_t, std::string> key{
+                    files[node.file].path, hazard.line,
+                    "hazard:" + hazard.detail};
+                if (!seen.insert(key).second)
+                    continue;
+                findings.push_back(
+                    {files[node.file].path, hazard.line,
+                     "determinism-flow",
+                     hazard.detail + " (" +
+                         callChain(reach, root.key, node, linker) +
+                         ") inside " + context +
+                         "; shard outputs are byte-identical by "
+                         "contract — hash order, pointer order and "
+                         "clocks must not influence them "
+                         "(docs/parallelism.md); annotate `// "
+                         "analyze: determinism-ok(<reason>)` if "
+                         "intended"});
+            }
             for (const Impurity &impurity : fn.impurities) {
                 if (suppressions.covered("hot-ok", node.file,
                                          impurity.line) ||
@@ -1287,6 +1889,9 @@ semanticFindings(const std::vector<FileFacts> &files)
         }
     }
 
+    auto atomics = atomicsDisciplineFindings(files, suppressions);
+    findings.insert(findings.end(), atomics.begin(), atomics.end());
+
     auto policed = suppressions.police();
     findings.insert(findings.end(), policed.begin(), policed.end());
     return findings;
@@ -1303,12 +1908,37 @@ runAnalyze(const AnalyzeOptions &options, std::ostream &out,
     if (options.threads > 0)
         exec::ThreadPool::setGlobalThreadCount(options.threads);
 
-    std::string walk_error;
-    std::vector<std::string> files =
-        collectSources(options.root, walk_error);
-    if (!walk_error.empty()) {
-        err << options.root << ": " << walk_error << "\n";
+    std::vector<RootSpec> roots = options.roots;
+    if (roots.empty() && !options.root.empty())
+        roots.push_back({options.root, ""});
+    if (roots.empty()) {
+        err << "mindful-analyze: no scan root given\n";
         return 2;
+    }
+
+    // One flat work list over every root, in root order then sorted
+    // relative-path order — deterministic regardless of walk order.
+    struct SourceRef
+    {
+        std::string dir;  //!< root directory the file lives under
+        std::string rel;  //!< path relative to that root
+        std::string path; //!< as recorded in findings (label-prefixed)
+    };
+    std::vector<SourceRef> files;
+    for (const RootSpec &root : roots) {
+        std::string walk_error;
+        std::vector<std::string> rel_files =
+            collectSources(root.dir, walk_error);
+        if (!walk_error.empty()) {
+            err << root.dir << ": " << walk_error << "\n";
+            return 2;
+        }
+        for (std::string &rel : rel_files) {
+            std::string recorded =
+                root.label.empty() ? rel : root.label + "/" + rel;
+            files.push_back(
+                {root.dir, std::move(rel), std::move(recorded)});
+        }
     }
 
     if (!options.cacheDir.empty()) {
@@ -1325,7 +1955,7 @@ runAnalyze(const AnalyzeOptions &options, std::ostream &out,
     std::vector<FileFacts> facts(files.size());
     std::vector<std::string> errors(files.size());
     auto parse_one = [&](std::size_t i) {
-        std::ifstream in(fs::path(options.root) / files[i],
+        std::ifstream in(fs::path(files[i].dir) / files[i].rel,
                          std::ios::binary);
         if (!in) {
             errors[i] = "cannot read file";
@@ -1334,11 +1964,12 @@ runAnalyze(const AnalyzeOptions &options, std::ostream &out,
         std::ostringstream buffer;
         buffer << in.rdbuf();
         const std::string content = buffer.str();
-        const std::string key = factsCacheKey(files[i], content);
+        const std::string key = factsCacheKey(files[i].path, content);
         if (!options.cacheDir.empty() &&
-            loadCachedFacts(options.cacheDir, key, files[i], facts[i]))
+            loadCachedFacts(options.cacheDir, key, files[i].path,
+                            facts[i]))
             return;
-        facts[i] = analyzeFile(scanSource(files[i], content));
+        facts[i] = analyzeFile(scanSource(files[i].path, content));
         if (!options.cacheDir.empty())
             storeCachedFacts(options.cacheDir, key, facts[i]);
     };
@@ -1346,13 +1977,14 @@ runAnalyze(const AnalyzeOptions &options, std::ostream &out,
     // its own index slot, so assembly order is file order regardless
     // of scheduling.
     if (files.size() > 1)
+        // analyze: hot-ok(parse fan-out is setup I/O, not a kernel)
         exec::parallelFor(files.size(), parse_one, "analyze.parse");
     else if (files.size() == 1)
         parse_one(0);
 
     for (std::size_t i = 0; i < files.size(); ++i) {
         if (!errors[i].empty()) {
-            err << files[i] << ": " << errors[i] << "\n";
+            err << files[i].path << ": " << errors[i] << "\n";
             return 2;
         }
     }
@@ -1394,7 +2026,12 @@ runAnalyze(const AnalyzeOptions &options, std::ostream &out,
             err << options.sarifPath << ": cannot write SARIF output\n";
             return 2;
         }
-        writeSarif(findings, options.root, sarif);
+        // Labeled roots already carry their prefix in each finding
+        // path; only the legacy single unlabeled root needs one.
+        const std::string prefix =
+            roots.size() == 1 && roots[0].label.empty() ? roots[0].dir
+                                                        : "";
+        writeSarif(findings, prefix, sarif);
     }
     return findings.empty() ? 0 : 1;
 }

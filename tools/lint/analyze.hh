@@ -12,7 +12,7 @@
  * named local functions) handed to exec::parallelFor/parallelReduce.
  *
  * Phase 2 (whole program, serial): link FunctionFacts into a project
- * symbol table and call graph, then run three checks:
+ * symbol table and call graph, then run the semantic checks:
  *
  *  - hot-path: nothing reachable from a shard root may commit an
  *    impurity. Protects the dnn/gemm.cc and thermal/bioheat.cc inner
@@ -24,11 +24,20 @@
  *  - rng-flow: a shared Rng engine must not reach a shard body, even
  *    through helper functions; only Rng::fork(stream) sub-streams
  *    (or engines constructed inside the shard) may be drawn from.
+ *  - atomics-discipline: every std::atomic field declares its
+ *    publication protocol via MINDFUL_ATOMIC_ROLE (base/compiler.hh)
+ *    and every load/store/RMW on it, across TUs, obeys the memory
+ *    orders that role permits; unannotated fields, consume ordering,
+ *    and seq_cst-by-omission are findings.
+ *  - determinism-flow: unordered-container iteration, pointer-valued
+ *    map/set keys, and wall-clock reads must not be reachable from a
+ *    shard root — shard outputs are byte-identical by contract.
  *
- * Escape hatches mirror `lint: raw-ok`: `// analyze: hot-ok(<reason>)`,
- * `// analyze: unit-ok(<reason>)`, `// analyze: rng-ok(<reason>)` on
- * the finding line, the line above, or the shard-root line (hot-ok /
- * rng-ok only). Empty reasons and stale markers are findings.
+ * Escape hatches mirror `lint: raw-ok`: an `analyze:` comment naming
+ * one of hot-ok / unit-ok / rng-ok / atomic-ok / determinism-ok with
+ * a parenthesized reason, on the finding line, the line above, or the
+ * shard-root line (hot-ok / rng-ok / determinism-ok). Empty reasons
+ * and stale markers are findings.
  *
  * Name resolution is deliberately conservative: a callee resolves to
  * same-file candidates first, then to a unique defining file; names
@@ -81,6 +90,18 @@ struct ParamFacts
     bool isRng = false; //!< declared type mentions Rng
 };
 
+/**
+ * One nondeterminism source committed directly by a function, reported
+ * when reachable from a shard root (determinism-flow).
+ */
+struct Hazard
+{
+    /** "wall-clock", "unordered-iter" or "pointer-key". */
+    std::string kind;
+    std::size_t line = 0;
+    std::string detail; //!< human phrasing, e.g. "reads steady_clock"
+};
+
 /** Everything phase 2 needs to know about one function body. */
 struct FunctionFacts
 {
@@ -96,6 +117,7 @@ struct FunctionFacts
     std::vector<Impurity> impurities;
     std::vector<CallSite> calls;
     std::vector<DrawSite> draws;
+    std::vector<Hazard> hazards;
 
     /** Engines safe to draw from: Rng::fork-derived or local. */
     std::vector<std::string> safeEngines;
@@ -109,12 +131,36 @@ struct RootRef
     std::string label; //!< "parallelFor" / "parallelReduce"
 };
 
+/** One std::atomic field declaration and its (possibly absent) role. */
+struct AtomicDecl
+{
+    std::string name; //!< field/variable identifier ("" = dangling role)
+    std::string role; //!< MINDFUL_ATOMIC_ROLE argument ("" = unannotated)
+    std::size_t line = 0;
+};
+
+/** One operation on an atomic field (load/store/RMW/CAS). */
+struct AtomicOp
+{
+    std::string field; //!< receiver identifier
+    std::string op;    //!< "load", "store", "fetch_add", ...
+    std::size_t line = 0;
+    /** memory_order_* names in the argument list, in source order. */
+    std::vector<std::string> orders;
+    /** Inside an if/while/for/switch condition (control-flow use). */
+    bool inCondition = false;
+    /** Result dereferenced (`->` chain or `delete` of the load). */
+    bool dereferenced = false;
+};
+
 /** Phase-1 output for one TU; serializable for the incremental cache. */
 struct FileFacts
 {
     std::string path;
     std::vector<FunctionFacts> functions;
     std::vector<RootRef> rootRefs;
+    std::vector<AtomicDecl> atomicDecls;
+    std::vector<AtomicOp> atomicOps;
 
     /** unit-algebra findings (suppressions NOT yet applied). */
     std::vector<Finding> expression;
@@ -136,10 +182,24 @@ FileFacts analyzeFile(const SourceFile &source);
  */
 std::vector<Finding> semanticFindings(const std::vector<FileFacts> &files);
 
+/**
+ * One source tree to scan. Findings in it are recorded as
+ * `<label>/<relative path>` (or bare relative path when the label is
+ * empty, the single-root legacy form).
+ */
+struct RootSpec
+{
+    std::string dir;   //!< directory to walk
+    std::string label; //!< path prefix in findings ("" = none)
+};
+
 /** Options for the full driver (defaults match the ctest entry). */
 struct AnalyzeOptions
 {
-    std::string root;          //!< source tree to scan (required)
+    /** Legacy single root, label-less; used when @ref roots is empty. */
+    std::string root;
+    /** Scan roots in scan order; findings merge into one report. */
+    std::vector<RootSpec> roots;
     std::string allowlistPath; //!< unit-safety allowlist ("" = none)
     std::string sarifPath;     //!< SARIF 2.1.0 output ("" = none)
     std::string cacheDir;      //!< parse-facts cache ("" = disabled)

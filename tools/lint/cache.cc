@@ -16,8 +16,12 @@ namespace mindful::lint {
 
 namespace {
 
-/** Bump whenever FileFacts or the record layout changes shape. */
-constexpr const char *kCacheVersion = "1";
+/**
+ * Bump whenever FileFacts or the record layout changes shape.
+ * v2: atomics-discipline ('A' decls, 'O' ops) and determinism-flow
+ * ('z' hazards) records.
+ */
+constexpr const char *kCacheVersion = "2";
 
 std::string
 escapeField(const std::string &field)
@@ -202,12 +206,29 @@ storeCachedFacts(const std::string &cache_dir, const std::string &key,
                 out << "d " << escapeField(draw.engine) << ' '
                     << escapeField(draw.method) << ' ' << draw.line
                     << '\n';
+            for (const Hazard &hazard : fn.hazards)
+                out << "z " << escapeField(hazard.kind) << ' '
+                    << hazard.line << ' ' << escapeField(hazard.detail)
+                    << '\n';
             for (const std::string &engine : fn.safeEngines)
                 out << "s " << escapeField(engine) << '\n';
         }
         for (const RootRef &ref : facts.rootRefs)
             out << "R " << escapeField(ref.name) << ' ' << ref.line
                 << ' ' << escapeField(ref.label) << '\n';
+        for (const AtomicDecl &decl : facts.atomicDecls)
+            out << "A " << escapeField(decl.name) << ' '
+                << escapeField(decl.role) << ' ' << decl.line << '\n';
+        for (const AtomicOp &op : facts.atomicOps) {
+            out << "O " << escapeField(op.field) << ' '
+                << escapeField(op.op) << ' ' << op.line << ' '
+                << (op.inCondition ? 1 : 0) << ' '
+                << (op.dereferenced ? 1 : 0) << ' '
+                << op.orders.size();
+            for (const std::string &order : op.orders)
+                out << ' ' << escapeField(order);
+            out << '\n';
+        }
         for (const Finding &finding : facts.expression)
             writeFinding(out, 'X', finding);
         for (const Finding &finding : facts.lexical)
@@ -334,6 +355,17 @@ loadCachedFacts(const std::string &cache_dir, const std::string &key,
             fn->draws.push_back({*engine, *method, *at});
             break;
         }
+        case 'z': {
+            if (!fn || fields.size() != 4)
+                return false;
+            auto kind = unescapeField(fields[1]);
+            auto at = parseSize(fields[2]);
+            auto detail = unescapeField(fields[3]);
+            if (!kind || !at || !detail)
+                return false;
+            fn->hazards.push_back({*kind, *at, *detail});
+            break;
+        }
         case 's': {
             if (!fn || fields.size() != 2)
                 return false;
@@ -341,6 +373,44 @@ loadCachedFacts(const std::string &cache_dir, const std::string &key,
             if (!engine)
                 return false;
             fn->safeEngines.push_back(*engine);
+            break;
+        }
+        case 'A': {
+            if (fields.size() != 4)
+                return false;
+            auto name = unescapeField(fields[1]);
+            auto role = unescapeField(fields[2]);
+            auto at = parseSize(fields[3]);
+            if (!name || !role || !at)
+                return false;
+            loaded.atomicDecls.push_back({*name, *role, *at});
+            break;
+        }
+        case 'O': {
+            if (fields.size() < 7)
+                return false;
+            auto field = unescapeField(fields[1]);
+            auto op_name = unescapeField(fields[2]);
+            auto at = parseSize(fields[3]);
+            auto n = parseSize(fields[6]);
+            if (!field || !op_name || !at || !n ||
+                (fields[4] != "0" && fields[4] != "1") ||
+                (fields[5] != "0" && fields[5] != "1") ||
+                fields.size() != 7 + *n)
+                return false;
+            AtomicOp op;
+            op.field = *field;
+            op.op = *op_name;
+            op.line = *at;
+            op.inCondition = fields[4] == "1";
+            op.dereferenced = fields[5] == "1";
+            for (std::size_t k = 0; k < *n; ++k) {
+                auto order = unescapeField(fields[7 + k]);
+                if (!order)
+                    return false;
+                op.orders.push_back(*order);
+            }
+            loaded.atomicOps.push_back(std::move(op));
             break;
         }
         case 'R': {

@@ -62,9 +62,9 @@ struct SourceFile
 
     /**
      * Semantic-analyzer escape hatches, `analyze: <tag>(<reason>)`,
-     * keyed by tag ("hot-ok", "unit-ok", "rng-ok") then line. Policed
-     * exactly like raw-ok: empty reasons and stale markers are
-     * findings (tools/lint/analyze.cc).
+     * keyed by tag ("hot-ok", "unit-ok", "rng-ok", "atomic-ok",
+     * "determinism-ok") then line. Policed exactly like raw-ok: empty
+     * reasons and stale markers are findings (tools/lint/analyze.cc).
      */
     std::map<std::string, std::map<std::size_t, std::string>> analyzeOk;
 };
@@ -135,9 +135,17 @@ std::vector<std::string> collectSources(const std::string &root,
                                         std::string &error);
 
 /**
+ * Normalize a recorded finding path for check routing: strips the
+ * "src/" label multi-root scans prefix, so the unit-dir / logging-sink
+ * tables match both the legacy src-relative and the labeled form.
+ */
+std::string rulePath(const std::string &path);
+
+/**
  * The per-file lexical checks, routed by path: unit-safety for
  * physics-layer headers, logging-idiom everywhere but the designated
- * sinks, rng-discipline everywhere.
+ * sinks (and not in bench/, where stdout is the product),
+ * rng-discipline everywhere.
  */
 std::vector<Finding> lexicalFindings(const SourceFile &source);
 

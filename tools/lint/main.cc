@@ -2,10 +2,16 @@
  * @file
  * mindful-analyze CLI. Usage:
  *
- *   mindful-analyze --root src
+ *   mindful-analyze --root src [--root tools --root bench ...]
  *       [--allowlist tools/lint/allowlist.txt]
  *       [--sarif out.sarif] [--cache-dir .cache/analyze]
  *       [--threads N] [--no-semantic]
+ *
+ * `--root` repeats. Finding paths are prefixed with each relative
+ * root's own cleaned name ("src/...", "tools/..."), so a run from the
+ * repository top level reports repo-relative paths whether one root
+ * or several are given. An absolute root has no natural prefix and
+ * reports root-relative paths (the historical single-root output).
  *
  * `--no-semantic` restricts the run to the PR-3 lexical checks (the
  * old mindful-lint behaviour). Exits 0 when the tree is clean, 1 when
@@ -24,9 +30,23 @@
 namespace {
 
 const char *kUsage =
-    "usage: mindful-analyze --root <dir> [--allowlist <file>]\n"
-    "           [--sarif <file>] [--cache-dir <dir>] [--threads <n>]\n"
-    "           [--no-semantic]\n";
+    "usage: mindful-analyze --root <dir> [--root <dir> ...]\n"
+    "           [--allowlist <file>] [--sarif <file>]\n"
+    "           [--cache-dir <dir>] [--threads <n>] [--no-semantic]\n";
+
+/** Finding-path prefix for one --root argument ("" = no prefix). */
+std::string
+rootLabel(const std::string &dir)
+{
+    std::string label = dir;
+    while (label.rfind("./", 0) == 0)
+        label.erase(0, 2);
+    while (!label.empty() && label.back() == '/')
+        label.pop_back();
+    if (!label.empty() && label.front() == '/')
+        label.clear(); // absolute path: no natural prefix
+    return label;
+}
 
 } // namespace
 
@@ -37,7 +57,8 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--root" && i + 1 < argc) {
-            options.root = argv[++i];
+            const std::string dir = argv[++i];
+            options.roots.push_back({dir, rootLabel(dir)});
         } else if (arg == "--allowlist" && i + 1 < argc) {
             options.allowlistPath = argv[++i];
         } else if (arg == "--sarif" && i + 1 < argc) {
@@ -65,7 +86,7 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    if (options.root.empty()) {
+    if (options.roots.empty()) {
         std::cerr << "mindful-analyze: --root is required\n" << kUsage;
         return 2;
     }

@@ -83,11 +83,26 @@ ruleDescription(const std::string &check)
         {"suppression",
          "analyze: escape-hatch markers must carry a reason and "
          "suppress a live finding."},
+        {"atomics-discipline",
+         "Every std::atomic field declares a MINDFUL_ATOMIC_ROLE "
+         "publication protocol, and every load/store/RMW on it uses "
+         "the memory orders that role permits."},
+        {"determinism-flow",
+         "Unordered-container iteration, pointer-valued keys and "
+         "wall-clock reads must not reach shard bodies; shard "
+         "outputs are byte-identical by contract."},
     };
     auto it = descriptions.find(check);
     if (it != descriptions.end())
         return it->second;
     return "mindful-analyze check '" + check + "'.";
+}
+
+/** docs/static_analysis.md anchor for one rule id. */
+std::string
+ruleHelpUri(const std::string &check)
+{
+    return "docs/static_analysis.md#" + check;
 }
 
 } // namespace
@@ -124,7 +139,9 @@ writeSarif(const std::vector<Finding> &findings,
             << "              \"id\": \"" << jsonEscape(rules[i])
             << "\",\n"
             << "              \"shortDescription\": { \"text\": \""
-            << jsonEscape(ruleDescription(rules[i])) << "\" }\n"
+            << jsonEscape(ruleDescription(rules[i])) << "\" },\n"
+            << "              \"helpUri\": \""
+            << jsonEscape(ruleHelpUri(rules[i])) << "\"\n"
             << "            }";
     }
     out << (rules.empty() ? "]\n" : "\n          ]\n")
