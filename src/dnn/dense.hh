@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dnn/layer.hh"
+#include "dnn/sparse.hh"
 
 namespace mindful::dnn {
 
@@ -60,6 +61,17 @@ class DenseLayer : public Layer
     std::uint64_t weightCount() const override;
     void initializeWeights(Rng &rng) override;
 
+    /**
+     * Feature-level input dropout: @p mask has inFeatures() entries.
+     * Picks Pruned or Csr from the post-dropout weight density
+     * (sparse::kCsrDensityThreshold) and rebuilds the compacted view;
+     * initializeWeights() rebuilds it again for the new weights.
+     */
+    bool setInputDropout(const std::vector<std::uint8_t> &mask) override;
+
+    /** Kernel the next forward() will take. */
+    DropoutPath dropoutPath() const { return _dropPath; }
+
     /** Row-major weights [out x in] (mutable for tests / loading). */
     std::vector<float> &weights() { return _weights; }
     const std::vector<float> &weights() const { return _weights; }
@@ -67,10 +79,18 @@ class DenseLayer : public Layer
     const std::vector<float> &biases() const { return _biases; }
 
   private:
+    /** Recompute the Pruned/Csr plan from _dropoutMask + _weights. */
+    void rebuildDropoutPlan();
+
     std::size_t _in;
     std::size_t _out;
     std::vector<float> _weights;
     std::vector<float> _biases;
+
+    std::vector<std::uint8_t> _dropoutMask; //!< empty = no dropout
+    DropoutPath _dropPath = DropoutPath::None;
+    sparse::PrunedColumns _pruned;
+    sparse::SlabCsrMatrix _csr;
 };
 
 } // namespace mindful::dnn

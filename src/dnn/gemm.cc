@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "base/cpu.hh"
 #include "base/logging.hh"
+#include "dnn/gemm_kernels.hh"
 #include "exec/parallel.hh"
 #include "obs/collector.hh"
 #include "obs/handles.hh"
@@ -10,7 +12,54 @@
 #include "obs/trace.hh"
 
 namespace mindful::dnn::gemm {
+namespace detail {
 namespace {
+
+/**
+ * Scalar GEMV (n == 1, the dense-layer shape): rows are processed in
+ * panels of four so the four independent accumulator chains share
+ * each x[kk] load and fill the scalar pipeline — the accumulation
+ * *order per row* is exactly the naive dense loop, so results are
+ * unchanged, only the instruction-level parallelism improves. This
+ * (plus running inline, see biasGemm) is what keeps the n == 1 path
+ * from ever losing to forwardNaive.
+ */
+template <bool Relu>
+void
+gemvPanels(std::size_t k, const float *a, const float *x,
+           const float *bias, float *c, std::size_t row_begin,
+           std::size_t row_end)
+{
+    std::size_t row = row_begin;
+    for (; row + 4 <= row_end; row += 4) {
+        const float *a0 = a + (row + 0) * k;
+        const float *a1 = a + (row + 1) * k;
+        const float *a2 = a + (row + 2) * k;
+        const float *a3 = a + (row + 3) * k;
+        float s0 = bias != nullptr ? bias[row + 0] : 0.0f;
+        float s1 = bias != nullptr ? bias[row + 1] : 0.0f;
+        float s2 = bias != nullptr ? bias[row + 2] : 0.0f;
+        float s3 = bias != nullptr ? bias[row + 3] : 0.0f;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float xv = x[kk];
+            s0 += a0[kk] * xv;
+            s1 += a1[kk] * xv;
+            s2 += a2[kk] * xv;
+            s3 += a3[kk] * xv;
+        }
+        c[row + 0] = Relu ? std::max(s0, 0.0f) : s0;
+        c[row + 1] = Relu ? std::max(s1, 0.0f) : s1;
+        c[row + 2] = Relu ? std::max(s2, 0.0f) : s2;
+        c[row + 3] = Relu ? std::max(s3, 0.0f) : s3;
+    }
+    for (; row < row_end; ++row) {
+        const float *arow = a + row * k;
+        float acc = bias != nullptr ? bias[row] : 0.0f;
+        for (std::size_t kk = 0; kk < k; ++kk)
+            acc += arow[kk] * x[kk];
+        c[row] = Relu ? std::max(acc, 0.0f) : acc;
+    }
+}
 
 /**
  * Produce C rows [row_begin, row_end). One row of C is computed as
@@ -26,17 +75,7 @@ gemmRowRange(std::size_t n, std::size_t k, const float *a, const float *b,
              std::size_t row_end)
 {
     if (n == 1) {
-        // GEMV (the dense-layer shape): the tile machinery's dynamic
-        // inner loop would cost more than the math. One scalar chain
-        // per row — the exact naive-dense loop, same ascending-k
-        // accumulation order.
-        for (std::size_t row = row_begin; row < row_end; ++row) {
-            const float *arow = a + row * k;
-            float acc = bias ? bias[row] : 0.0f;
-            for (std::size_t kk = 0; kk < k; ++kk)
-                acc += arow[kk] * b[kk];
-            c[row] = Relu ? std::max(acc, 0.0f) : acc;
-        }
+        gemvPanels<Relu>(k, a, b, bias, c, row_begin, row_end);
         return;
     }
 
@@ -84,6 +123,45 @@ gemmRowRange(std::size_t n, std::size_t k, const float *a, const float *b,
 } // namespace
 
 void
+gemmRowRangeScalar(std::size_t n, std::size_t k, const float *a,
+                   const float *b, const float *bias, float *c,
+                   std::size_t row_begin, std::size_t row_end, bool relu)
+{
+    if (relu)
+        gemmRowRange<true>(n, k, a, b, bias, c, row_begin, row_end);
+    else
+        gemmRowRange<false>(n, k, a, b, bias, c, row_begin, row_end);
+}
+
+} // namespace detail
+
+namespace {
+
+/**
+ * Kernel for the dispatched ISA. Resolved per biasGemm call (one
+ * relaxed atomic load inside activeSimdIsa), so tests and the bench
+ * harness can retarget the tier mid-process via forceSimdIsa.
+ */
+detail::RowRangeFn
+dispatchKernel()
+{
+    switch (activeSimdIsa()) {
+#if defined(MINDFUL_HAVE_AVX2)
+    case SimdIsa::Avx2:
+        return &detail::gemmRowRangeAvx2;
+#endif
+#if defined(MINDFUL_HAVE_NEON)
+    case SimdIsa::Neon:
+        return &detail::gemmRowRangeNeon;
+#endif
+    default:
+        return &detail::gemmRowRangeScalar;
+    }
+}
+
+} // namespace
+
+void
 biasGemm(std::size_t m, std::size_t n, std::size_t k, const float *a,
          const float *b, const float *bias, float *c, Epilogue epilogue)
 {
@@ -100,11 +178,9 @@ biasGemm(std::size_t m, std::size_t n, std::size_t k, const float *a,
         .arg("k", static_cast<std::uint64_t>(k));
 
     const bool relu = epilogue == Epilogue::Relu;
+    const detail::RowRangeFn kernel = dispatchKernel();
     auto run = [&](std::size_t row_begin, std::size_t row_end) {
-        if (relu)
-            gemmRowRange<true>(n, k, a, b, bias, c, row_begin, row_end);
-        else
-            gemmRowRange<false>(n, k, a, b, bias, c, row_begin, row_end);
+        kernel(n, k, a, b, bias, c, row_begin, row_end, relu);
     };
 
     // Shard over output rows only: no shard touches another shard's C
