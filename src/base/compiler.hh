@@ -103,6 +103,29 @@
  */
 #define MINDFUL_ATOMIC_ROLE(role)
 
+/**
+ * Marks the loop that immediately follows as a *streaming stage loop*
+ * — a real-time root for mindful-analyze's realtime-loop pass
+ * (docs/static_analysis.md). Place directly before a `while`/`for`
+ * statement; the stage name is a short dotted identifier string:
+ *
+ *   MINDFUL_RT_LOOP("collector.drain")
+ *   while (ring->tryPop(event)) { ... }
+ *
+ * Everything reachable from the annotated loop (condition and body,
+ * through resolvable calls, cross-TU) must stay non-blocking: no
+ * Mutex/ConditionVariable, no file or stream construction, no
+ * sleep/this_thread calls, no unbounded `while (true)` without a
+ * break/return, and no cold-tier TraceSpan / by-name MetricRegistry
+ * lookups (the pre-resolved MINDFUL_HOT_* handle tier stays legal).
+ * Escapes use `analyze: rt-ok` comments with a parenthesized reason,
+ * policed like every other suppression.
+ *
+ * The macro expands to nothing — like MINDFUL_ATOMIC_ROLE it is a
+ * marker for the analyzer's lexer, not for the compiler.
+ */
+#define MINDFUL_RT_LOOP(stage)
+
 namespace mindful {
 
 /**

@@ -165,6 +165,7 @@ TraceCollector::drainOnce()
     std::uint64_t written = 0;
     for (const auto &ring : _rings) {
         PodEvent event;
+        MINDFUL_RT_LOOP("collector.drain")
         while (ring->tryPop(event)) {
             emitHotLocked(event, ring->threadId());
             ++written;

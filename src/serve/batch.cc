@@ -15,6 +15,7 @@
  * into the (allocating) analytic evaluation.
  */
 
+#include "base/compiler.hh"
 #include "exec/parallel.hh"
 #include "serve/query_engine.hh"
 
@@ -32,6 +33,7 @@ QueryEngine::evaluateBatch(const std::vector<DesignQuery> &requests)
         [&](std::size_t shard) {
             const exec::ShardRange range = exec::shardRange(
                 requests.size(), exec::kDefaultShards, shard);
+            MINDFUL_RT_LOOP("serve.batch")
             for (std::uint64_t i = range.begin; i < range.end; ++i) {
                 const DesignQuery canonical =
                     canonicalize(requests[i]);

@@ -1075,27 +1075,482 @@ TEST_F(AnalyzeRunTest, OldSchemaCacheFallsBackToReparse)
     EXPECT_EQ(run(options, cold), 1);
     EXPECT_NE(cold.find("[hot-path]"), std::string::npos);
 
-    // Forge an old-schema record at the exact key the analyzer will
-    // look up, whose body claims the file has no facts at all. The
-    // strict loader must reject the header and reparse — if it trusted
-    // the record, the finding would vanish.
+    // Forge an old-schema (v2) record at the exact key the analyzer
+    // will look up, whose body claims the file has no facts at all.
+    // The strict loader must reject the header and reparse — if it
+    // trusted the record, the finding would vanish.
     const std::string key = factsCacheKey(rel, content);
     const fs::path forged = _root / "cache" / (key + ".facts");
     {
         std::ofstream out(forged);
-        out << "mindful-analyze-cache 1\nP " << rel << "\nE\n";
+        out << "mindful-analyze-cache 2\nP " << rel << "\nE\n";
     }
     std::string warm;
     EXPECT_EQ(run(options, warm), 1);
     EXPECT_EQ(cold, warm);
 
     // Control for the forgery mechanism itself: the same empty body
-    // under the CURRENT schema header IS accepted, so the key and
-    // path above really exercise the loader.
+    // under the CURRENT (v3) schema header IS accepted, so the key
+    // and path above really exercise the loader.
     {
         std::ofstream out(forged);
-        out << "mindful-analyze-cache 2\nP " << rel << "\nE\n";
+        out << "mindful-analyze-cache 3\nP " << rel << "\nE\n";
     }
     std::string forged_out;
     EXPECT_EQ(run(options, forged_out), 0) << forged_out;
+}
+
+// --- realtime-loop discipline ---------------------------------------------
+
+TEST(AnalyzeRealtime, SleepInAnnotatedLoopIsABlockingCall)
+{
+    auto findings = analyze({{"obs/fixture.cc", R"fix(
+        void drain(Ring *ring)
+        {
+            Event event;
+            MINDFUL_RT_LOOP("fixture.drain")
+            while (ring->tryPop(event)) {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+            }
+        }
+    )fix"}});
+    ASSERT_EQ(countCheck(findings, "realtime-loop"), 1u);
+    EXPECT_TRUE(hasFinding(findings, "realtime-loop",
+                           "sleeps via std::this_thread::sleep_for()"));
+    EXPECT_TRUE(hasFinding(findings, "realtime-loop",
+                           "MINDFUL_RT_LOOP(\"fixture.drain\")"));
+}
+
+TEST(AnalyzeRealtime, SameLoopWithoutAnnotationIsNotARoot)
+{
+    // The blocker is recorded for every function but reported only
+    // when reachable from an RT root — no marker, no finding.
+    auto findings = analyze({{"obs/fixture.cc", R"fix(
+        void drain(Ring *ring)
+        {
+            Event event;
+            while (ring->tryPop(event)) {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+            }
+        }
+    )fix"}});
+    EXPECT_EQ(countCheck(findings, "realtime-loop"), 0u);
+}
+
+TEST(AnalyzeRealtime, UnboundedSpinInsideStreamingLoop)
+{
+    auto findings = analyze({{"signal/fixture.cc", R"fix(
+        void pump(Ring *ring, double *sink)
+        {
+            Event event;
+            MINDFUL_RT_LOOP("fixture.pump")
+            while (ring->tryPop(event)) {
+                while (true) {
+                    sink[0] = event.value;
+                }
+            }
+        }
+    )fix"}});
+    ASSERT_EQ(countCheck(findings, "realtime-loop"), 1u);
+    EXPECT_TRUE(hasFinding(
+        findings, "realtime-loop",
+        "spins in `while (true)` with no break or return"));
+}
+
+TEST(AnalyzeRealtime, SpinWithDeclaredExitIsClean)
+{
+    auto findings = analyze({{"signal/fixture.cc", R"fix(
+        void pump(Ring *ring, double *sink)
+        {
+            Event event;
+            MINDFUL_RT_LOOP("fixture.pump")
+            while (ring->tryPop(event)) {
+                while (true) {
+                    sink[0] = event.value;
+                    if (sink[0] > 0.0)
+                        break;
+                }
+            }
+        }
+    )fix"}});
+    EXPECT_EQ(countCheck(findings, "realtime-loop"), 0u);
+}
+
+TEST(AnalyzeRealtime, ColdTierTracingInStreamingLoop)
+{
+    auto findings = analyze({{"obs/fixture.cc", R"fix(
+        void drain(Ring *ring)
+        {
+            Event event;
+            MINDFUL_RT_LOOP("fixture.drain")
+            while (ring->tryPop(event)) {
+                MINDFUL_TRACE_SPAN("obs", "fixture.pop");
+            }
+        }
+    )fix"}});
+    ASSERT_EQ(countCheck(findings, "realtime-loop"), 1u);
+    EXPECT_TRUE(hasFinding(
+        findings, "realtime-loop",
+        "starts a cold-tier trace span via MINDFUL_TRACE_SPAN"));
+    EXPECT_TRUE(
+        hasFinding(findings, "realtime-loop", "MINDFUL_HOT_"));
+}
+
+TEST(AnalyzeRealtime, HotTierHandlesAreStreamingLegal)
+{
+    auto findings = analyze({{"obs/fixture.cc", R"fix(
+        void drain(Ring *ring, CounterHandle hits)
+        {
+            Event event;
+            MINDFUL_RT_LOOP("fixture.drain")
+            while (ring->tryPop(event)) {
+                MINDFUL_HOT_COUNT(hits, 1);
+            }
+        }
+    )fix"}});
+    EXPECT_EQ(countCheck(findings, "realtime-loop"), 0u);
+}
+
+TEST(AnalyzeRealtime, LockReachableThroughUniqueCrossFileCallee)
+{
+    auto findings = analyze({
+        {"obs/helper.cc", R"fix(
+            void flushSink(Sink &sink)
+            {
+                std::fflush(sink.fp);
+            }
+        )fix"},
+        {"obs/driver.cc", R"fix(
+            void pump(Ring *ring, Sink &sink)
+            {
+                Event event;
+                MINDFUL_RT_LOOP("fixture.pump")
+                while (ring->tryPop(event)) {
+                    flushSink(sink);
+                }
+            }
+        )fix"},
+    });
+    ASSERT_EQ(countCheck(findings, "realtime-loop"), 1u);
+    EXPECT_TRUE(
+        hasFinding(findings, "realtime-loop", "calls fflush()"));
+    for (const Finding &finding : findings)
+        if (finding.check == "realtime-loop")
+            EXPECT_EQ(finding.file, "obs/helper.cc");
+}
+
+TEST(AnalyzeRealtime, OpaqueCalleeFallbackTwoDefsInDifferentFiles)
+{
+    // Cross-TU linker pin: `flushSink` is defined in two files, so the
+    // call from the streaming loop must stay opaque (assumed pure) —
+    // exactly the fallback LockReachableThroughUniqueCrossFileCallee
+    // shows resolving when the definition is unique.
+    auto findings = analyze({
+        {"obs/helper_a.cc", R"fix(
+            void flushSink(Sink &sink)
+            {
+                std::fflush(sink.fp);
+            }
+        )fix"},
+        {"obs/helper_b.cc", R"fix(
+            void flushSink(FILE *fp)
+            {
+                std::fflush(fp);
+            }
+        )fix"},
+        {"obs/driver.cc", R"fix(
+            void pump(Ring *ring, Sink &sink)
+            {
+                Event event;
+                MINDFUL_RT_LOOP("fixture.pump")
+                while (ring->tryPop(event)) {
+                    flushSink(sink);
+                }
+            }
+        )fix"},
+    });
+    EXPECT_EQ(countCheck(findings, "realtime-loop"), 0u);
+}
+
+TEST(AnalyzeRealtime, RtOkAtTheBlockerSuppressesWithReason)
+{
+    auto findings = analyze({{"obs/fixture.cc", R"fix(
+        void drain(Ring *ring)
+        {
+            Event event;
+            MINDFUL_RT_LOOP("fixture.drain")
+            while (ring->tryPop(event)) {
+                // analyze: rt-ok(final sweep runs off the hot thread)
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+            }
+        }
+    )fix"}});
+    EXPECT_EQ(countCheck(findings, "realtime-loop"), 0u);
+    EXPECT_EQ(countCheck(findings, "suppression"), 0u);
+}
+
+TEST(AnalyzeRealtime, RtOkAtTheRootCoversTheWholeLoop)
+{
+    auto findings = analyze({{"obs/fixture.cc", R"fix(
+        void drain(Ring *ring)
+        {
+            Event event;
+            // analyze: rt-ok(shutdown path, not the streaming stage)
+            MINDFUL_RT_LOOP("fixture.drain")
+            while (ring->tryPop(event)) {
+                MINDFUL_TRACE_SPAN("obs", "fixture.pop");
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+            }
+        }
+    )fix"}});
+    EXPECT_EQ(countCheck(findings, "realtime-loop"), 0u);
+    EXPECT_EQ(countCheck(findings, "suppression"), 0u);
+}
+
+TEST(AnalyzeRealtime, DanglingMarkerIsAFinding)
+{
+    auto findings = analyze({{"obs/fixture.cc", R"fix(
+        void setup(Ring *ring)
+        {
+            MINDFUL_RT_LOOP("fixture.misplaced")
+            int warm = 0;
+            ring->prime(warm);
+        }
+    )fix"}});
+    ASSERT_EQ(countCheck(findings, "realtime-loop"), 1u);
+    EXPECT_TRUE(hasFinding(findings, "realtime-loop",
+                           "attaches to no while/for loop"));
+}
+
+// --- view-invalidation ----------------------------------------------------
+
+TEST(AnalyzeViews, GrowthBetweenBindingAndLastUse)
+{
+    auto findings = analyze({{"dnn/fixture.cc", R"fix(
+        void fill(std::vector<double> &samples, double *sink)
+        {
+            std::span<double> window(samples);
+            samples.push_back(1.0);
+            sink[0] = window[0];
+        }
+    )fix"}});
+    ASSERT_EQ(countCheck(findings, "view-invalidation"), 1u);
+    EXPECT_TRUE(hasFinding(findings, "view-invalidation",
+                           "(view-after-growth)"));
+    EXPECT_TRUE(hasFinding(findings, "view-invalidation",
+                           "'samples'.push_back()"));
+}
+
+TEST(AnalyzeViews, GrowthAfterLastUseIsClean)
+{
+    auto findings = analyze({{"dnn/fixture.cc", R"fix(
+        void fill(std::vector<double> &samples, double *sink)
+        {
+            std::span<double> window(samples);
+            sink[0] = window[0];
+            samples.push_back(1.0);
+        }
+    )fix"}});
+    EXPECT_EQ(countCheck(findings, "view-invalidation"), 0u);
+}
+
+TEST(AnalyzeViews, RawDataPointerAndMoveOfTheSource)
+{
+    auto findings = analyze({{"dnn/fixture.cc", R"fix(
+        std::vector<double> drain(std::vector<double> &samples)
+        {
+            const double *raw = samples.data();
+            std::vector<double> taken = std::move(samples);
+            return consume(raw, taken);
+        }
+    )fix"}});
+    ASSERT_EQ(countCheck(findings, "view-invalidation"), 1u);
+    EXPECT_TRUE(hasFinding(findings, "view-invalidation",
+                           "std::move('samples')"));
+}
+
+TEST(AnalyzeViews, EscapeByMutableReferenceArgument)
+{
+    auto findings = analyze({
+        {"dnn/grower.cc", R"fix(
+            void appendFrame(std::vector<double> &samples)
+            {
+                samples.push_back(0.0);
+            }
+        )fix"},
+        {"dnn/user.cc", R"fix(
+            void use(std::vector<double> &samples, double *sink)
+            {
+                std::span<double> window(samples);
+                appendFrame(samples);
+                sink[0] = window[0];
+            }
+        )fix"},
+    });
+    ASSERT_EQ(countCheck(findings, "view-invalidation"), 1u);
+    EXPECT_TRUE(hasFinding(findings, "view-invalidation",
+                           "(view-escape-by-arg)"));
+    EXPECT_TRUE(hasFinding(findings, "view-invalidation",
+                           "appendFrame()"));
+    for (const Finding &finding : findings)
+        if (finding.check == "view-invalidation")
+            EXPECT_EQ(finding.file, "dnn/user.cc");
+}
+
+TEST(AnalyzeViews, ByValueCalleeCannotInvalidateTheCaller)
+{
+    auto findings = analyze({
+        {"dnn/grower.cc", R"fix(
+            void appendFrame(std::vector<double> samples)
+            {
+                samples.push_back(0.0);
+            }
+        )fix"},
+        {"dnn/user.cc", R"fix(
+            void use(std::vector<double> &samples, double *sink)
+            {
+                std::span<double> window(samples);
+                appendFrame(samples);
+                sink[0] = window[0];
+            }
+        )fix"},
+    });
+    EXPECT_EQ(countCheck(findings, "view-invalidation"), 0u);
+}
+
+TEST(AnalyzeViews, AmbiguousGrowerStaysOpaque)
+{
+    // Same opaque-callee fallback as the RT pass: two definitions of
+    // `appendFrame` in different files, the call is not followed.
+    auto findings = analyze({
+        {"dnn/grower_a.cc", R"fix(
+            void appendFrame(std::vector<double> &samples)
+            {
+                samples.push_back(0.0);
+            }
+        )fix"},
+        {"dnn/grower_b.cc", R"fix(
+            void appendFrame(std::vector<float> &samples)
+            {
+                samples.push_back(0.0f);
+            }
+        )fix"},
+        {"dnn/user.cc", R"fix(
+            void use(std::vector<double> &samples, double *sink)
+            {
+                std::span<double> window(samples);
+                appendFrame(samples);
+                sink[0] = window[0];
+            }
+        )fix"},
+    });
+    EXPECT_EQ(countCheck(findings, "view-invalidation"), 0u);
+}
+
+TEST(AnalyzeViews, TransitiveGrowthThroughAWrapper)
+{
+    // growingParams is a fixpoint: user -> wrapper -> grower, the
+    // wrapper forwards its mutable-reference parameter.
+    auto findings = analyze({
+        {"dnn/grower.cc", R"fix(
+            void appendFrame(std::vector<double> &samples)
+            {
+                samples.push_back(0.0);
+            }
+            void refill(std::vector<double> &buffer)
+            {
+                appendFrame(buffer);
+            }
+        )fix"},
+        {"dnn/user.cc", R"fix(
+            void use(std::vector<double> &samples, double *sink)
+            {
+                std::span<double> window(samples);
+                refill(samples);
+                sink[0] = window[0];
+            }
+        )fix"},
+    });
+    ASSERT_EQ(countCheck(findings, "view-invalidation"), 1u);
+    EXPECT_TRUE(hasFinding(findings, "view-invalidation",
+                           "refill()"));
+}
+
+TEST(AnalyzeViews, ViewOkSuppressesWithReason)
+{
+    auto findings = analyze({{"dnn/fixture.cc", R"fix(
+        void fill(std::vector<double> &samples, double *sink)
+        {
+            std::span<double> window(samples);
+            // analyze: view-ok(capacity reserved by the caller)
+            samples.push_back(1.0);
+            sink[0] = window[0];
+        }
+    )fix"}});
+    EXPECT_EQ(countCheck(findings, "view-invalidation"), 0u);
+    EXPECT_EQ(countCheck(findings, "suppression"), 0u);
+}
+
+TEST(AnalyzeViews, ViewOkSuppressesTheEscapeCall)
+{
+    auto findings = analyze({
+        {"dnn/grower.cc", R"fix(
+            void appendFrame(std::vector<double> &samples)
+            {
+                samples.push_back(0.0);
+            }
+        )fix"},
+        {"dnn/user.cc", R"fix(
+            void use(std::vector<double> &samples, double *sink)
+            {
+                std::span<double> window(samples);
+                // analyze: view-ok(append never exceeds the reserve)
+                appendFrame(samples);
+                sink[0] = window[0];
+            }
+        )fix"},
+    });
+    EXPECT_EQ(countCheck(findings, "view-invalidation"), 0u);
+    EXPECT_EQ(countCheck(findings, "suppression"), 0u);
+}
+
+// --- baseline ratchet -----------------------------------------------------
+
+TEST_F(AnalyzeRunTest, BaselineRatchetPassesOldFindingsFailsNewOnes)
+{
+    write("src/thermal/cfg.hh",
+          "struct Config {\n    double peakPower = 1.0;\n};\n");
+
+    AnalyzeOptions snapshot;
+    snapshot.writeBaselinePath = (_root / "baseline.txt").string();
+    std::string wrote;
+    EXPECT_EQ(run(snapshot, wrote), 0);
+
+    AnalyzeOptions ratchet;
+    ratchet.baselinePath = (_root / "baseline.txt").string();
+    std::string clean;
+    EXPECT_EQ(run(ratchet, clean), 0) << clean;
+    EXPECT_TRUE(clean.empty());
+
+    // Baseline keys carry no line numbers: shifting the finding down
+    // by an edit above it must not churn the ratchet.
+    write("src/thermal/cfg.hh",
+          "// fixture header\n// second line\nstruct Config {\n"
+          "    double peakPower = 1.0;\n};\n");
+    std::string shifted;
+    EXPECT_EQ(run(ratchet, shifted), 0) << shifted;
+
+    // A finding the baseline has never seen still fails, and only the
+    // new finding is printed.
+    write("src/thermal/fresh.hh",
+          "struct Tuning {\n    double peakPower = 2.0;\n};\n");
+    std::string fresh;
+    EXPECT_EQ(run(ratchet, fresh), 1);
+    EXPECT_NE(fresh.find("thermal/fresh.hh"), std::string::npos)
+        << fresh;
+    EXPECT_EQ(fresh.find("thermal/cfg.hh"), std::string::npos) << fresh;
 }

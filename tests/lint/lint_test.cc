@@ -250,6 +250,50 @@ TEST(LintLexer, PreprocessorDirectivesEmitNoTokens)
     EXPECT_TRUE(found);
 }
 
+TEST(LintLexer, Utf8BomIsSkippedBeforeTheFirstToken)
+{
+    // Without the skip the BOM lexes as three junk punctuation tokens
+    // and clears line_start, so the first-line directive would leak
+    // its tokens into the stream.
+    auto source = scanSource("comm/fixture.cc",
+                             "\xEF\xBB\xBF#include <iostream>\n"
+                             "std::cout << 1;\n");
+    auto findings = checkLoggingIdiom(source);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 2u);
+    EXPECT_EQ(source.tokens.front().text, "std");
+}
+
+TEST(LintLexer, CrlfEndingsKeepLineNumbersAligned)
+{
+    auto source = scanSource("thermal/fixture.hh",
+                             "struct Config {\r\n"
+                             "    double gridSpacing = 1.0;\r\n"
+                             "};\r\n");
+    auto findings = checkUnitSafety(source);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(LintLexer, CrlfBackslashContinuationSplicesTheLine)
+{
+    // Windows endings: `\` + CRLF is one continuation both inside a
+    // directive (the cout stays part of the #define) and between
+    // tokens, and the marker on the spliced comment still lands on
+    // its physical line.
+    auto source = scanSource("comm/fixture.cc",
+                             "#define NOISY(x) \\\r\n"
+                             "    std::cout << (x)\r\n"
+                             "// continues \\\r\n"
+                             "std::cout << 2;\r\n"
+                             "int live = 5;\r\n");
+    EXPECT_TRUE(checkLoggingIdiom(source).empty());
+    bool found = false;
+    for (const Token &token : source.tokens)
+        found = found || token.text == "live";
+    EXPECT_TRUE(found);
+}
+
 TEST(LintRng, FlagsRandAndRandomDevice)
 {
     auto source = scanSource("ni/fixture.cc", R"(

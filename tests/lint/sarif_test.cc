@@ -17,10 +17,11 @@ using namespace mindful::lint;
 namespace {
 
 std::string
-emit(const std::vector<Finding> &findings, const std::string &root)
+emit(const std::vector<Finding> &findings, const std::string &root,
+     const SnippetProvider &snippets = nullptr)
 {
     std::ostringstream out;
-    writeSarif(findings, root, out);
+    writeSarif(findings, root, snippets, out);
     return out.str();
 }
 
@@ -103,4 +104,65 @@ TEST(Sarif, MessagesAreJsonEscaped)
               std::string::npos);
     // empty root prefix: the path is used verbatim
     EXPECT_NE(json.find("\"uri\": \"core/a.cc\""), std::string::npos);
+}
+
+/**
+ * Regression for the 2.1.0 region fields: with a snippet provider the
+ * region carries startColumn 1, endColumn one past the line's last
+ * character, and the line text as snippet.text — and every emitted
+ * field name is one the 2.1.0 schema defines for `region`.
+ */
+TEST(Sarif, RegionsCarryColumnsAndSnippet)
+{
+    std::vector<Finding> findings{
+        {"obs/collector.cc", 3, "realtime-loop", "blocks"},
+    };
+    SnippetProvider snippets = [](const std::string &file,
+                                  std::size_t line) -> std::string {
+        EXPECT_EQ(file, "obs/collector.cc");
+        EXPECT_EQ(line, 3u);
+        return "    cv.wait(mutex);"; // 19 characters
+    };
+    std::string json = emit(findings, "src", snippets);
+    EXPECT_TRUE(balanced(json));
+    EXPECT_NE(json.find("\"startLine\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"startColumn\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"endColumn\": 20"), std::string::npos);
+    EXPECT_NE(
+        json.find(
+            "\"snippet\": { \"text\": \"    cv.wait(mutex);\" }"),
+        std::string::npos);
+}
+
+TEST(Sarif, EmptySnippetFallsBackToLineGranularRegion)
+{
+    std::vector<Finding> findings{
+        {"obs/collector.cc", 3, "realtime-loop", "blocks"},
+    };
+    SnippetProvider none = [](const std::string &,
+                              std::size_t) -> std::string {
+        return "";
+    };
+    std::string json = emit(findings, "src", none);
+    EXPECT_TRUE(balanced(json));
+    EXPECT_NE(json.find("\"region\": { \"startLine\": 3 }"),
+              std::string::npos);
+    EXPECT_EQ(json.find("\"endColumn\""), std::string::npos);
+    EXPECT_EQ(json.find("\"snippet\""), std::string::npos);
+}
+
+TEST(Sarif, SnippetTextIsJsonEscaped)
+{
+    std::vector<Finding> findings{
+        {"core/a.cc", 1, "hot-path", "m"},
+    };
+    SnippetProvider snippets = [](const std::string &,
+                                  std::size_t) -> std::string {
+        return "auto s = \"quoted\";";
+    };
+    std::string json = emit(findings, "", snippets);
+    EXPECT_TRUE(balanced(json));
+    EXPECT_NE(json.find("\"snippet\": { \"text\": "
+                        "\"auto s = \\\"quoted\\\";\" }"),
+              std::string::npos);
 }

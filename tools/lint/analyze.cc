@@ -362,12 +362,19 @@ class Parser
                 return;
             ParamFacts p;
             std::size_t name_stop = stop;
+            bool has_const = false;
+            bool has_indirection = false;
             for (std::size_t k = start; k < stop; ++k) {
                 if (tok(k) == "Rng")
                     p.isRng = true;
+                if (tok(k) == "const")
+                    has_const = true;
+                if (tok(k) == "&" || tok(k) == "*")
+                    has_indirection = true;
                 if (tok(k) == "=" && name_stop == stop)
                     name_stop = k; // drop default argument
             }
+            p.mutableRef = has_indirection && !has_const;
             for (std::size_t k = name_stop; k > start;) {
                 --k;
                 if (isIdentTok(tok(k)) && !typeWords().count(tok(k))) {
@@ -466,6 +473,22 @@ class Parser
                 scanParallelArgs(t, _t[i].line, i + 2, close, carved);
                 i = i + 1; // keep scanning inside the call (non-lambda
                            // args belong to the enclosing function)
+            } else if (t == "MINDFUL_RT_LOOP" && tok(i + 1) == "(") {
+                // The parallelFor branch keeps scanning inside the
+                // call, so a marker in a shard lambda comes past here
+                // twice; the lambda's own analyzeBody carves it.
+                bool already_carved = false;
+                for (const auto &range : carved)
+                    if (i >= range.first && i < range.second)
+                        already_carved = true;
+                if (already_carved)
+                    continue;
+                std::size_t mclose = matchParen(_t, i + 1);
+                if (mclose >= end)
+                    continue;
+                std::size_t stop = carveRtLoop(fn, i, mclose, end);
+                carved.emplace_back(i, stop + 1);
+                i = stop;
             }
         }
 
@@ -483,7 +506,83 @@ class Parser
             scanToken(fn, i);
         }
 
+        // View liveness: the last mention of each view after its
+        // binding bounds the window in which growing the source is a
+        // finding. Carved lambda bodies count — a captured view is
+        // still a use.
+        for (ViewSite &view : fn.views) {
+            for (std::size_t i = view.pos + 1; i < end; ++i) {
+                if (tok(i) == view.view) {
+                    view.lastUsePos = i;
+                    view.lastUseLine = _t[i].line;
+                }
+            }
+        }
+
         _unordered = saved_unordered;
+    }
+
+    /**
+     * Carve the loop following a MINDFUL_RT_LOOP("stage") marker into
+     * its own rtRoot FunctionFacts (condition included — calls in the
+     * pop condition are on the streaming path too). The enclosing
+     * function keeps a synthetic call edge to the carved loop so
+     * shard-root hot-path coverage of the loop body is preserved.
+     * Returns the last carved token index (the marker's `)` when no
+     * loop follows).
+     */
+    std::size_t
+    carveRtLoop(FunctionFacts &fn, std::size_t i, std::size_t mclose,
+                std::size_t end)
+    {
+        std::string stage = "<unnamed>";
+        const std::string &arg = tok(i + 2);
+        if (mclose == i + 3 && arg.size() >= 2 && arg.front() == '"')
+            stage = arg.substr(1, arg.size() - 2);
+
+        FunctionFacts rt;
+        rt.name = "<rt:" + stage + "@" + std::to_string(_t[i].line) +
+                  ">";
+        rt.line = _t[i].line;
+        rt.rtRoot = true;
+        rt.rootLabel = stage;
+        rt.rootLine = _t[i].line;
+
+        std::size_t stop = mclose;
+        const std::size_t kw = mclose + 1;
+        bool attached = false;
+        if ((tok(kw) == "while" || tok(kw) == "for") &&
+            tok(kw + 1) == "(") {
+            std::size_t cond_close = matchParen(_t, kw + 1);
+            std::size_t body_end;
+            if (tok(cond_close + 1) == "{") {
+                body_end = matchBrace(_t, cond_close + 1);
+            } else {
+                body_end = cond_close + 1;
+                while (body_end < end && tok(body_end) != ";")
+                    ++body_end;
+            }
+            if (body_end < end) {
+                analyzeBody(rt, kw, body_end + 1);
+                stop = body_end;
+                attached = true;
+            }
+        }
+        if (!attached) {
+            rt.rtBlockers.push_back(
+                {"blocking-call", _t[i].line,
+                 "MINDFUL_RT_LOOP(\"" + stage +
+                     "\") attaches to no while/for loop; place it "
+                     "directly before the loop statement"});
+        }
+
+        CallSite link;
+        link.callee = rt.name;
+        link.line = _t[i].line;
+        link.pos = i;
+        fn.calls.push_back(std::move(link));
+        _out.functions.push_back(std::move(rt));
+        return stop;
     }
 
     void
@@ -566,11 +665,31 @@ class Parser
             return;
         }
 
+        // realtime blockers: unbounded loops with no declared exit
+        if (t == "while" && tok(i + 1) == "(") {
+            std::size_t close = matchParen(_t, i + 1);
+            if (close == i + 3 &&
+                (tok(i + 2) == "true" || tok(i + 2) == "1") &&
+                !loopHasExit(close + 1)) {
+                fn.rtBlockers.push_back(
+                    {"unbounded-loop", line,
+                     "spins in `while (" + tok(i + 2) +
+                         ")` with no break or return"});
+            }
+            return;
+        }
+
         // determinism hazards: range-for over an unordered container
         // constructed in this body (iteration order is hash-seed and
         // insertion-history dependent).
         if (t == "for" && tok(i + 1) == "(") {
             std::size_t close = matchParen(_t, i + 1);
+            if (close == i + 4 && tok(i + 2) == ";" &&
+                tok(i + 3) == ";" && !loopHasExit(close + 1)) {
+                fn.rtBlockers.push_back(
+                    {"unbounded-loop", line,
+                     "spins in `for (;;)` with no break or return"});
+            }
             std::size_t depth = 0;
             for (std::size_t k = i + 1; k < close; ++k) {
                 const std::string &inner = tok(k);
@@ -640,6 +759,9 @@ class Parser
         if (after_dot && before_paren && growMethods().count(t)) {
             fn.impurities.push_back(
                 {"grow", line, "grows a container via ." + t + "()"});
+            std::size_t obj = tok(i - 1) == "." ? i - 2 : i - 3;
+            if (obj < _t.size() && isIdentTok(tok(obj)))
+                fn.grows.push_back({tok(obj), t, line, i});
             return;
         }
         if (after_dot && before_paren && t == "substr") {
@@ -686,6 +808,86 @@ class Parser
                  "does a by-name metric lookup via " + t});
             return;
         }
+
+        // realtime blockers: sleeps, condition-variable/future waits,
+        // file-stream construction and C file I/O. Recorded for every
+        // function; reported only when reachable from an RT root.
+        if ((t == "sleep_for" || t == "sleep_until") &&
+            before_paren) {
+            fn.rtBlockers.push_back(
+                {"blocking-call", line,
+                 "sleeps via std::this_thread::" + t + "()"});
+        }
+        if ((t == "usleep" || t == "nanosleep") && before_paren &&
+            !after_dot) {
+            fn.rtBlockers.push_back(
+                {"blocking-call", line, "sleeps via " + t + "()"});
+        }
+        if (after_dot && before_paren &&
+            (t == "wait" || t == "wait_for" || t == "wait_until")) {
+            fn.rtBlockers.push_back(
+                {"blocking-call", line,
+                 "blocks on ." + t +
+                     "() (condition variable / future)"});
+        }
+        if ((t == "ifstream" || t == "ofstream" || t == "fstream") &&
+            i > 0 && tok(i - 1) == ":") {
+            const std::string &next = tok(i + 1);
+            if (isIdentTok(next) || next == "(" || next == "{") {
+                fn.rtBlockers.push_back(
+                    {"blocking-call", line,
+                     "opens a file stream (std::" + t + ")"});
+            }
+        }
+        if ((t == "fopen" || t == "fread" || t == "fwrite" ||
+             t == "fclose" || t == "fflush" || t == "popen" ||
+             t == "system") &&
+            before_paren && !after_dot) {
+            fn.rtBlockers.push_back(
+                {"blocking-call", line, "calls " + t + "()"});
+        }
+
+        // realtime blockers: cold-tier observability. The trace macros
+        // and TraceSpan do locked by-name registry work; only the
+        // pre-resolved MINDFUL_HOT_* handle tier is streaming-legal.
+        if (t == "MINDFUL_TRACE_SPAN" || t == "MINDFUL_TRACE_SCOPE") {
+            fn.rtBlockers.push_back(
+                {"cold-tier", line,
+                 "starts a cold-tier trace span via " + t});
+        }
+        if (t == "TraceSpan" && isIdentTok(tok(i + 1))) {
+            fn.rtBlockers.push_back(
+                {"cold-tier", line,
+                 "constructs a cold-tier TraceSpan"});
+        }
+
+        // view-invalidation bookkeeping: std::move of a named source
+        // invalidates any outstanding view of it.
+        if (t == "move" && i > 0 && tok(i - 1) == ":" &&
+            tok(i + 1) == "(" && isIdentTok(tok(i + 2)) &&
+            tok(i + 3) == ")") {
+            fn.grows.push_back({tok(i + 2), "move", line, i});
+        }
+
+        // view bindings: raw pointer taken off .data()/.rowData()
+        // (`auto *p = buf.data();`, `float *row = t.rowData(r);`).
+        if (after_dot && before_paren &&
+            (t == "data" || t == "rowData")) {
+            std::size_t obj = tok(i - 1) == "." ? i - 2 : i - 3;
+            if (obj < _t.size() && isIdentTok(tok(obj)) &&
+                obj >= 2 && tok(obj - 1) == "=" &&
+                isIdentTok(tok(obj - 2))) {
+                fn.views.push_back({tok(obj - 2), tok(obj), t, line, i,
+                                    i, line});
+            }
+        }
+
+        // view bindings: std::span / std::string_view declarations.
+        if ((t == "span" || t == "string_view") && i > 0 &&
+            tok(i - 1) == ":") {
+            scanViewDecl(fn, i);
+            return;
+        }
         // Heap-container type use: the tree always spells these
         // `std::vector` etc., so requiring the qualifier separates
         // the type from same-named locals (`map(shard)`).
@@ -709,10 +911,82 @@ class Parser
                 CallSite call;
                 call.callee = t;
                 call.line = line;
+                call.pos = i;
                 collectArgIdents(paren, call.argIdents);
                 fn.calls.push_back(std::move(call));
             }
         }
+    }
+
+    /**
+     * Whether the loop body starting at @p open (its `{`) contains a
+     * break, return, goto or throw — the declared exits that make an
+     * unconditional loop bounded. A braceless body has none.
+     */
+    bool
+    loopHasExit(std::size_t open) const
+    {
+        if (tok(open) != "{")
+            return false;
+        std::size_t close = matchBrace(_t, open);
+        for (std::size_t k = open + 1; k < close && k < _t.size();
+             ++k) {
+            const std::string &t = tok(k);
+            if (t == "break" || t == "return" || t == "goto" ||
+                t == "throw")
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * A view declaration `std::span<T> v(src, ...)` / `{src}` /
+     * `= src`: record which container the view borrows from. A `:`
+     * inside the parens means qualified types — a function
+     * *declaration's* parameter list, not a borrow — so stay silent.
+     */
+    void
+    scanViewDecl(FunctionFacts &fn, std::size_t i)
+    {
+        const std::string &how = tok(i);
+        std::size_t after = i + 1;
+        if (tok(after) == "<") {
+            std::size_t close = matchAngle(_t, after);
+            if (close == kNpos)
+                return;
+            after = close + 1;
+        }
+        if (!isIdentTok(tok(after)) || typeWords().count(tok(after)))
+            return;
+        const std::string view = tok(after);
+        const std::size_t open = after + 1;
+        std::string source;
+        if (tok(open) == "(" || tok(open) == "{") {
+            std::size_t close = tok(open) == "("
+                                    ? matchParen(_t, open)
+                                    : matchBrace(_t, open);
+            for (std::size_t k = open + 1;
+                 k < close && k < _t.size(); ++k) {
+                const std::string &tk = tok(k);
+                if (tk == ":")
+                    return;
+                if (source.empty() && isIdentTok(tk) &&
+                    !typeWords().count(tk)) {
+                    const std::string &next = tok(k + 1);
+                    if (next == "." || next == "," || next == ")" ||
+                        next == "}" || next == "[" || next == "-")
+                        source = tk;
+                }
+            }
+        } else if (tok(open) == "=") {
+            if (isIdentTok(tok(open + 1)) &&
+                !typeWords().count(tok(open + 1)))
+                source = tok(open + 1);
+        }
+        if (source.empty() || source == view)
+            return;
+        fn.views.push_back(
+            {view, source, how, _t[i].line, i, i, _t[i].line});
     }
 
     /**
@@ -1370,7 +1644,8 @@ reachableFrom(FnKey root, const Linker &linker)
 
 std::string
 callChain(const Reach &reach, FnKey root, FnKey node,
-          const Linker &linker)
+          const Linker &linker,
+          const char *root_noun = "in the shard body")
 {
     std::vector<std::string> names;
     for (FnKey at = node; !(at == root);) {
@@ -1381,7 +1656,7 @@ callChain(const Reach &reach, FnKey root, FnKey node,
         at = it->second;
     }
     if (names.empty())
-        return "in the shard body";
+        return root_noun;
     std::string chain = "via ";
     for (std::size_t i = names.size(); i > 0; --i) {
         chain += names[i - 1] + "()";
@@ -1454,6 +1729,66 @@ unforkedParamDraws(const std::vector<FileFacts> &files,
         }
     }
     return unforked;
+}
+
+/**
+ * Param indices a function (transitively) grows, with the growth
+ * method for reporting. Only mutable-reference/pointer parameters
+ * count — growing a by-value copy cannot invalidate the caller's
+ * views. Mirrors unforkedParamDraws: direct GrowSites seed the map,
+ * then call-argument positions propagate it to a fixpoint.
+ */
+std::map<FnKey, std::map<std::size_t, std::string>>
+growingParams(const std::vector<FileFacts> &files, const Linker &linker)
+{
+    std::map<FnKey, std::map<std::size_t, std::string>> growing;
+    for (std::size_t f = 0; f < files.size(); ++f) {
+        for (std::size_t k = 0; k < files[f].functions.size(); ++k) {
+            const FunctionFacts &fn = files[f].functions[k];
+            for (const GrowSite &grow : fn.grows) {
+                for (std::size_t p = 0; p < fn.params.size(); ++p) {
+                    if (fn.params[p].name == grow.container &&
+                        fn.params[p].mutableRef)
+                        growing[{f, k}].insert({p, grow.method});
+                }
+            }
+        }
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t f = 0; f < files.size(); ++f) {
+            for (std::size_t k = 0; k < files[f].functions.size();
+                 ++k) {
+                const FunctionFacts &fn = files[f].functions[k];
+                for (const CallSite &call : fn.calls) {
+                    for (const FnKey &target :
+                         linker.resolve(f, call.callee)) {
+                        auto it = growing.find(target);
+                        if (it == growing.end() ||
+                            target == FnKey{f, k})
+                            continue;
+                        for (const auto &[j, method] : it->second) {
+                            if (j >= call.argIdents.size() ||
+                                call.argIdents[j].empty())
+                                continue;
+                            for (std::size_t p = 0;
+                                 p < fn.params.size(); ++p) {
+                                if (fn.params[p].name ==
+                                        call.argIdents[j] &&
+                                    fn.params[p].mutableRef &&
+                                    growing[{f, k}]
+                                        .insert({p, method})
+                                        .second)
+                                    changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return growing;
 }
 
 // --- atomics-discipline ---------------------------------------------------
@@ -1925,6 +2260,164 @@ semanticFindings(const std::vector<FileFacts> &files)
         }
     }
 
+    // realtime-loop: one BFS per MINDFUL_RT_LOOP streaming root.
+    // Locks, logging and by-name metric lookups are already tracked
+    // as impurities; sleeps, waits, file I/O, unbounded loops and
+    // cold-tier tracing arrive as rtBlockers.
+    for (std::size_t f = 0; f < files.size(); ++f) {
+        for (std::size_t k = 0; k < files[f].functions.size(); ++k) {
+            const FunctionFacts &root_fn = files[f].functions[k];
+            if (!root_fn.rtRoot)
+                continue;
+            const FnKey root_key{f, k};
+            Reach reach = reachableFrom(root_key, linker);
+            const std::string context =
+                "the MINDFUL_RT_LOOP(\"" + root_fn.rootLabel +
+                "\") streaming loop at " + files[f].path + ":" +
+                std::to_string(root_fn.rootLine);
+            for (const FnKey &node : reach.order) {
+                const FunctionFacts &fn = linker.fn(node);
+                auto report = [&](const std::string &kind,
+                                  std::size_t line,
+                                  const std::string &detail) {
+                    if (suppressions.covered("rt-ok", node.file,
+                                             line) ||
+                        suppressions.covered("rt-ok", f,
+                                             root_fn.rootLine))
+                        return;
+                    std::tuple<std::string, std::size_t, std::string>
+                        key{files[node.file].path, line,
+                            "rt:" + detail};
+                    if (!seen.insert(key).second)
+                        return;
+                    const std::string tail =
+                        kind == "cold-tier"
+                            ? "; cold-tier observability does locked "
+                              "by-name lookups — pre-resolve a "
+                              "MINDFUL_HOT_* handle at setup time "
+                              "(docs/static_analysis.md)"
+                            : "; nothing blocking may run on a "
+                              "streaming stage path "
+                              "(docs/static_analysis.md)";
+                    findings.push_back(
+                        {files[node.file].path, line, "realtime-loop",
+                         detail + " (" +
+                             callChain(reach, root_key, node, linker,
+                                       "in the loop body") +
+                             ") inside " + context + tail +
+                             "; annotate `// analyze: rt-ok(<reason>)`"
+                             " if intended"});
+                };
+                for (const Impurity &blocker : fn.rtBlockers)
+                    report(blocker.kind, blocker.line, blocker.detail);
+                for (const Impurity &impurity : fn.impurities) {
+                    if (impurity.kind == "lock" ||
+                        impurity.kind == "log")
+                        report("blocking-call", impurity.line,
+                               impurity.detail);
+                    else if (impurity.kind == "metric-lookup")
+                        report("cold-tier", impurity.line,
+                               impurity.detail);
+                }
+            }
+        }
+    }
+
+    // view-invalidation: a growth of a view's source between the
+    // binding and the view's last use — directly (same function) or
+    // through a callee that grows a mutable-reference parameter.
+    const auto growing = growingParams(files, linker);
+    for (std::size_t f = 0; f < files.size(); ++f) {
+        for (std::size_t k = 0; k < files[f].functions.size(); ++k) {
+            const FunctionFacts &fn = files[f].functions[k];
+            for (const ViewSite &view : fn.views) {
+                auto live_detail = [&] {
+                    return "view '" + view.view + "' (." + view.how +
+                           " of '" + view.source + "' taken at line " +
+                           std::to_string(view.line) +
+                           ") is still live (last used at line " +
+                           std::to_string(view.lastUseLine) + ")";
+                };
+                for (const GrowSite &grow : fn.grows) {
+                    if (grow.container != view.source ||
+                        grow.pos <= view.pos ||
+                        grow.pos >= view.lastUsePos)
+                        continue;
+                    if (suppressions.covered("view-ok", f,
+                                             grow.line) ||
+                        suppressions.covered("view-ok", f, view.line))
+                        continue;
+                    const std::string act =
+                        grow.method == "move"
+                            ? "std::move('" + view.source + "')"
+                            : "'" + view.source + "'." + grow.method +
+                                  "()";
+                    std::tuple<std::string, std::size_t, std::string>
+                        key{files[f].path, grow.line,
+                            "view:" + view.view + ":" + act};
+                    if (!seen.insert(key).second)
+                        continue;
+                    findings.push_back(
+                        {files[f].path, grow.line, "view-invalidation",
+                         act + " may reallocate while " +
+                             live_detail() +
+                             "; growth invalidates outstanding views "
+                             "(view-after-growth) — rebind after "
+                             "growing or reserve capacity before the "
+                             "view; annotate `// analyze: "
+                             "view-ok(<reason>)` if intended"});
+                }
+                for (const CallSite &call : fn.calls) {
+                    if (call.pos <= view.pos ||
+                        call.pos >= view.lastUsePos)
+                        continue;
+                    for (const FnKey &target :
+                         linker.resolve(f, call.callee)) {
+                        auto it = growing.find(target);
+                        if (it == growing.end())
+                            continue;
+                        const FunctionFacts &callee =
+                            linker.fn(target);
+                        for (const auto &[j, method] : it->second) {
+                            if (j >= call.argIdents.size() ||
+                                call.argIdents[j] != view.source)
+                                continue;
+                            if (suppressions.covered("view-ok", f,
+                                                     call.line) ||
+                                suppressions.covered("view-ok", f,
+                                                     view.line))
+                                continue;
+                            const std::string param =
+                                j < callee.params.size()
+                                    ? callee.params[j].name
+                                    : "";
+                            std::tuple<std::string, std::size_t,
+                                       std::string>
+                                key{files[f].path, call.line,
+                                    "view:" + view.view + ":" +
+                                        call.callee};
+                            if (!seen.insert(key).second)
+                                continue;
+                            findings.push_back(
+                                {files[f].path, call.line,
+                                 "view-invalidation",
+                                 "passes '" + view.source + "' to " +
+                                     call.callee + "(), which grows "
+                                     "it (." + method +
+                                     "() on parameter '" + param +
+                                     "'), while " + live_detail() +
+                                     "; the view escapes its source's "
+                                     "stability window "
+                                     "(view-escape-by-arg); annotate "
+                                     "`// analyze: view-ok(<reason>)` "
+                                     "if intended"});
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     auto atomics = atomicsDisciplineFindings(files, suppressions);
     findings.insert(findings.end(), atomics.begin(), atomics.end());
 
@@ -1989,6 +2482,7 @@ runAnalyze(const AnalyzeOptions &options, std::ostream &out,
     }
 
     std::vector<FileFacts> facts(files.size());
+    std::vector<std::string> contents(files.size());
     std::vector<std::string> errors(files.size());
     auto parse_one = [&](std::size_t i) {
         std::ifstream in(fs::path(files[i].dir) / files[i].rel,
@@ -1999,7 +2493,8 @@ runAnalyze(const AnalyzeOptions &options, std::ostream &out,
         }
         std::ostringstream buffer;
         buffer << in.rdbuf();
-        const std::string content = buffer.str();
+        contents[i] = buffer.str();
+        const std::string &content = contents[i];
         const std::string key = factsCacheKey(files[i].path, content);
         if (!options.cacheDir.empty() &&
             loadCachedFacts(options.cacheDir, key, files[i].path,
@@ -2051,6 +2546,53 @@ runAnalyze(const AnalyzeOptions &options, std::ostream &out,
     }
 
     std::sort(findings.begin(), findings.end(), findingLess);
+
+    // Ratchet baseline: a key is line-number-free so unrelated edits
+    // above a finding do not churn it out of the baseline.
+    auto baselineKey = [](const Finding &finding) {
+        return finding.file + " [" + finding.check + "] " +
+               finding.message;
+    };
+
+    if (!options.writeBaselinePath.empty()) {
+        std::ofstream base(options.writeBaselinePath,
+                           std::ios::binary);
+        if (!base) {
+            err << options.writeBaselinePath
+                << ": cannot write baseline\n";
+            return 2;
+        }
+        std::vector<std::string> keys;
+        keys.reserve(findings.size());
+        for (const Finding &finding : findings)
+            keys.push_back(baselineKey(finding));
+        std::sort(keys.begin(), keys.end());
+        keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+        for (const std::string &key : keys)
+            base << key << "\n";
+    }
+
+    if (!options.baselinePath.empty()) {
+        std::ifstream base(options.baselinePath);
+        if (!base) {
+            err << options.baselinePath << ": cannot read baseline\n";
+            return 2;
+        }
+        std::set<std::string> known;
+        std::string entry;
+        while (std::getline(base, entry)) {
+            if (!entry.empty() && entry.back() == '\r')
+                entry.pop_back();
+            if (!entry.empty())
+                known.insert(entry);
+        }
+        std::vector<Finding> fresh;
+        for (Finding &finding : findings)
+            if (!known.count(baselineKey(finding)))
+                fresh.push_back(std::move(finding));
+        findings = std::move(fresh);
+    }
+
     for (const Finding &finding : findings) {
         out << finding.file << ":" << finding.line << ": ["
             << finding.check << "] " << finding.message << "\n";
@@ -2067,8 +2609,35 @@ runAnalyze(const AnalyzeOptions &options, std::ostream &out,
         const std::string prefix =
             roots.size() == 1 && roots[0].label.empty() ? roots[0].dir
                                                         : "";
-        writeSarif(findings, prefix, sarif);
+        std::map<std::string, std::size_t> path_index;
+        for (std::size_t i = 0; i < files.size(); ++i)
+            path_index.insert({files[i].path, i});
+        SnippetProvider snippets =
+            [&](const std::string &file,
+                std::size_t line) -> std::string {
+            auto it = path_index.find(file);
+            if (it == path_index.end() || line == 0)
+                return "";
+            const std::string &content = contents[it->second];
+            std::size_t pos = 0;
+            for (std::size_t l = 1; l < line; ++l) {
+                pos = content.find('\n', pos);
+                if (pos == std::string::npos)
+                    return "";
+                ++pos;
+            }
+            const std::size_t nl = content.find('\n', pos);
+            std::string text = content.substr(
+                pos,
+                nl == std::string::npos ? std::string::npos : nl - pos);
+            if (!text.empty() && text.back() == '\r')
+                text.pop_back();
+            return text;
+        };
+        writeSarif(findings, prefix, snippets, sarif);
     }
+    if (!options.writeBaselinePath.empty())
+        return 0;
     return findings.empty() ? 0 : 1;
 }
 

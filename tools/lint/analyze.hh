@@ -32,12 +32,23 @@
  *  - determinism-flow: unordered-container iteration, pointer-valued
  *    map/set keys, and wall-clock reads must not be reachable from a
  *    shard root — shard outputs are byte-identical by contract.
+ *  - realtime-loop: loops marked MINDFUL_RT_LOOP("stage")
+ *    (base/compiler.hh) are streaming stage roots; nothing reachable
+ *    from one may block — Mutex/ConditionVariable, file/stream
+ *    construction, sleep/this_thread calls, unbounded `while (true)`
+ *    without a break/return, or cold-tier TraceSpan / by-name metric
+ *    lookups (the MINDFUL_HOT_* handle tier stays legal).
+ *  - view-invalidation: spans/string_views/rowData/raw data pointers
+ *    borrowed from growable containers must not outlive a
+ *    push_back/resize/reserve/move of their source — checked within
+ *    a function by token order, and across TUs when the source is
+ *    passed by mutable reference to a callee that grows it.
  *
  * Escape hatches mirror `lint: raw-ok`: an `analyze:` comment naming
- * one of hot-ok / unit-ok / rng-ok / atomic-ok / determinism-ok with
- * a parenthesized reason, on the finding line, the line above, or the
- * shard-root line (hot-ok / rng-ok / determinism-ok). Empty reasons
- * and stale markers are findings.
+ * one of hot-ok / unit-ok / rng-ok / atomic-ok / determinism-ok /
+ * rt-ok / view-ok with a parenthesized reason, on the finding line,
+ * the line above, or the root line (hot-ok / rng-ok / determinism-ok /
+ * rt-ok). Empty reasons and stale markers are findings.
  *
  * Name resolution is deliberately conservative: a callee resolves to
  * same-file candidates first, then to a unique defining file; names
@@ -74,6 +85,8 @@ struct CallSite
     std::size_t line = 0;
     /** Top-level args; single identifiers verbatim, "" otherwise. */
     std::vector<std::string> argIdents;
+    /** Token index within the body (orders calls vs view lifetimes). */
+    std::size_t pos = 0;
 };
 
 /** One RNG draw (`engine.gaussian()` and friends). */
@@ -88,6 +101,8 @@ struct ParamFacts
 {
     std::string name;
     bool isRng = false; //!< declared type mentions Rng
+    /** Non-const reference or pointer: the callee may mutate it. */
+    bool mutableRef = false;
 };
 
 /**
@@ -102,6 +117,32 @@ struct Hazard
     std::string detail; //!< human phrasing, e.g. "reads steady_clock"
 };
 
+/**
+ * One view borrowed from a growable container: std::span /
+ * std::string_view construction, Tensor::rowData, or .data() bound to
+ * a raw pointer. Token positions order the binding against later
+ * growth of the source and later uses of the view.
+ */
+struct ViewSite
+{
+    std::string view;   //!< view variable name
+    std::string source; //!< container identifier the view borrows from
+    std::string how;    //!< "span", "string_view", "rowData", "data"
+    std::size_t line = 0;
+    std::size_t pos = 0;         //!< token index of the binding
+    std::size_t lastUsePos = 0;  //!< last mention of the view after pos
+    std::size_t lastUseLine = 0; //!< line of that last mention
+};
+
+/** One growth/invalidation op committed directly on a container. */
+struct GrowSite
+{
+    std::string container;
+    std::string method; //!< "push_back", "resize", "reserve", "move", ...
+    std::size_t line = 0;
+    std::size_t pos = 0; //!< token index of the operation
+};
+
 /** Everything phase 2 needs to know about one function body. */
 struct FunctionFacts
 {
@@ -113,11 +154,27 @@ struct FunctionFacts
     std::string rootLabel; //!< "parallelFor" / "parallelReduce"
     std::size_t rootLine = 0;
 
+    /** Loop carved out of a MINDFUL_RT_LOOP("stage") marker. */
+    bool rtRoot = false;
+
     std::vector<ParamFacts> params;
     std::vector<Impurity> impurities;
     std::vector<CallSite> calls;
     std::vector<DrawSite> draws;
     std::vector<Hazard> hazards;
+
+    /**
+     * Blocking acts committed directly by this function, reported when
+     * reachable from an RT root (realtime-loop). Reuses Impurity with
+     * kinds "blocking-call", "unbounded-loop" and "cold-tier".
+     */
+    std::vector<Impurity> rtBlockers;
+
+    /** Views borrowed from growable containers (view-invalidation). */
+    std::vector<ViewSite> views;
+
+    /** Direct growth ops on containers (view-invalidation). */
+    std::vector<GrowSite> grows;
 
     /** Engines safe to draw from: Rng::fork-derived or local. */
     std::vector<std::string> safeEngines;
@@ -205,6 +262,14 @@ struct AnalyzeOptions
     std::string cacheDir;      //!< parse-facts cache ("" = disabled)
     unsigned threads = 0;      //!< worker threads (0 = pool default)
     bool semantic = true;      //!< false = lexical checks only
+    /**
+     * Ratchet baseline ("" = none). Findings whose `file [check]
+     * message` key appears in the file are reported but do not fail
+     * the run; only new findings flip the exit code to 1.
+     */
+    std::string baselinePath;
+    /** Write the current findings as a sorted baseline and exit 0. */
+    std::string writeBaselinePath;
 };
 
 /**

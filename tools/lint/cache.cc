@@ -20,8 +20,11 @@ namespace {
  * Bump whenever FileFacts or the record layout changes shape.
  * v2: atomics-discipline ('A' decls, 'O' ops) and determinism-flow
  * ('z' hazards) records.
+ * v3: realtime-loop and view-invalidation — rtRoot flag on 'F',
+ * mutableRef on 'p', call token position on 'c', plus 'b' blocker,
+ * 'V' view and 'G' grow records.
  */
-constexpr const char *kCacheVersion = "2";
+constexpr const char *kCacheVersion = "3";
 
 std::string
 escapeField(const std::string &field)
@@ -187,17 +190,33 @@ storeCachedFacts(const std::string &cache_dir, const std::string &key,
             out << "F " << escapeField(fn.name) << ' ' << fn.line << ' '
                 << (fn.shardRoot ? 1 : 0) << ' '
                 << escapeField(fn.rootLabel) << ' ' << fn.rootLine
-                << '\n';
+                << ' ' << (fn.rtRoot ? 1 : 0) << '\n';
             for (const ParamFacts &param : fn.params)
                 out << "p " << escapeField(param.name) << ' '
-                    << (param.isRng ? 1 : 0) << '\n';
+                    << (param.isRng ? 1 : 0) << ' '
+                    << (param.mutableRef ? 1 : 0) << '\n';
             for (const Impurity &impurity : fn.impurities)
                 out << "i " << escapeField(impurity.kind) << ' '
                     << impurity.line << ' '
                     << escapeField(impurity.detail) << '\n';
+            for (const Impurity &blocker : fn.rtBlockers)
+                out << "b " << escapeField(blocker.kind) << ' '
+                    << blocker.line << ' '
+                    << escapeField(blocker.detail) << '\n';
+            for (const ViewSite &view : fn.views)
+                out << "V " << escapeField(view.view) << ' '
+                    << escapeField(view.source) << ' '
+                    << escapeField(view.how) << ' ' << view.line << ' '
+                    << view.pos << ' ' << view.lastUsePos << ' '
+                    << view.lastUseLine << '\n';
+            for (const GrowSite &grow : fn.grows)
+                out << "G " << escapeField(grow.container) << ' '
+                    << escapeField(grow.method) << ' ' << grow.line
+                    << ' ' << grow.pos << '\n';
             for (const CallSite &call : fn.calls) {
                 out << "c " << escapeField(call.callee) << ' '
-                    << call.line << ' ' << call.argIdents.size();
+                    << call.line << ' ' << call.pos << ' '
+                    << call.argIdents.size();
                 for (const std::string &arg : call.argIdents)
                     out << ' ' << escapeField(arg);
                 out << '\n';
@@ -284,14 +303,15 @@ loadCachedFacts(const std::string &cache_dir, const std::string &key,
             break;
         }
         case 'F': {
-            if (fields.size() != 6)
+            if (fields.size() != 7)
                 return false;
             auto name = unescapeField(fields[1]);
             auto fn_line = parseSize(fields[2]);
             auto label = unescapeField(fields[4]);
             auto root_line = parseSize(fields[5]);
             if (!name || !fn_line || !label || !root_line ||
-                (fields[3] != "0" && fields[3] != "1"))
+                (fields[3] != "0" && fields[3] != "1") ||
+                (fields[6] != "0" && fields[6] != "1"))
                 return false;
             FunctionFacts next;
             next.name = *name;
@@ -299,18 +319,21 @@ loadCachedFacts(const std::string &cache_dir, const std::string &key,
             next.shardRoot = fields[3] == "1";
             next.rootLabel = *label;
             next.rootLine = *root_line;
+            next.rtRoot = fields[6] == "1";
             loaded.functions.push_back(std::move(next));
             fn = &loaded.functions.back();
             break;
         }
         case 'p': {
-            if (!fn || fields.size() != 3 ||
-                (fields[2] != "0" && fields[2] != "1"))
+            if (!fn || fields.size() != 4 ||
+                (fields[2] != "0" && fields[2] != "1") ||
+                (fields[3] != "0" && fields[3] != "1"))
                 return false;
             auto name = unescapeField(fields[1]);
             if (!name)
                 return false;
-            fn->params.push_back({*name, fields[2] == "1"});
+            fn->params.push_back(
+                {*name, fields[2] == "1", fields[3] == "1"});
             break;
         }
         case 'i': {
@@ -325,23 +348,66 @@ loadCachedFacts(const std::string &cache_dir, const std::string &key,
             break;
         }
         case 'c': {
-            if (!fn || fields.size() < 4)
+            if (!fn || fields.size() < 5)
                 return false;
             auto callee = unescapeField(fields[1]);
             auto at = parseSize(fields[2]);
-            auto n = parseSize(fields[3]);
-            if (!callee || !at || !n || fields.size() != 4 + *n)
+            auto pos = parseSize(fields[3]);
+            auto n = parseSize(fields[4]);
+            if (!callee || !at || !pos || !n ||
+                fields.size() != 5 + *n)
                 return false;
             CallSite call;
             call.callee = *callee;
             call.line = *at;
+            call.pos = *pos;
             for (std::size_t k = 0; k < *n; ++k) {
-                auto arg = unescapeField(fields[4 + k]);
+                auto arg = unescapeField(fields[5 + k]);
                 if (!arg)
                     return false;
                 call.argIdents.push_back(*arg);
             }
             fn->calls.push_back(std::move(call));
+            break;
+        }
+        case 'b': {
+            if (!fn || fields.size() != 4)
+                return false;
+            auto kind = unescapeField(fields[1]);
+            auto at = parseSize(fields[2]);
+            auto detail = unescapeField(fields[3]);
+            if (!kind || !at || !detail)
+                return false;
+            fn->rtBlockers.push_back({*kind, *at, *detail});
+            break;
+        }
+        case 'V': {
+            if (!fn || fields.size() != 8)
+                return false;
+            auto view = unescapeField(fields[1]);
+            auto source = unescapeField(fields[2]);
+            auto how = unescapeField(fields[3]);
+            auto at = parseSize(fields[4]);
+            auto pos = parseSize(fields[5]);
+            auto use_pos = parseSize(fields[6]);
+            auto use_line = parseSize(fields[7]);
+            if (!view || !source || !how || !at || !pos || !use_pos ||
+                !use_line)
+                return false;
+            fn->views.push_back({*view, *source, *how, *at, *pos,
+                                 *use_pos, *use_line});
+            break;
+        }
+        case 'G': {
+            if (!fn || fields.size() != 5)
+                return false;
+            auto container = unescapeField(fields[1]);
+            auto method = unescapeField(fields[2]);
+            auto at = parseSize(fields[3]);
+            auto pos = parseSize(fields[4]);
+            if (!container || !method || !at || !pos)
+                return false;
+            fn->grows.push_back({*container, *method, *at, *pos});
             break;
         }
         case 'd': {

@@ -62,8 +62,10 @@ noteMarkers(const std::string &comment, std::size_t line, SourceFile &out)
     if (auto pos = comment.find(raw_marker); pos != std::string::npos)
         out.rawOk[line] = reason_at(pos + raw_marker.size());
 
-    static const char *kTags[] = {"hot-ok", "unit-ok", "rng-ok",
-                                  "atomic-ok", "determinism-ok"};
+    static const char *kTags[] = {"hot-ok",    "unit-ok",
+                                  "rng-ok",    "atomic-ok",
+                                  "determinism-ok", "rt-ok",
+                                  "view-ok"};
     for (const char *tag : kTags) {
         std::string marker = std::string("analyze: ") + tag + "(";
         if (auto pos = comment.find(marker); pos != std::string::npos)
@@ -90,6 +92,12 @@ scanSource(std::string path, const std::string &content)
     std::size_t line = 1;
     std::size_t i = 0;
     const std::size_t n = content.size();
+    // A UTF-8 byte-order mark would otherwise lex as three junk
+    // punctuation tokens and, worse, clear line_start before a
+    // `#pragma once` on the first line. Skip it outright.
+    if (n >= 3 && content[0] == '\xef' && content[1] == '\xbb' &&
+        content[2] == '\xbf')
+        i = 3;
     // True until the first token of the current physical line — a '#'
     // here starts a preprocessor directive.
     bool line_start = true;
@@ -112,6 +120,11 @@ scanSource(std::string path, const std::string &content)
             // Line splice between tokens: the logical line continues.
             ++line;
             i += 2;
+        } else if (c == '\\' && i + 2 < n && content[i + 1] == '\r' &&
+                   content[i + 2] == '\n') {
+            // CRLF line splice: same continuation, Windows endings.
+            ++line;
+            i += 3;
         } else if (c == '#' && line_start) {
             // Preprocessor directive: consume the whole logical line
             // (honoring backslash continuations) without emitting
@@ -122,6 +135,12 @@ scanSource(std::string path, const std::string &content)
                     content[i + 1] == '\n') {
                     ++line;
                     i += 2;
+                    continue;
+                }
+                if (content[i] == '\\' && i + 2 < n &&
+                    content[i + 1] == '\r' && content[i + 2] == '\n') {
+                    ++line;
+                    i += 3;
                     continue;
                 }
                 if (content[i] == '/' && i + 1 < n &&
@@ -164,11 +183,30 @@ scanSource(std::string path, const std::string &content)
             count_lines(i, end);
             i = end;
             line_start = false;
-        } else if (c == '"' || c == '\'') {
-            // Skip plain string/char literals, honoring escapes.
-            char quote = c;
+        } else if (c == '"') {
+            // Plain string literal, honoring escapes. Emitted as one
+            // token (quotes included) so the parser can read marker
+            // payloads (MINDFUL_RT_LOOP("stage")) and so call
+            // arguments keep their positions past string args.
+            const std::size_t start = i;
+            const std::size_t start_line = line;
             ++i;
-            while (i < n && content[i] != quote) {
+            while (i < n && content[i] != '"') {
+                if (content[i] == '\\' && i + 1 < n)
+                    ++i;
+                if (content[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            ++i;
+            out.tokens.push_back(
+                {content.substr(start, std::min(i, n) - start),
+                 start_line});
+            line_start = false;
+        } else if (c == '\'') {
+            // Skip char literals, honoring escapes.
+            ++i;
+            while (i < n && content[i] != '\'') {
                 if (content[i] == '\\' && i + 1 < n)
                     ++i;
                 if (content[i] == '\n')

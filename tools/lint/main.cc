@@ -6,6 +6,12 @@
  *       [--allowlist tools/lint/allowlist.txt]
  *       [--sarif out.sarif] [--cache-dir .cache/analyze]
  *       [--threads N] [--no-semantic]
+ *       [--baseline <file>] [--write-baseline <file>]
+ *
+ * `--write-baseline` records the current findings as a sorted ratchet
+ * baseline (and exits 0); `--baseline` reports and fails only on
+ * findings not in that file, so a new pass can land before every
+ * pre-existing finding is fixed.
  *
  * `--root` repeats. Finding paths are prefixed with each relative
  * root's own cleaned name ("src/...", "tools/..."), so a run from the
@@ -32,7 +38,8 @@ namespace {
 const char *kUsage =
     "usage: mindful-analyze --root <dir> [--root <dir> ...]\n"
     "           [--allowlist <file>] [--sarif <file>]\n"
-    "           [--cache-dir <dir>] [--threads <n>] [--no-semantic]\n";
+    "           [--cache-dir <dir>] [--threads <n>] [--no-semantic]\n"
+    "           [--baseline <file>] [--write-baseline <file>]\n";
 
 /** Finding-path prefix for one --root argument ("" = no prefix). */
 std::string
@@ -74,6 +81,10 @@ main(int argc, char **argv)
                 return 2;
             }
             options.threads = *value;
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            options.baselinePath = argv[++i];
+        } else if (arg == "--write-baseline" && i + 1 < argc) {
+            options.writeBaselinePath = argv[++i];
         } else if (arg == "--no-semantic") {
             options.semantic = false;
         } else if (arg == "--help" || arg == "-h") {

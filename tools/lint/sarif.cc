@@ -91,6 +91,16 @@ ruleDescription(const std::string &check)
          "Unordered-container iteration, pointer-valued keys and "
          "wall-clock reads must not reach shard bodies; shard "
          "outputs are byte-identical by contract."},
+        {"realtime-loop",
+         "Nothing reachable from a MINDFUL_RT_LOOP streaming stage "
+         "loop may block: no locks, condition waits, sleeps, file or "
+         "stream I/O, unbounded spins, or cold-tier "
+         "TraceSpan/MetricRegistry lookups."},
+        {"view-invalidation",
+         "A span/string_view/rowData/raw-pointer view of a growable "
+         "container must not outlive a push_back/resize/reserve/move "
+         "of its source, directly or through a callee growing a "
+         "mutable-reference parameter."},
     };
     auto it = descriptions.find(check);
     if (it != descriptions.end())
@@ -109,7 +119,8 @@ ruleHelpUri(const std::string &check)
 
 void
 writeSarif(const std::vector<Finding> &findings,
-           const std::string &root_prefix, std::ostream &out)
+           const std::string &root_prefix,
+           const SnippetProvider &snippets, std::ostream &out)
 {
     std::string prefix = root_prefix;
     while (!prefix.empty() && prefix.back() == '/')
@@ -166,7 +177,19 @@ writeSarif(const std::vector<Finding> &findings,
             << "                \"artifactLocation\": { \"uri\": \""
             << jsonEscape(uri) << "\" },\n"
             << "                \"region\": { \"startLine\": "
-            << (finding.line == 0 ? 1 : finding.line) << " }\n"
+            << (finding.line == 0 ? 1 : finding.line);
+        // Findings are line-granular, so the region spans the whole
+        // source line: startColumn 1 through one past its last
+        // character, with the line text as the snippet.
+        const std::string text =
+            snippets ? snippets(finding.file, finding.line) : "";
+        if (!text.empty()) {
+            out << ", \"startColumn\": 1, \"endColumn\": "
+                << text.size() + 1
+                << ", \"snippet\": { \"text\": \"" << jsonEscape(text)
+                << "\" }";
+        }
+        out << " }\n"
             << "              }\n"
             << "            }\n"
             << "          ]\n"

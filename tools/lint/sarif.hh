@@ -10,6 +10,8 @@
 #ifndef MINDFUL_TOOLS_LINT_SARIF_HH
 #define MINDFUL_TOOLS_LINT_SARIF_HH
 
+#include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -19,12 +21,22 @@
 namespace mindful::lint {
 
 /**
+ * Returns the source text of @p line (1-based) in the finding-recorded
+ * file @p file, without its terminator, or "" when unavailable. Feeds
+ * region.endColumn and region.snippet.
+ */
+using SnippetProvider =
+    std::function<std::string(const std::string &file, std::size_t line)>;
+
+/**
  * Write @p findings as a SARIF 2.1.0 log to @p out. Finding paths are
  * relative to the scan root; @p root_prefix (e.g. "src") is prepended
- * to each artifact URI so results anchor to repo-relative paths.
+ * to each artifact URI so results anchor to repo-relative paths. A
+ * null @p snippets emits line-granular regions only.
  */
 void writeSarif(const std::vector<Finding> &findings,
-                const std::string &root_prefix, std::ostream &out);
+                const std::string &root_prefix,
+                const SnippetProvider &snippets, std::ostream &out);
 
 } // namespace mindful::lint
 
